@@ -1,0 +1,39 @@
+// Figure 11: dd sequential throughput through the storage driver domain
+// (/dev/zero as source/sink; paper: Linux ≈ Kite, ~1 GB/s class).
+#include "bench/common.h"
+#include "src/workloads/storagebench.h"
+
+namespace kite {
+namespace {
+
+double RunDd(OsKind os, bool write) {
+  StorTopology topo = MakeStorTopology(os);
+  DdConfig config;
+  config.write = write;
+  config.total_bytes = 512LL * 1024 * 1024;  // Scaled from the paper's 10 GB.
+  DdBench dd(topo.guest->blkfront(), config);
+  double mbps = 0;
+  bool done = false;
+  dd.Run([&](const DdResult& r) {
+    done = true;
+    mbps = r.mbytes_per_sec;
+  });
+  topo.sys->WaitUntil([&] { return done; }, Seconds(600));
+  return mbps;
+}
+
+}  // namespace
+}  // namespace kite
+
+int main() {
+  using namespace kite;
+  PrintHeader("Figure 11", "dd sequential throughput (MB/s), 1 MB blocks");
+  PrintNote("transfer size scaled from the paper's 10 GB; rates are steady-state");
+  std::printf("%-12s %12s %12s\n", "operation", "Linux", "Kite");
+  std::printf("%-12s %12.0f %12.0f\n", "read",
+              RunDd(OsKind::kUbuntuLinux, false), RunDd(OsKind::kKiteRumprun, false));
+  std::printf("%-12s %12.0f %12.0f\n", "write",
+              RunDd(OsKind::kUbuntuLinux, true), RunDd(OsKind::kKiteRumprun, true));
+  std::printf("paper: both ≈1000 MB/s class; Kite ≈ Linux\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 15: Filebench MongoDB personality — throughput, CPU per op, and
+// latency (single user, 4 MB mean I/O; paper: Kite outperforms Linux even at
+// low concurrency).
+#include "bench/common.h"
+#include "src/workloads/filebench.h"
+
+namespace kite {
+namespace {
+
+FilebenchResult RunMongo(OsKind os) {
+  StorTopology topo = MakeStorTopology(os);
+  FilebenchConfig config;
+  config.personality = FilebenchPersonality::kMongoDb;
+  config.threads = 1;  // Paper: one user.
+  config.file_count = 200;
+  config.mean_file_bytes = 8 * 1024 * 1024;  // Scaled from 20 GB total.
+  config.io_bytes = 4 * 1024 * 1024;         // Paper: 4 MB mean I/O.
+  config.duration = Millis(400);
+  Filebench bench(topo.fs.get(), config, topo.stordom->domain()->vcpu(0));
+  FilebenchResult out;
+  bool done = false;
+  bench.Run([&](const FilebenchResult& r) {
+    done = true;
+    out = r;
+  });
+  topo.sys->WaitUntil([&] { return done; }, Seconds(600));
+  return out;
+}
+
+}  // namespace
+}  // namespace kite
+
+int main() {
+  using namespace kite;
+  PrintHeader("Figure 15", "Filebench MongoDB personality (1 user, 4 MB I/O)");
+  const FilebenchResult linux = RunMongo(OsKind::kUbuntuLinux);
+  const FilebenchResult kite = RunMongo(OsKind::kKiteRumprun);
+  std::printf("%-10s %18s %14s %14s\n", "domain", "throughput (MB/s)", "CPU (us/op)",
+              "latency (ms)");
+  std::printf("%-10s %18.1f %14.1f %14.2f\n", "Linux", linux.mbytes_per_sec,
+              linux.cpu_us_per_op, linux.latency_ms.Mean());
+  std::printf("%-10s %18.1f %14.1f %14.2f\n", "Kite", kite.mbytes_per_sec,
+              kite.cpu_us_per_op, kite.latency_ms.Mean());
+  std::printf("paper shape: Kite higher throughput, lower CPU/op, lower latency\n");
+  return 0;
+}

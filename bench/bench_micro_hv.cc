@@ -1,0 +1,108 @@
+// Google-benchmark micro-benchmarks of the hypervisor substrate: shared-ring
+// operations, grant table, grant copy, xenstore, and event channels. These
+// measure the *simulator's* real-time cost (how fast experiments run), not
+// simulated time.
+#include <benchmark/benchmark.h>
+
+#include "src/base/bytes.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/ring.h"
+
+namespace kite {
+namespace {
+
+struct Req {
+  uint64_t id;
+};
+struct Rsp {
+  uint64_t id;
+};
+
+void BM_RingRoundTrip(benchmark::State& state) {
+  SharedRing<Req, Rsp> shared(32);
+  FrontRing<Req, Rsp> front(&shared);
+  BackRing<Req, Rsp> back(&shared);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    front.ProduceRequest(Req{i});
+    benchmark::DoNotOptimize(front.PushRequests());
+    Req r = back.ConsumeRequest();
+    back.ProduceResponse(Rsp{r.id});
+    benchmark::DoNotOptimize(back.PushResponses());
+    benchmark::DoNotOptimize(front.ConsumeResponse());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingRoundTrip);
+
+void BM_GrantAccessEnd(benchmark::State& state) {
+  GrantTable table(1);
+  PageRef page = AllocPage();
+  for (auto _ : state) {
+    GrantRef ref = table.GrantAccess(2, page, false);
+    benchmark::DoNotOptimize(table.EndAccess(ref));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GrantAccessEnd);
+
+void BM_GrantCopy(benchmark::State& state) {
+  Executor ex;
+  Hypervisor hv(&ex);
+  Domain* owner = hv.CreateDomain("owner", 1, 512);
+  Domain* peer = hv.CreateDomain("peer", 1, 512);
+  PageRef page = AllocPage();
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), page, false);
+  Buffer data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.GrantCopyToGranted(peer, owner->id(), ref, 0, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GrantCopy)->Arg(64)->Arg(1500)->Arg(4096);
+
+void BM_XenstoreWriteRead(benchmark::State& state) {
+  Executor ex;
+  Hypervisor hv(&ex);
+  Domain* dom = hv.CreateDomain("d", 1, 512);
+  const std::string path = dom->store_home() + "/bench/key";
+  int i = 0;
+  for (auto _ : state) {
+    dom->StoreWriteInt(path, i++);
+    benchmark::DoNotOptimize(dom->StoreReadInt(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XenstoreWriteRead);
+
+void BM_EventChannelSendDeliver(benchmark::State& state) {
+  Executor ex;
+  Hypervisor hv(&ex);
+  Domain* a = hv.CreateDomain("a", 1, 512);
+  Domain* b = hv.CreateDomain("b", 1, 512);
+  EvtPort pa = hv.EventAllocUnbound(a, b->id());
+  EvtPort pb = hv.EventBindInterdomain(b, a->id(), pa);
+  uint64_t delivered = 0;
+  hv.EventSetHandler(b, pb, [&delivered] { ++delivered; });
+  for (auto _ : state) {
+    hv.EventSend(a, pa);
+    ex.RunUntilIdle();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventChannelSendDeliver);
+
+void BM_ExecutorPostRun(benchmark::State& state) {
+  Executor ex;
+  for (auto _ : state) {
+    ex.PostAfter(Micros(1), [] {});
+    ex.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorPostRun);
+
+}  // namespace
+}  // namespace kite

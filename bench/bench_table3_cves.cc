@@ -1,0 +1,29 @@
+// Table 3: CVEs prevented by keeping only necessary system calls, plus the
+// component CVEs named in the paper (libxl, python, shell).
+#include "bench/common.h"
+#include "src/security/cve.h"
+
+int main() {
+  using namespace kite;
+  PrintHeader("Table 3", "CVE resilience: Kite (network/storage) vs Ubuntu driver domain");
+  std::printf("%-18s %-12s %-12s %-12s  %s\n", "CVE", "Kite-net", "Kite-stor", "Ubuntu",
+              "mechanism");
+  int kite_net_mitigated = 0;
+  int ubuntu_mitigated = 0;
+  for (const CveEntry& cve : CveDatabase()) {
+    const CveVerdict knet = CheckCve(KiteNetworkProfile(), cve);
+    const CveVerdict kstor = CheckCve(KiteStorageProfile(), cve);
+    const CveVerdict ubu = CheckCve(UbuntuDriverDomainProfile(), cve);
+    kite_net_mitigated += knet.mitigated;
+    ubuntu_mitigated += ubu.mitigated;
+    std::printf("%-18s %-12s %-12s %-12s  %s\n", cve.id.c_str(),
+                knet.mitigated ? "MITIGATED" : "vulnerable",
+                kstor.mitigated ? "MITIGATED" : "vulnerable",
+                ubu.mitigated ? "MITIGATED" : "vulnerable", knet.reason.c_str());
+  }
+  std::printf("\nKite mitigates %d/%zu; Ubuntu mitigates %d/%zu (paper: Kite blocks all "
+              "11 Table-3 CVEs plus libxl/python CVEs)\n",
+              kite_net_mitigated, CveDatabase().size(), ubuntu_mitigated,
+              CveDatabase().size());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table/figure of the paper: it builds the
+// paper's topology (client ↔ NIC ↔ driver domain ↔ guest, or guest ↔ storage
+// domain ↔ NVMe), runs the workload at (scaled) paper parameters for both
+// the Kite and Linux driver-domain personalities, and prints the series the
+// paper reports next to the paper's reference values.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/kite.h"
+#include "src/workloads/fs.h"
+
+namespace kite {
+
+inline const Ipv4Addr kGuestIp = Ipv4Addr::FromOctets(10, 0, 0, 10);
+
+// A network-domain topology: client machine ↔ driver domain ↔ guest.
+struct NetTopology {
+  std::unique_ptr<KiteSystem> sys;
+  NetworkDomain* netdom = nullptr;
+  GuestVm* guest = nullptr;
+
+  EtherStack* client_stack() const { return sys->client()->stack(); }
+  EtherStack* guest_stack() const { return guest->stack(); }
+};
+
+inline NetTopology MakeNetTopology(OsKind os, NetbackParams netback = NetbackParams{}) {
+  NetTopology topo;
+  topo.sys = std::make_unique<KiteSystem>();
+  DriverDomainConfig config;
+  config.os = os;
+  config.netback = netback;
+  topo.netdom = topo.sys->CreateNetworkDomain(config);
+  topo.guest = topo.sys->CreateGuest("server-guest");
+  topo.sys->AttachVif(topo.guest, topo.netdom, kGuestIp);
+  if (!topo.sys->WaitConnected(topo.guest)) {
+    std::fprintf(stderr, "FATAL: guest failed to connect\n");
+    std::abort();
+  }
+  // Warm ARP both ways so measurements exclude resolution.
+  bool warm = false;
+  topo.client_stack()->Ping(kGuestIp, 8, [&](bool, SimDuration) { warm = true; });
+  topo.sys->WaitUntil([&] { return warm; }, Seconds(5));
+  return topo;
+}
+
+// A storage-domain topology: guest ↔ storage driver domain ↔ NVMe.
+struct StorTopology {
+  std::unique_ptr<KiteSystem> sys;
+  StorageDomain* stordom = nullptr;
+  GuestVm* guest = nullptr;
+  std::unique_ptr<SimpleFs> fs;
+};
+
+inline StorTopology MakeStorTopology(OsKind os, int64_t disk_bytes = 8LL << 30,
+                                     BlkbackParams blkback = BlkbackParams{}) {
+  StorTopology topo;
+  KiteSystem::Params params;
+  params.disk.capacity_bytes = disk_bytes;
+  params.disk_store_data = false;  // Benchmarks need timing, not content.
+  topo.sys = std::make_unique<KiteSystem>(params);
+  DriverDomainConfig config;
+  config.os = os;
+  config.blkback = blkback;
+  topo.stordom = topo.sys->CreateStorageDomain(config);
+  topo.guest = topo.sys->CreateGuest("db-guest");
+  topo.sys->AttachVbd(topo.guest, topo.stordom);
+  if (!topo.sys->WaitConnected(topo.guest)) {
+    std::fprintf(stderr, "FATAL: guest blkfront failed to connect\n");
+    std::abort();
+  }
+  topo.fs = std::make_unique<SimpleFs>(topo.guest->blkfront());
+  return topo;
+}
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintNote(const char* note) { std::printf("note: %s\n", note); }
+
+inline const char* Pers(OsKind os) { return os == OsKind::kKiteRumprun ? "Kite " : "Linux"; }
+
+}  // namespace kite
+
+#endif  // BENCH_COMMON_H_

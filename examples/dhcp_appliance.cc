@@ -1,0 +1,44 @@
+// DHCP appliance: the paper's daemon service VM (§5.5) — a unikernelized
+// DHCP server running in its own VM behind the Kite network domain, serving
+// leases to clients on the physical segment.
+#include <cstdio>
+
+#include "src/core/kite.h"
+#include "src/services/dhcp.h"
+
+int main() {
+  using namespace kite;
+  KiteSystem sys;
+  NetworkDomain* netdom = sys.CreateNetworkDomain();
+
+  // The daemon VM: tiny (1 vCPU, 256 MB), runs only the DHCP server.
+  GuestVm* appliance = sys.CreateGuest("dhcp-appliance", /*vcpus=*/1, /*memory_mb=*/256);
+  sys.AttachVif(appliance, netdom, Ipv4Addr::FromOctets(10, 0, 0, 5));
+  sys.WaitConnected(appliance);
+
+  DhcpServerConfig config;
+  config.pool_start = Ipv4Addr::FromOctets(10, 0, 0, 100);
+  config.pool_size = 50;
+  DhcpServer server(appliance->stack(), config);
+  std::printf("DHCP appliance up at %s (pool %s +%d)\n",
+              appliance->ip().ToString().c_str(), config.pool_start.ToString().c_str(),
+              config.pool_size);
+
+  // 25 clients on the wire run the 4-way handshake.
+  PerfDhcp perf(sys.client()->stack(), /*count=*/25, /*spacing=*/Millis(3));
+  bool done = false;
+  perf.Run([&](const PerfDhcpResult& r) {
+    done = true;
+    std::printf("perfdhcp: %d/%d leases acquired\n", r.completed, 25);
+    std::printf("  Discover→Offer: mean %.2f ms, p99 %.2f ms (paper: ~0.78 ms)\n",
+                r.discover_offer_ms.Mean(), r.discover_offer_ms.Percentile(99));
+    std::printf("  Request→Ack:    mean %.2f ms, p99 %.2f ms (paper: ~0.70 ms)\n",
+                r.request_ack_ms.Mean(), r.request_ack_ms.Percentile(99));
+  });
+  sys.WaitUntil([&] { return done; }, Seconds(60));
+  std::printf("server state: %d active leases, %llu offers, %llu acks\n",
+              server.leases_active(),
+              static_cast<unsigned long long>(server.offers_sent()),
+              static_cast<unsigned long long>(server.acks_sent()));
+  return 0;
+}

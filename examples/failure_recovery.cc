@@ -1,0 +1,54 @@
+// Failure recovery: driver domains can be restarted to recover from driver
+// faults — and Kite's 7 s boot (vs Linux's 75 s, Fig 4c) makes the outage an
+// order of magnitude shorter. This example crashes and restarts a network
+// domain of each personality and measures the service outage.
+#include <cstdio>
+
+#include "src/core/kite.h"
+
+namespace {
+
+double MeasureOutage(kite::OsKind os) {
+  using namespace kite;
+  KiteSystem::Params params;
+  params.instant_boot = false;  // Real boot sequences.
+  KiteSystem sys(params);
+  DriverDomainConfig config;
+  config.os = os;
+  NetworkDomain* netdom = sys.CreateNetworkDomain(config);
+  sys.WaitUntil([&] { return netdom->booted(); }, Seconds(300));
+
+  GuestVm* guest = sys.CreateGuest("app-vm");
+  const Ipv4Addr ip = Ipv4Addr::FromOctets(10, 0, 0, 10);
+  sys.AttachVif(guest, netdom, ip);
+  sys.WaitConnected(guest);
+
+  // Service is up; now the driver domain "crashes" (destroy + reboot).
+  const SimTime outage_start = sys.Now();
+  NetworkDomain* fresh = sys.RestartNetworkDomain(netdom);
+  sys.WaitUntil([&] { return fresh->booted(); }, Seconds(300));
+
+  // Service restored once a (re)attached guest answers pings again.
+  GuestVm* guest2 = sys.CreateGuest("app-vm-reattached");
+  const Ipv4Addr ip2 = Ipv4Addr::FromOctets(10, 0, 0, 11);
+  sys.AttachVif(guest2, fresh, ip2);
+  sys.WaitConnected(guest2);
+  bool ok = false;
+  sys.client()->stack()->Ping(ip2, 56, [&](bool r, SimDuration) { ok = r; });
+  sys.WaitUntil([&] { return ok; }, Seconds(10));
+  return (sys.Now() - outage_start).seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace kite;
+  std::printf("Driver-domain crash → restart → service restored:\n");
+  const double linux_outage = MeasureOutage(OsKind::kUbuntuLinux);
+  const double kite_outage = MeasureOutage(OsKind::kKiteRumprun);
+  std::printf("  Linux driver domain outage: %6.1f s\n", linux_outage);
+  std::printf("  Kite  driver domain outage: %6.1f s\n", kite_outage);
+  std::printf("  recovery speedup: %.1fx (boot time dominates; Fig 4c: 75 s vs 7 s)\n",
+              linux_outage / kite_outage);
+  return 0;
+}

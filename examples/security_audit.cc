@@ -1,0 +1,46 @@
+// Security audit: use the library's analysis API to audit a service-VM
+// image — syscall surface, CVE exposure, ROP gadgets, footprint — the
+// paper's §5.1 methodology as a reusable tool.
+#include <cstdio>
+
+#include "src/core/kite.h"
+#include "src/security/cve.h"
+#include "src/security/rop.h"
+#include "src/security/syscalls.h"
+
+namespace {
+
+void Audit(const kite::OsProfile& profile) {
+  using namespace kite;
+  std::printf("\n--- %s ---\n", profile.name.c_str());
+  const SyscallReport syscalls = AnalyzeSyscalls(profile);
+  std::printf("syscalls: %d used, %d exposed (%zu removable in a unikernel)\n",
+              syscalls.used, syscalls.exposed, syscalls.removable.size());
+  std::printf("image: %.1f MB across %zu components; boot %.1f s\n",
+              profile.ImageBytes() / 1048576.0, profile.components.size(),
+              profile.BootTime().seconds());
+  int mitigated = 0;
+  for (const CveVerdict& v : CheckAllCves(profile)) {
+    mitigated += v.mitigated;
+    if (!v.mitigated) {
+      std::printf("  VULNERABLE %s — %s\n", v.cve->id.c_str(),
+                  v.cve->description.c_str());
+    }
+  }
+  std::printf("CVE database: %d/%zu mitigated\n", mitigated, CveDatabase().size());
+  const GadgetCounts gadgets = AnalyzeProfile(profile, /*scale=*/0.02);
+  std::printf("ROP gadgets (estimated from %lld MB of text): %llu\n",
+              static_cast<long long>(profile.code.code_bytes >> 20),
+              static_cast<unsigned long long>(gadgets.total));
+}
+
+}  // namespace
+
+int main() {
+  using namespace kite;
+  std::printf("Service-VM security audit (paper §5.1 methodology)\n");
+  Audit(KiteNetworkProfile());
+  Audit(KiteStorageProfile());
+  Audit(UbuntuDriverDomainProfile());
+  return 0;
+}

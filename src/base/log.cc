@@ -1,0 +1,60 @@
+#include "src/base/log.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kite {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+std::array<std::atomic<int>, 5> g_emit_counts{};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogThreshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+int GetLogEmitCount(LogLevel level) {
+  return g_emit_counts[static_cast<int>(level)].load(std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  g_emit_counts[static_cast<int>(level_)].fetch_add(1, std::memory_order_relaxed);
+  if (level_ >= GetLogThreshold()) {
+    const char* base = file_;
+    for (const char* p = file_; *p != '\0'; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base, line_,
+                 stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace kite

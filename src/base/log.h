@@ -1,0 +1,56 @@
+// Minimal leveled logging for the Kite reproduction.
+//
+// Logging is intentionally tiny: simulation components log through LOG(level)
+// streams; tests and benches can raise the threshold to keep output quiet.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace kite {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global log threshold; messages below it are discarded.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+// One log statement. Accumulates a message and emits it on destruction.
+// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Sink used by tests to capture log output; returns previous count of
+// emitted messages at or above the given level.
+int GetLogEmitCount(LogLevel level);
+
+}  // namespace kite
+
+#define KITE_LOG(level)                                                                  \
+  ::kite::LogMessage(::kite::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define KITE_CHECK(cond)                                                                 \
+  if (!(cond)) KITE_LOG(Fatal) << "Check failed: " #cond " "
+
+#endif  // SRC_BASE_LOG_H_

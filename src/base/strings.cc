@@ -1,0 +1,86 @@
+#include "src/base/strings.h"
+
+#include <cstdio>
+
+namespace kite {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> SplitPath(std::string_view path, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t end = path.find(sep, start);
+    if (end == std::string_view::npos) {
+      end = path.size();
+    }
+    if (end > start) {
+      parts.emplace_back(path.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  std::string out;
+  for (const auto& c : components) {
+    out.push_back('/');
+    out.append(c);
+  }
+  if (out.empty()) {
+    out = "/";
+  }
+  return out;
+}
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool PathIsUnder(std::string_view path, std::string_view prefix) {
+  if (prefix.empty() || prefix == "/") {
+    return true;
+  }
+  // Normalize away a trailing slash on the prefix.
+  if (prefix.back() == '/') {
+    prefix.remove_suffix(1);
+  }
+  if (!HasPrefix(path, prefix)) {
+    return false;
+  }
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+int64_t ParseDecimal(std::string_view s) {
+  if (s.empty()) {
+    return -1;
+  }
+  int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return -1;
+    }
+    value = value * 10 + (c - '0');
+    if (value < 0) {
+      return -1;  // Overflow.
+    }
+  }
+  return value;
+}
+
+}  // namespace kite

@@ -1,0 +1,34 @@
+// Small string utilities (libstdc++ 12 lacks std::format, so we provide a
+// printf-style StrFormat plus path/split helpers used by the xenstore).
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kite {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a separator character; empty tokens are dropped
+// ("/a//b/" -> {"a","b"}), which matches xenstore path semantics.
+std::vector<std::string> SplitPath(std::string_view path, char sep = '/');
+
+// Joins components with '/' and a leading '/'.
+std::string JoinPath(const std::vector<std::string>& components);
+
+bool HasPrefix(std::string_view s, std::string_view prefix);
+
+// True if `path` equals `prefix` or is a descendant of it in '/'-separated
+// terms ("/a/b" is under "/a" but "/ab" is not).
+bool PathIsUnder(std::string_view path, std::string_view prefix);
+
+// Parses a non-negative decimal integer; returns -1 on malformed input.
+int64_t ParseDecimal(std::string_view s);
+
+}  // namespace kite
+
+#endif  // SRC_BASE_STRINGS_H_

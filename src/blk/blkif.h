@@ -1,0 +1,77 @@
+// Xen blkif ring message formats (public/io/blkif.h analogue).
+//
+// One shared ring carries both requests and responses. A direct request
+// holds at most 11 segments (the ring-slot size limit the paper cites —
+// 44 KB per request); an *indirect* request instead references grant pages
+// each holding up to 512 segment descriptors, raising the per-request limit
+// (Kite, like Linux, negotiates 32 indirect segments = 128 KB).
+#ifndef SRC_BLK_BLKIF_H_
+#define SRC_BLK_BLKIF_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/hv/grant_table.h"
+#include "src/hv/ring.h"
+
+namespace kite {
+
+inline constexpr uint32_t kBlkRingSize = 32;
+inline constexpr size_t kSectorSize = 512;
+inline constexpr size_t kSectorsPerPage = kPageSize / kSectorSize;
+inline constexpr int kBlkMaxDirectSegments = 11;    // 44 KB.
+inline constexpr int kBlkSegsPerIndirectPage = 512;
+inline constexpr int kBlkMaxIndirectSegments = 32;  // Linux-compatible cap (paper §4.4).
+
+enum class BlkOp : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kFlush = 2,
+  kIndirect = 6,
+};
+
+enum class BlkStatus : int8_t {
+  kOkay = 0,
+  kError = -1,
+  kNotSupported = -2,
+};
+
+// One data segment: a granted page and the sector range used within it.
+struct BlkSegment {
+  GrantRef gref = kInvalidGrantRef;
+  uint8_t first_sect = 0;
+  uint8_t last_sect = 7;  // Inclusive; 7 = full 4 KiB page.
+
+  size_t bytes() const { return (static_cast<size_t>(last_sect) - first_sect + 1) * kSectorSize; }
+};
+
+// Contents of an indirect descriptor page (attached via Page::object).
+using IndirectSegmentPage = std::vector<BlkSegment>;
+
+struct BlkRequest {
+  BlkOp op = BlkOp::kRead;
+  uint64_t id = 0;
+  uint64_t sector_number = 0;
+  // Direct segments.
+  uint8_t nr_segments = 0;
+  std::array<BlkSegment, kBlkMaxDirectSegments> segments{};
+  // Indirect extension (op == kIndirect).
+  BlkOp indirect_op = BlkOp::kRead;
+  uint16_t nr_indirect_segments = 0;
+  GrantRef indirect_gref = kInvalidGrantRef;
+};
+
+struct BlkResponse {
+  uint64_t id = 0;
+  BlkOp op = BlkOp::kRead;
+  BlkStatus status = BlkStatus::kOkay;
+};
+
+using BlkSharedRing = SharedRing<BlkRequest, BlkResponse>;
+using BlkFrontRing = FrontRing<BlkRequest, BlkResponse>;
+using BlkBackRing = BackRing<BlkRequest, BlkResponse>;
+
+}  // namespace kite
+
+#endif  // SRC_BLK_BLKIF_H_

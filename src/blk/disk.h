@@ -1,0 +1,90 @@
+// NVMe SSD model (Samsung 970 EVO Plus 500GB class, paper Table 2).
+//
+// Service model: requests queue up to a queue depth; each request pays a
+// fixed flash access latency plus data transfer serialized at the device
+// bandwidth (separate read/write rates). Optional content storage (sparse,
+// page-granular) lets integrity tests verify end-to-end data while benches
+// run metadata-free.
+#ifndef SRC_BLK_DISK_H_
+#define SRC_BLK_DISK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/base/bytes.h"
+#include "src/hv/pci.h"
+#include "src/sim/executor.h"
+#include "src/sim/time.h"
+
+namespace kite {
+
+struct DiskParams {
+  int64_t capacity_bytes = 500LL * 1000 * 1000 * 1000;
+  double read_gbps = 2.9;          // GB/s sustained read.
+  double write_gbps = 2.5;         // GB/s sustained write.
+  SimDuration read_latency = Micros(85);   // Flash read access time.
+  SimDuration write_latency = Micros(35);  // Program (SLC-cached).
+  SimDuration flush_latency = Micros(400);
+  int queue_depth = 32;
+};
+
+enum class DiskOp { kRead, kWrite, kFlush };
+
+struct DiskRequest {
+  DiskOp op = DiskOp::kRead;
+  int64_t offset = 0;  // Bytes; sector-aligned.
+  size_t length = 0;   // Bytes.
+  // Write payload (may be empty if the device stores no data).
+  Buffer data;
+  // On read completion, filled with stored data when storage is enabled.
+  std::function<void(bool ok, Buffer data)> done;
+};
+
+class BlockDevice : public PciDevice {
+ public:
+  BlockDevice(Executor* executor, std::string bdf, DiskParams params, bool store_data);
+
+  const DiskParams& params() const { return params_; }
+  int64_t capacity_bytes() const { return params_.capacity_bytes; }
+  bool store_data() const { return store_data_; }
+
+  void Submit(DiskRequest request);
+
+  // Direct (out-of-band) access for tests and for pre-populating content.
+  void WriteRaw(int64_t offset, std::span<const uint8_t> data);
+  Buffer ReadRaw(int64_t offset, size_t length) const;
+
+  uint64_t reads_completed() const { return reads_; }
+  uint64_t writes_completed() const { return writes_; }
+  uint64_t flushes_completed() const { return flushes_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+
+ private:
+  void TryStart();
+  void Complete(DiskRequest request);
+
+  Executor* executor_;
+  DiskParams params_;
+  bool store_data_;
+
+  std::deque<DiskRequest> queue_;
+  int active_ = 0;
+  SimTime bw_free_at_;
+
+  // Sparse page-granular content store.
+  std::map<int64_t, std::unique_ptr<std::array<uint8_t, 4096>>> pages_;
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_BLK_DISK_H_

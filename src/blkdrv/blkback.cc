@@ -1,0 +1,415 @@
+#include "src/blkdrv/blkback.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+// --- BlkbackInstance. ---
+
+BlkbackInstance::BlkbackInstance(Domain* backend, BmkSched* sched,
+                                 const OsCostProfile* costs, BlkbackParams params,
+                                 BlockDevice* disk, DomId frontend_dom, int devid)
+    : backend_(backend),
+      hv_(backend->hypervisor()),
+      sched_(sched),
+      costs_(costs),
+      params_(params),
+      disk_(disk),
+      frontend_dom_(frontend_dom),
+      devid_(devid),
+      wake_(sched->executor()) {
+  backend_path_ = BackendPath(backend->id(), "vbd", frontend_dom, devid);
+  frontend_path_ = FrontendPath(frontend_dom, "vbd", devid);
+}
+
+BlkbackInstance::~BlkbackInstance() {
+  *alive_ = false;
+  if (port_ != kInvalidPort) {
+    hv_->EventClose(backend_, port_);
+  }
+}
+
+void BlkbackInstance::Advertise() {
+  // Paper §4.4: advertise sector geometry and features via xenstore.
+  backend_->StoreWriteInt(backend_path_ + "/sectors",
+                          disk_->capacity_bytes() / static_cast<int64_t>(kSectorSize));
+  backend_->StoreWriteInt(backend_path_ + "/sector-size", kSectorSize);
+  backend_->StoreWriteInt(backend_path_ + "/feature-flush-cache", 1);
+  backend_->StoreWriteInt(backend_path_ + "/feature-persistent",
+                          params_.persistent_grants ? 1 : 0);
+  backend_->StoreWriteInt(backend_path_ + "/feature-max-indirect-segments",
+                          params_.indirect_segments ? params_.max_indirect : 0);
+  XenbusClient bus(&hv_->store(), backend_->id());
+  bus.SwitchState(backend_path_, XenbusState::kInitWait);
+}
+
+bool BlkbackInstance::Connect() {
+  auto ring_ref = backend_->StoreReadInt(frontend_path_ + "/ring-ref");
+  auto evt = backend_->StoreReadInt(frontend_path_ + "/event-channel");
+  if (!ring_ref || !evt) {
+    return false;
+  }
+  frontend_persistent_ =
+      backend_->StoreReadInt(frontend_path_ + "/feature-persistent").value_or(0) == 1;
+
+  ring_map_ = hv_->GrantMap(backend_, frontend_dom_, static_cast<GrantRef>(*ring_ref),
+                            /*write_access=*/true);
+  if (!ring_map_.valid()) {
+    return false;
+  }
+  auto* shared = ring_map_.page()->As<BlkSharedRing>();
+  if (shared == nullptr) {
+    return false;
+  }
+  ring_ = std::make_unique<BlkBackRing>(shared);
+
+  port_ = hv_->EventBindInterdomain(backend_, frontend_dom_, static_cast<EvtPort>(*evt));
+  if (port_ == kInvalidPort) {
+    return false;
+  }
+  // Handler only wakes the request thread (paper §3.3).
+  hv_->EventSetHandler(backend_, port_, [this] { wake_.Signal(); });
+
+  last_active_ = sched_->executor()->Now();
+  sched_->Spawn(StrFormat("blkback.%d.%d", frontend_dom_, devid_),
+                [this] { return RequestThread(); });
+  connected_ = true;
+  XenbusClient bus(&hv_->store(), backend_->id());
+  bus.SwitchState(backend_path_, XenbusState::kConnected);
+  return true;
+}
+
+Page* BlkbackInstance::ResolvePage(GrantRef gref, bool write_access,
+                                   MappedGrant* transient_out) {
+  const bool use_persistent = params_.persistent_grants && frontend_persistent_;
+  if (use_persistent) {
+    auto it = persistent_.find(gref);
+    if (it != persistent_.end()) {
+      ++persistent_hits_;
+      return it->second.page();
+    }
+  }
+  MappedGrant map = hv_->GrantMap(backend_, frontend_dom_, gref, write_access);
+  if (!map.valid()) {
+    return nullptr;
+  }
+  Page* page = map.page();
+  if (use_persistent) {
+    // Persistent referencing (paper §3.3): retain the mapping keyed by gref
+    // so future requests reuse it without map/unmap hypercalls.
+    persistent_.emplace(gref, std::move(map));
+  } else {
+    *transient_out = std::move(map);
+  }
+  return page;
+}
+
+Task BlkbackInstance::RequestThread() {
+  for (;;) {
+    co_await wake_.Wait();
+    SimDuration latency = costs_->blkback_pass_latency;
+    const SimTime now = sched_->executor()->Now();
+    if (now - last_active_ > costs_->cold_threshold) {
+      latency += costs_->cold_penalty;
+    }
+    last_active_ = now;
+    if (latency > SimDuration(0)) {
+      co_await sched_->Sleep(latency);
+    }
+    for (;;) {
+      int batch = 0;
+      std::vector<ResolvedSeg> run;
+      BlkOp run_op = BlkOp::kRead;
+      while (ring_->HasUnconsumedRequests()) {
+        BlkRequest req = ring_->ConsumeRequest();
+        const SimDuration req_cost =
+            costs_->blkback_per_request +
+            costs_->syscall_cost * costs_->syscalls_per_block_request;
+        co_await sched_->Run(req_cost);
+        ProcessRequest(req, &run, &run_op);
+        if (++batch >= params_.ring_batch_limit) {
+          FlushRun(&run, run_op);
+          batch = 0;
+          co_await sched_->Yield();
+        }
+      }
+      FlushRun(&run, run_op);
+      if (!ring_->FinalCheckForRequests()) {
+        break;
+      }
+    }
+    last_active_ = sched_->executor()->Now();
+  }
+}
+
+void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<ResolvedSeg>* run,
+                                     BlkOp* run_op) {
+  ++requests_handled_;
+  auto state = std::make_shared<ReqState>();
+  state->id = req.id;
+
+  // Resolve the segment list.
+  BlkOp op = req.op;
+  std::vector<BlkSegment> segments;
+  if (req.op == BlkOp::kIndirect) {
+    if (!params_.indirect_segments) {
+      state->op = req.indirect_op;
+      state->parts_outstanding = 0;
+      state->ok = false;
+      SendResponse(state);
+      return;
+    }
+    ++indirect_requests_;
+    op = req.indirect_op;
+    // Map the indirect descriptor page and parse up to 512 segments per page
+    // (paper §4.4 "Indirect Segment").
+    MappedGrant ind_transient;
+    Page* ind_page = ResolvePage(req.indirect_gref, /*write_access=*/false, &ind_transient);
+    auto* seg_page = ind_page != nullptr ? ind_page->As<IndirectSegmentPage>() : nullptr;
+    if (seg_page == nullptr ||
+        req.nr_indirect_segments > static_cast<uint16_t>(params_.max_indirect) ||
+        req.nr_indirect_segments > seg_page->size()) {
+      state->op = op;
+      state->ok = false;
+      SendResponse(state);
+      return;
+    }
+    segments.assign(seg_page->begin(), seg_page->begin() + req.nr_indirect_segments);
+  } else if (req.op == BlkOp::kFlush) {
+    state->op = BlkOp::kFlush;
+    state->parts_outstanding = 1;
+    DiskRequest flush;
+    flush.op = DiskOp::kFlush;
+    flush.done = [this, alive = alive_, state](bool ok, Buffer) {
+      if (!*alive) {
+        return;
+      }
+      if (!ok) {
+        state->ok = false;
+      }
+      if (--state->parts_outstanding == 0) {
+        SendResponse(state);
+      }
+    };
+    ++device_ops_;
+    disk_->Submit(std::move(flush));
+    return;
+  } else {
+    segments.assign(req.segments.begin(), req.segments.begin() + req.nr_segments);
+  }
+  state->op = op;
+
+  // Resolve each segment to a mapped page and append to the current run,
+  // flushing whenever contiguity breaks (batching, paper §3.3).
+  int64_t disk_offset = static_cast<int64_t>(req.sector_number) * kSectorSize;
+  for (const BlkSegment& seg : segments) {
+    ++segments_handled_;
+    backend_->vcpu(0)->Charge(costs_->blkback_per_segment);
+    ResolvedSeg resolved;
+    resolved.req = state;
+    resolved.disk_offset = disk_offset;
+    resolved.length = seg.bytes();
+    resolved.page_offset = static_cast<size_t>(seg.first_sect) * kSectorSize;
+    resolved.page = ResolvePage(seg.gref, op == BlkOp::kRead, &resolved.transient);
+    if (resolved.page == nullptr) {
+      state->ok = false;
+      disk_offset += static_cast<int64_t>(resolved.length);
+      continue;
+    }
+    // Does this segment extend the current run?
+    bool extends = params_.batching && !run->empty() && *run_op == op;
+    if (extends) {
+      const ResolvedSeg& tail = run->back();
+      const int64_t run_end = tail.disk_offset + static_cast<int64_t>(tail.length);
+      size_t run_bytes = static_cast<size_t>(
+          run_end - run->front().disk_offset);
+      extends = run_end == resolved.disk_offset &&
+                run_bytes + resolved.length <= params_.max_batch_bytes;
+    }
+    if (!extends) {
+      FlushRun(run, *run_op);
+      *run_op = op;
+    }
+    ++state->parts_outstanding;
+    run->push_back(std::move(resolved));
+    disk_offset += static_cast<int64_t>(run->back().length);
+  }
+
+  if (state->parts_outstanding == 0) {
+    // Nothing submitted (all segments failed, or empty request).
+    SendResponse(state);
+  }
+}
+
+void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
+  if (run->empty()) {
+    return;
+  }
+  std::vector<ResolvedSeg> segs = std::move(*run);
+  run->clear();
+
+  const int64_t offset = segs.front().disk_offset;
+  size_t total = 0;
+  for (const ResolvedSeg& s : segs) {
+    total += s.length;
+  }
+
+  DiskRequest dev;
+  dev.op = op == BlkOp::kRead ? DiskOp::kRead : DiskOp::kWrite;
+  dev.offset = offset;
+  dev.length = total;
+  if (op == BlkOp::kWrite && disk_->store_data()) {
+    // Gather write payload from the (mapped) guest pages.
+    dev.data.reserve(total);
+    for (const ResolvedSeg& s : segs) {
+      dev.data.insert(dev.data.end(), s.page->data.begin() + s.page_offset,
+                      s.page->data.begin() + s.page_offset + s.length);
+    }
+  }
+  ++device_ops_;
+  // NetBSD's buffer callback (paper §4.4 "Response"): the device driver
+  // invokes this on completion; we respond and release mappings there.
+  // (shared_ptr because std::function requires copyable callables.)
+  auto segs_ptr = std::make_shared<std::vector<ResolvedSeg>>(std::move(segs));
+  dev.done = [this, alive = alive_, op, segs_ptr](bool ok, Buffer data) {
+    if (!*alive) {
+      return;
+    }
+    CompletePart(std::move(*segs_ptr), op, ok, data);
+  };
+  disk_->Submit(std::move(dev));
+}
+
+void BlkbackInstance::CompletePart(std::vector<ResolvedSeg> segs, BlkOp op, bool ok,
+                                   const Buffer& data) {
+  // Completion-side CPU cost (response handling).
+  backend_->vcpu(0)->Charge(Nanos(600));
+  size_t data_pos = 0;
+  for (ResolvedSeg& s : segs) {
+    if (op == BlkOp::kRead && !data.empty() && s.page != nullptr) {
+      // Scatter read data into the guest page.
+      const size_t n = std::min(s.length, data.size() - data_pos);
+      std::copy_n(data.begin() + data_pos, n, s.page->data.begin() + s.page_offset);
+    }
+    data_pos += s.length;
+    // Transient mappings are released here (unmap hypercall charged);
+    // persistent mappings are retained in the cache.
+    s.transient.Unmap();
+    if (!ok) {
+      s.req->ok = false;
+    }
+    if (--s.req->parts_outstanding == 0) {
+      SendResponse(s.req);
+    }
+  }
+}
+
+void BlkbackInstance::SendResponse(const std::shared_ptr<ReqState>& req) {
+  BlkResponse rsp;
+  rsp.id = req->id;
+  rsp.op = req->op;
+  rsp.status = req->ok ? BlkStatus::kOkay : BlkStatus::kError;
+  ring_->ProduceResponse(rsp);
+  if (ring_->PushResponses()) {
+    hv_->EventSend(backend_, port_);
+  }
+}
+
+// --- StorageBackendDriver. ---
+
+StorageBackendDriver::StorageBackendDriver(Domain* backend, BmkSched* sched,
+                                           const OsCostProfile* costs, BlockDevice* disk,
+                                           BlkbackParams params)
+    : backend_(backend),
+      hv_(backend->hypervisor()),
+      sched_(sched),
+      costs_(costs),
+      disk_(disk),
+      params_(params),
+      watch_wake_(sched->executor()) {
+  const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend->id());
+  watch_ = backend_->StoreWatch(root, "vbd-backend",
+                                [this](const std::string&, const std::string&) {
+                                  watch_wake_.Signal();
+                                });
+  sched_->Spawn("xenwatch-vbd", [this] { return WatchThread(); });
+}
+
+StorageBackendDriver::~StorageBackendDriver() {
+  if (watch_ != 0) {
+    hv_->store().RemoveWatch(watch_);
+  }
+  for (WatchId id : fe_watch_ids_) {
+    hv_->store().RemoveWatch(id);
+  }
+}
+
+BlkbackInstance* StorageBackendDriver::instance(DomId frontend_dom, int devid) {
+  auto it = instances_.find({frontend_dom, devid});
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Task StorageBackendDriver::WatchThread() {
+  for (;;) {
+    co_await watch_wake_.Wait();
+    co_await sched_->Run(Micros(5));
+    Scan();
+  }
+}
+
+void StorageBackendDriver::Scan() {
+  const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend_->id());
+  auto fdoms = backend_->StoreList(root);
+  if (!fdoms.has_value()) {
+    return;
+  }
+  XenbusClient bus(&hv_->store(), backend_->id());
+  for (const std::string& fdom_str : *fdoms) {
+    const int64_t fdom = ParseDecimal(fdom_str);
+    if (fdom < 0) {
+      continue;
+    }
+    auto devids = backend_->StoreList(root + "/" + fdom_str);
+    if (!devids.has_value()) {
+      continue;
+    }
+    for (const std::string& devid_str : *devids) {
+      const int64_t devid = ParseDecimal(devid_str);
+      if (devid < 0) {
+        continue;
+      }
+      const auto key = std::make_pair(static_cast<DomId>(fdom), static_cast<int>(devid));
+      const std::string fe_path =
+          FrontendPath(static_cast<DomId>(fdom), "vbd", static_cast<int>(devid));
+      auto it = instances_.find(key);
+      if (it == instances_.end()) {
+        // New device directory: advertise and wait for the frontend.
+        auto inst = std::make_unique<BlkbackInstance>(backend_, sched_, costs_, params_,
+                                                      disk_, key.first, key.second);
+        inst->Advertise();
+        instances_[key] = std::move(inst);
+        if (fe_watched_.insert(fe_path).second) {
+          fe_watch_ids_.push_back(backend_->StoreWatch(
+              fe_path + "/state", "fe-state",
+              [this](const std::string&, const std::string&) { watch_wake_.Signal(); }));
+        }
+        continue;
+      }
+      BlkbackInstance* inst = it->second.get();
+      if (!inst->connected() && bus.ReadState(fe_path) == XenbusState::kInitialised) {
+        if (inst->Connect()) {
+          if (on_new_vbd_) {
+            on_new_vbd_(inst);
+          }
+        } else {
+          KITE_LOG(Warning) << "blkback: failed to connect " << fe_path;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kite

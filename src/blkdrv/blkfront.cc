@@ -1,0 +1,340 @@
+#include "src/blkdrv/blkfront.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+namespace {
+
+// Data pages kept persistently granted: enough to fill the ring with
+// maximum-sized indirect requests.
+constexpr size_t kPoolPages = kBlkRingSize * kBlkMaxIndirectSegments;
+constexpr size_t kIndirectPoolPages = kBlkRingSize;
+
+}  // namespace
+
+Blkfront::Blkfront(Domain* guest, DomId backend_dom, int devid,
+                   std::function<void()> on_connected)
+    : guest_(guest),
+      hv_(guest->hypervisor()),
+      backend_dom_(backend_dom),
+      devid_(devid),
+      on_connected_(std::move(on_connected)) {
+  frontend_path_ = FrontendPath(guest->id(), "vbd", devid);
+  backend_path_ = BackendPath(backend_dom, "vbd", guest->id(), devid);
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kInitialising);
+  backend_watch_ = guest_->StoreWatch(backend_path_ + "/state", "backend-state",
+                                      [this](const std::string&, const std::string&) {
+                                        OnBackendStateChange();
+                                      });
+}
+
+Blkfront::~Blkfront() {
+  if (backend_watch_ != 0) {
+    hv_->store().RemoveWatch(backend_watch_);
+  }
+  if (port_ != kInvalidPort) {
+    hv_->EventClose(guest_, port_);
+  }
+}
+
+void Blkfront::OnBackendStateChange() {
+  XenbusClient bus(&hv_->store(), guest_->id());
+  const XenbusState state = bus.ReadState(backend_path_);
+  if (state == XenbusState::kInitWait && !published_) {
+    PublishAndInitialise();
+    return;
+  }
+  if (state == XenbusState::kConnected && !connected_) {
+    connected_ = true;
+    bus.SwitchState(frontend_path_, XenbusState::kConnected);
+    if (on_connected_) {
+      on_connected_();
+    }
+    PumpQueue();
+  }
+  if (state == XenbusState::kClosing || state == XenbusState::kClosed) {
+    connected_ = false;
+  }
+}
+
+void Blkfront::PublishAndInitialise() {
+  published_ = true;
+  // Read the backend's advertised properties (paper §4.4 "Initialization").
+  capacity_bytes_ =
+      guest_->StoreReadInt(backend_path_ + "/sectors").value_or(0) *
+      static_cast<int64_t>(kSectorSize);
+  persistent_ = guest_->StoreReadInt(backend_path_ + "/feature-persistent").value_or(0) == 1;
+  flush_supported_ =
+      guest_->StoreReadInt(backend_path_ + "/feature-flush-cache").value_or(0) == 1;
+  max_indirect_ = static_cast<int>(
+      guest_->StoreReadInt(backend_path_ + "/feature-max-indirect-segments").value_or(0));
+  if (max_indirect_ > kBlkMaxIndirectSegments) {
+    max_indirect_ = kBlkMaxIndirectSegments;
+  }
+
+  ring_page_ = AllocPage();
+  shared_ = std::make_shared<BlkSharedRing>(kBlkRingSize);
+  ring_page_->object = shared_;
+  ring_ = std::make_unique<BlkFrontRing>(shared_.get());
+  ring_gref_ = guest_->grant_table().GrantAccess(backend_dom_, ring_page_, false);
+
+  pool_.resize(kPoolPages);
+  for (uint16_t i = 0; i < kPoolPages; ++i) {
+    pool_[i].page = AllocPage();
+    pool_[i].gref = guest_->grant_table().GrantAccess(backend_dom_, pool_[i].page, false);
+    free_pages_.push_back(i);
+  }
+  indirect_pool_.resize(kIndirectPoolPages);
+  for (uint16_t i = 0; i < kIndirectPoolPages; ++i) {
+    indirect_pool_[i].page = AllocPage();
+    indirect_pool_[i].gref =
+        guest_->grant_table().GrantAccess(backend_dom_, indirect_pool_[i].page, true);
+    free_indirect_.push_back(i);
+  }
+
+  port_ = hv_->EventAllocUnbound(guest_, backend_dom_);
+  hv_->EventSetHandler(guest_, port_, [this] { OnIrq(); });
+
+  guest_->StoreWriteInt(frontend_path_ + "/ring-ref", ring_gref_);
+  guest_->StoreWriteInt(frontend_path_ + "/event-channel", port_);
+  guest_->StoreWrite(frontend_path_ + "/protocol", "x86_64-abi");
+  guest_->StoreWriteInt(frontend_path_ + "/feature-persistent", persistent_ ? 1 : 0);
+
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kInitialised);
+}
+
+void Blkfront::Read(int64_t offset, size_t length, Buffer* out, IoCallback cb) {
+  KITE_CHECK(offset % kSectorSize == 0 && length % kSectorSize == 0)
+      << "block I/O must be sector-aligned";
+  auto op = std::make_shared<PendingOp>();
+  op->cb = std::move(cb);
+  op->out = out;
+  op->base_offset = offset;
+  op->length = length;
+  op->is_read = true;
+  if (out != nullptr) {
+    out->assign(length, 0);
+  }
+  EnqueueOp(std::move(op), /*is_flush=*/false);
+}
+
+void Blkfront::Write(int64_t offset, Buffer data, IoCallback cb) {
+  KITE_CHECK(offset % kSectorSize == 0 && data.size() % kSectorSize == 0)
+      << "block I/O must be sector-aligned";
+  auto op = std::make_shared<PendingOp>();
+  op->cb = std::move(cb);
+  op->data = std::move(data);
+  op->base_offset = offset;
+  op->length = op->data.size();
+  op->is_read = false;
+  EnqueueOp(std::move(op), /*is_flush=*/false);
+}
+
+void Blkfront::Flush(IoCallback cb) {
+  auto op = std::make_shared<PendingOp>();
+  op->cb = std::move(cb);
+  op->length = 0;
+  EnqueueOp(std::move(op), /*is_flush=*/true);
+}
+
+void Blkfront::EnqueueOp(std::shared_ptr<PendingOp> op, bool is_flush) {
+  if (is_flush || op->length == 0) {
+    Chunk chunk;
+    op->chunks_pending = 1;
+    chunk.op = std::move(op);
+    chunk.is_flush = true;
+    queue_.push_back(std::move(chunk));
+    PumpQueue();
+    return;
+  }
+  // Split into chunks of at most one ring request each.
+  const size_t max_chunk =
+      (max_indirect_ > 0 ? static_cast<size_t>(max_indirect_)
+                         : static_cast<size_t>(kBlkMaxDirectSegments)) *
+      kPageSize;
+  size_t op_offset = 0;
+  while (op_offset < op->length) {
+    Chunk chunk;
+    chunk.op = op;
+    chunk.disk_offset = op->base_offset + static_cast<int64_t>(op_offset);
+    chunk.op_offset = op_offset;
+    chunk.length = std::min(max_chunk, op->length - op_offset);
+    op_offset += chunk.length;
+    ++op->chunks_pending;
+    queue_.push_back(std::move(chunk));
+  }
+  PumpQueue();
+}
+
+void Blkfront::PumpQueue() {
+  if (!connected_) {
+    return;
+  }
+  bool pushed = false;
+  while (!queue_.empty()) {
+    if (!SubmitChunk(queue_.front())) {
+      break;  // Ring or pool exhausted; retried on the next response.
+    }
+    queue_.pop_front();
+    pushed = true;
+  }
+  if (pushed && ring_->PushRequests()) {
+    hv_->EventSend(guest_, port_);
+  }
+}
+
+bool Blkfront::SubmitChunk(const Chunk& chunk) {
+  if (ring_->Full()) {
+    return false;
+  }
+  guest_->vcpu(0)->Charge(per_request_cost_);
+
+  const uint64_t id = next_req_id_++;
+  BlkRequest req;
+  req.id = id;
+  req.sector_number = static_cast<uint64_t>(chunk.disk_offset) / kSectorSize;
+
+  InFlight inflight;
+  inflight.op = chunk.op;
+  inflight.op_offset = chunk.op_offset;
+  inflight.length = chunk.length;
+  inflight.is_read = chunk.op->is_read;
+
+  if (chunk.is_flush) {
+    req.op = BlkOp::kFlush;
+    req.nr_segments = 0;
+  } else {
+    // Build segments over pool pages.
+    const size_t pages_needed = (chunk.length + kPageSize - 1) / kPageSize;
+    const bool need_indirect = pages_needed > kBlkMaxDirectSegments;
+    if (need_indirect && (max_indirect_ == 0 || free_indirect_.empty())) {
+      return false;  // Shouldn't happen: chunks sized to capability.
+    }
+    if (free_pages_.size() < pages_needed) {
+      return false;
+    }
+    std::vector<BlkSegment> segs;
+    segs.reserve(pages_needed);
+    size_t remaining = chunk.length;
+    size_t chunk_pos = 0;
+    for (size_t p = 0; p < pages_needed; ++p) {
+      const uint16_t page_id = free_pages_.back();
+      free_pages_.pop_back();
+      inflight.page_ids.push_back(page_id);
+      const size_t n = std::min(kPageSize, remaining);
+      BlkSegment seg;
+      seg.gref = pool_[page_id].gref;
+      seg.first_sect = 0;
+      seg.last_sect = static_cast<uint8_t>((n + kSectorSize - 1) / kSectorSize - 1);
+      segs.push_back(seg);
+      if (!chunk.op->is_read) {
+        // Copy write payload into the granted page.
+        const size_t avail = chunk.op->data.size() - (chunk.op_offset + chunk_pos);
+        const size_t copy_n = std::min(n, avail);
+        std::copy_n(chunk.op->data.begin() + chunk.op_offset + chunk_pos, copy_n,
+                    pool_[page_id].page->data.begin());
+      }
+      remaining -= n;
+      chunk_pos += n;
+    }
+    guest_->vcpu(0)->Charge(
+        Nanos(static_cast<int64_t>(copy_ns_per_byte_ * chunk.length)));
+
+    if (need_indirect) {
+      const uint16_t ind_id = free_indirect_.back();
+      free_indirect_.pop_back();
+      inflight.indirect_page_id = ind_id;
+      inflight.used_indirect = true;
+      auto seg_page = std::make_shared<IndirectSegmentPage>(std::move(segs));
+      indirect_pool_[ind_id].page->object = seg_page;
+      req.op = BlkOp::kIndirect;
+      req.indirect_op = chunk.op->is_read ? BlkOp::kRead : BlkOp::kWrite;
+      req.indirect_gref = indirect_pool_[ind_id].gref;
+      req.nr_indirect_segments = static_cast<uint16_t>(seg_page->size());
+      ++indirect_requests_;
+    } else {
+      req.op = chunk.op->is_read ? BlkOp::kRead : BlkOp::kWrite;
+      req.nr_segments = static_cast<uint8_t>(segs.size());
+      std::copy(segs.begin(), segs.end(), req.segments.begin());
+    }
+  }
+
+  ++chunk.op->outstanding;
+  --chunk.op->chunks_pending;
+  in_flight_[id] = std::move(inflight);
+  ring_->ProduceRequest(req);
+  ++requests_sent_;
+  return true;
+}
+
+void Blkfront::OnIrq() {
+  bool progressed = false;
+  do {
+    while (ring_->HasUnconsumedResponses()) {
+      BlkResponse rsp = ring_->ConsumeResponse();
+      CompleteRequest(rsp.id, rsp.status == BlkStatus::kOkay);
+      progressed = true;
+    }
+  } while (ring_->FinalCheckForResponses());
+  if (progressed) {
+    PumpQueue();
+  }
+}
+
+void Blkfront::CompleteRequest(uint64_t id, bool ok) {
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) {
+    return;
+  }
+  InFlight inflight = std::move(it->second);
+  in_flight_.erase(it);
+
+  if (inflight.is_read && ok) {
+    guest_->vcpu(0)->Charge(
+        Nanos(static_cast<int64_t>(copy_ns_per_byte_ * inflight.length)));
+    if (inflight.op->out != nullptr) {
+      size_t copied = 0;
+      for (uint16_t page_id : inflight.page_ids) {
+        const size_t n = std::min(kPageSize, inflight.length - copied);
+        std::copy_n(pool_[page_id].page->data.begin(), n,
+                    inflight.op->out->begin() + inflight.op_offset + copied);
+        copied += n;
+        if (copied >= inflight.length) {
+          break;
+        }
+      }
+    }
+  }
+  // Return pool pages. (With persistent grants the grant itself stays.)
+  for (uint16_t page_id : inflight.page_ids) {
+    free_pages_.push_back(page_id);
+  }
+  if (inflight.used_indirect) {
+    free_indirect_.push_back(inflight.indirect_page_id);
+  }
+  FinishOpPart(inflight.op, ok);
+}
+
+void Blkfront::FinishOpPart(const std::shared_ptr<PendingOp>& op, bool ok) {
+  if (!ok) {
+    op->ok = false;
+  }
+  --op->outstanding;
+  // The op completes when every chunk has been submitted and responded. A
+  // chunk still in queue_ keeps the op alive through its shared_ptr.
+  if (op->outstanding == 0 && op->chunks_pending == 0) {
+    ++ops_completed_;
+    if (op->cb) {
+      auto cb = std::move(op->cb);
+      op->cb = nullptr;
+      cb(op->ok);
+    }
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,36 @@
+#include "src/bmk/sched.h"
+
+namespace kite {
+
+BmkSched::~BmkSched() {
+  // Destroy frames of threads suspended on timers; their executor events
+  // observe `cancelled` and become no-ops.
+  for (const auto& slot : slots_) {
+    slot->cancelled = true;
+    if (slot->handle) {
+      slot->handle.destroy();
+    }
+  }
+}
+
+void BmkSched::Spawn(const std::string& name, const std::function<Task()>& body) {
+  thread_names_.push_back(name);
+  body();  // Eager task: runs until first suspension.
+}
+
+void BmkSched::Park(std::coroutine_handle<> handle, SimTime at) {
+  auto slot = std::make_shared<TimerSlot>();
+  slot->handle = handle;
+  slots_.insert(slot);
+  executor_->PostAt(at, [this, slot] {
+    if (slot->cancelled) {
+      return;  // Scheduler destroyed; frame already reclaimed.
+    }
+    slots_.erase(slot);
+    auto h = slot->handle;
+    slot->handle = nullptr;
+    h.resume();
+  });
+}
+
+}  // namespace kite

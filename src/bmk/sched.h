@@ -1,0 +1,94 @@
+// Bare Metal Kernel (BMK) runtime facade: rumprun's thread environment.
+//
+// Rumprun's BMK layer provides cooperative, non-preemptive threads with wait
+// channels and no work queues (paper §2.4, §3.1). In this reproduction a BMK
+// "thread" is a coroutine Task scheduled on the domain's single executor and
+// serialized through the domain's Vcpu.
+//
+// Every timed suspension (Sleep/Run/Yield) goes through a *cancellable timer
+// slot* owned by this scheduler: destroying the scheduler (e.g. when a
+// driver domain is destroyed for restart) destroys all parked coroutine
+// frames instead of leaving dangling resumptions in the executor.
+#ifndef SRC_BMK_SCHED_H_
+#define SRC_BMK_SCHED_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/executor.h"
+#include "src/sim/task.h"
+#include "src/sim/wait.h"
+
+namespace kite {
+
+class BmkSched {
+ public:
+  BmkSched(Executor* executor, Vcpu* vcpu) : executor_(executor), vcpu_(vcpu) {}
+  ~BmkSched();
+
+  BmkSched(const BmkSched&) = delete;
+  BmkSched& operator=(const BmkSched&) = delete;
+
+  Executor* executor() const { return executor_; }
+  Vcpu* vcpu() const { return vcpu_; }
+
+  // Registers a named thread. The body is a coroutine factory; it starts
+  // immediately (eager task) and runs cooperatively forever or until return.
+  void Spawn(const std::string& name, const std::function<Task()>& body);
+
+  struct TimerSlot {
+    std::coroutine_handle<> handle;
+    bool cancelled = false;
+  };
+
+  // Awaitable that resumes at an absolute time, cancellable by scheduler
+  // destruction.
+  class TimedAwaiter {
+   public:
+    TimedAwaiter(BmkSched* sched, SimTime at) : sched_(sched), at_(at) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) { sched_->Park(handle, at_); }
+    void await_resume() const noexcept {}
+
+   private:
+    BmkSched* sched_;
+    SimTime at_;
+  };
+
+  // Consume CPU work: resumes once `cost` has executed on the vCPU.
+  TimedAwaiter Run(SimDuration cost) { return TimedAwaiter(this, vcpu_->Charge(cost)); }
+
+  // Cooperative yield, as used by Kite's configuration applications to avoid
+  // CPU monopolization (paper §4.3).
+  TimedAwaiter Yield() {
+    ++yields_;
+    return Run(SimDuration(0));
+  }
+
+  // Sleep without consuming CPU.
+  TimedAwaiter Sleep(SimDuration d) { return TimedAwaiter(this, executor_->Now() + d); }
+
+  const std::vector<std::string>& thread_names() const { return thread_names_; }
+  int thread_count() const { return static_cast<int>(thread_names_.size()); }
+  uint64_t yield_count() const { return yields_; }
+  size_t parked_timers() const { return slots_.size(); }
+
+ private:
+  void Park(std::coroutine_handle<> handle, SimTime at);
+
+  Executor* executor_;
+  Vcpu* vcpu_;
+  std::vector<std::string> thread_names_;
+  std::set<std::shared_ptr<TimerSlot>> slots_;
+  uint64_t yields_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_BMK_SCHED_H_

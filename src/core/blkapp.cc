@@ -1,0 +1,41 @@
+#include "src/core/blkapp.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+BlockStatusApp::BlockStatusApp(BmkSched* sched, StorageBackendDriver* driver,
+                               std::string physical_bdf)
+    : sched_(sched),
+      driver_(driver),
+      physical_bdf_(std::move(physical_bdf)),
+      vbd_wake_(sched->executor()) {
+  driver_->SetOnNewVbd([this](BlkbackInstance* vbd) {
+    pending_.push_back(vbd);
+    vbd_wake_.Signal();
+  });
+  sched_->Spawn("block-status-app", [this] { return MainLoop(); });
+}
+
+std::vector<BlockStatusApp::VbdStatus> BlockStatusApp::Status() const { return status_; }
+
+Task BlockStatusApp::MainLoop() {
+  for (;;) {
+    co_await vbd_wake_.Wait();
+    while (!pending_.empty()) {
+      BlkbackInstance* vbd = pending_.front();
+      pending_.pop_front();
+      // Record the device-specific information the Linux hotplug scripts
+      // would have written (a few ioctl-priced operations).
+      sched_->vcpu()->Charge(Micros(12));
+      status_.push_back({vbd->frontend_dom(), vbd->devid(), vbd->connected()});
+      ++vbds_configured_;
+      KITE_LOG(Info) << "block-status-app: vbd for dom " << vbd->frontend_dom()
+                     << " devid " << vbd->devid() << " connected";
+      co_await sched_->Yield();
+    }
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,44 @@
+// The storage driver domain's block status application (paper Table 1
+// "Configuration"): the single-process replacement for Xen's block hotplug
+// scripts. It watches the backend vbd directory, records device-specific
+// information into xenstore for blkback instances to pick up, and maintains
+// a status view.
+#ifndef SRC_CORE_BLKAPP_H_
+#define SRC_CORE_BLKAPP_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/bmk/sched.h"
+#include "src/blkdrv/blkback.h"
+
+namespace kite {
+
+class BlockStatusApp {
+ public:
+  BlockStatusApp(BmkSched* sched, StorageBackendDriver* driver, std::string physical_bdf);
+
+  struct VbdStatus {
+    DomId frontend_dom;
+    int devid;
+    bool connected;
+  };
+  std::vector<VbdStatus> Status() const;
+  int vbds_configured() const { return vbds_configured_; }
+
+ private:
+  Task MainLoop();
+
+  BmkSched* sched_;
+  StorageBackendDriver* driver_;
+  std::string physical_bdf_;
+  WakeFlag vbd_wake_;
+  std::deque<BlkbackInstance*> pending_;
+  std::vector<VbdStatus> status_;
+  int vbds_configured_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_CORE_BLKAPP_H_

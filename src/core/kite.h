@@ -1,0 +1,26 @@
+// Umbrella header for the Kite reproduction library.
+//
+// Typical usage:
+//
+//   #include "src/core/kite.h"
+//
+//   kite::KiteSystem sys;
+//   auto* netdom = sys.CreateNetworkDomain();           // Kite personality
+//   auto* guest = sys.CreateGuest("web-server");
+//   sys.AttachVif(guest, netdom, kite::Ipv4Addr::FromOctets(10, 0, 0, 10));
+//   sys.WaitConnected(guest);
+//   guest->stack()->Ping(sys.client_ip(), 56, [](bool ok, kite::SimDuration rtt) { ... });
+//   sys.RunUntilIdle();
+#ifndef SRC_CORE_KITE_H_
+#define SRC_CORE_KITE_H_
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/core/blkapp.h"
+#include "src/core/netapp.h"
+#include "src/core/system.h"
+#include "src/net/tcp.h"
+#include "src/os/profile.h"
+
+#endif  // SRC_CORE_KITE_H_

@@ -1,0 +1,81 @@
+// The network driver domain's configuration application (paper §4.3) and the
+// ported ifconfig(8)/brconfig(8) utilities (paper Table 1 "Utilities").
+//
+// In Linux driver domains this work is done by shell scripts spawned by the
+// xl devd daemon; Kite replaces them with one single-process application that
+// creates the bridge, assigns the gateway IP to the physical interface, and
+// adds each new netback VIF to the bridge as guests connect — yielding the
+// CPU explicitly between operations.
+#ifndef SRC_CORE_NETAPP_H_
+#define SRC_CORE_NETAPP_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bmk/sched.h"
+#include "src/net/bridge.h"
+#include "src/netdrv/netback.h"
+
+namespace kite {
+
+// Ported ifconfig(8): interface address assignment and link state.
+class IfConfig {
+ public:
+  explicit IfConfig(BmkSched* sched);
+
+  void AssignIp(NetIf* netif, Ipv4Addr ip);
+  void SetUp(NetIf* netif);
+
+  struct Assignment {
+    std::string ifname;
+    Ipv4Addr ip;
+  };
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+
+ private:
+  BmkSched* sched_;
+  std::vector<Assignment> assignments_;
+};
+
+// Ported brconfig(8): bridge creation and port membership.
+class BrConfig {
+ public:
+  explicit BrConfig(BmkSched* sched);
+
+  std::unique_ptr<Bridge> CreateBridge(const std::string& name);
+  void AddIf(Bridge* bridge, NetIf* netif);
+
+  int adds() const { return adds_; }
+
+ private:
+  BmkSched* sched_;
+  int adds_ = 0;
+};
+
+// The unified network application.
+class NetworkApp {
+ public:
+  NetworkApp(BmkSched* sched, NetworkBackendDriver* driver, NetIf* physical_if,
+             Ipv4Addr gateway_ip);
+
+  Bridge* bridge() const { return bridge_.get(); }
+  int vifs_added() const { return vifs_added_; }
+
+ private:
+  Task MainLoop();
+
+  BmkSched* sched_;
+  NetworkBackendDriver* driver_;
+  IfConfig ifconfig_;
+  BrConfig brconfig_;
+  std::unique_ptr<Bridge> bridge_;
+  WakeFlag vif_wake_;
+  std::deque<NetbackInstance*> pending_vifs_;
+  int vifs_added_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_CORE_NETAPP_H_

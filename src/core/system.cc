@@ -1,0 +1,224 @@
+#include "src/core/system.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+KiteSystem::KiteSystem(Params params) : params_(params) {
+  hv_ = std::make_unique<Hypervisor>(&executor_, params_.hv_costs);
+  gateway_ip_ = Ipv4Addr{params_.subnet_base.value + 1};
+  client_ip_ = Ipv4Addr{params_.subnet_base.value + 2};
+}
+
+KiteSystem::~KiteSystem() = default;
+
+void KiteSystem::BootDomain(Domain* dom, const OsProfile* os,
+                            std::function<void()> on_booted) {
+  if (params_.instant_boot) {
+    dom->set_online(true);
+    on_booted();
+    return;
+  }
+  // Replay the boot phases sequentially, then bring services up.
+  SimDuration total;
+  for (const BootPhase& phase : os->boot_phases) {
+    total += phase.duration;
+  }
+  executor_.PostAfter(total, [dom, on_booted = std::move(on_booted)] {
+    dom->set_online(true);
+    on_booted();
+  });
+}
+
+NetworkDomain* KiteSystem::CreateNetworkDomain(DriverDomainConfig config) {
+  auto nd = std::make_unique<NetworkDomain>();
+  nd->os_ = &DriverDomainProfile(config.os, /*storage=*/false);
+  const int memory =
+      config.memory_mb > 0 ? config.memory_mb
+                           : (config.os == OsKind::kKiteRumprun ? 1024 : 2048);
+  nd->domain_ = hv_->CreateDomain(
+      config.os == OsKind::kKiteRumprun ? "kite-netdom" : "linux-netdom", config.vcpus,
+      memory);
+  for (int i = 0; i < nd->domain_->vcpu_count(); ++i) {
+    nd->scheds_.push_back(std::make_unique<BmkSched>(&executor_, nd->domain_->vcpu(i)));
+  }
+
+  // Physical NIC assigned via PCI passthrough (with IOMMU).
+  nd->nic_ = std::make_unique<Nic>(&executor_, "0000:03:00.0", "ixg0",
+                                   MacAddr::FromId(0x100000u + next_mac_id_++), params_.nic);
+  hv_->AssignPci(nd->nic_.get(), nd->domain_, /*iommu=*/true);
+
+  EnsureClient();
+  Nic::ConnectBackToBack(nd->nic_.get(), client_->nic_.get());
+
+  NetworkDomain* raw = nd.get();
+  network_domains_.push_back(std::move(nd));
+  BootDomain(raw->domain_, raw->os_, [this, raw, config] {
+    raw->boot_completed_at_ = executor_.Now();
+    StartNetworkDomainServices(raw, config);
+  });
+  return raw;
+}
+
+void KiteSystem::StartNetworkDomainServices(NetworkDomain* nd, DriverDomainConfig config) {
+  std::vector<BmkSched*> scheds;
+  for (auto& s : nd->scheds_) {
+    scheds.push_back(s.get());
+  }
+  nd->driver_ = std::make_unique<NetworkBackendDriver>(nd->domain_, std::move(scheds),
+                                                       &nd->os_->costs, config.netback);
+  nd->app_ = std::make_unique<NetworkApp>(nd->scheds_.front().get(), nd->driver_.get(),
+                                          nd->nic_->netif(), gateway_ip_);
+}
+
+StorageDomain* KiteSystem::CreateStorageDomain(DriverDomainConfig config) {
+  auto sd = std::make_unique<StorageDomain>();
+  sd->os_ = &DriverDomainProfile(config.os, /*storage=*/true);
+  const int memory =
+      config.memory_mb > 0 ? config.memory_mb
+                           : (config.os == OsKind::kKiteRumprun ? 1024 : 2048);
+  sd->domain_ = hv_->CreateDomain(
+      config.os == OsKind::kKiteRumprun ? "kite-stordom" : "linux-stordom", config.vcpus,
+      memory);
+  sd->sched_ = std::make_unique<BmkSched>(&executor_, sd->domain_->vcpu(0));
+
+  sd->disk_ = std::make_unique<BlockDevice>(&executor_, "0000:04:00.0", params_.disk,
+                                            params_.disk_store_data);
+  hv_->AssignPci(sd->disk_.get(), sd->domain_, /*iommu=*/true);
+
+  StorageDomain* raw = sd.get();
+  storage_domains_.push_back(std::move(sd));
+  BootDomain(raw->domain_, raw->os_, [this, raw, config] {
+    raw->boot_completed_at_ = executor_.Now();
+    StartStorageDomainServices(raw, config);
+  });
+  return raw;
+}
+
+void KiteSystem::StartStorageDomainServices(StorageDomain* sd, DriverDomainConfig config) {
+  sd->driver_ = std::make_unique<StorageBackendDriver>(sd->domain_, sd->sched_.get(),
+                                                       &sd->os_->costs, sd->disk_.get(),
+                                                       config.blkback);
+  sd->app_ = std::make_unique<BlockStatusApp>(sd->sched_.get(), sd->driver_.get(),
+                                              sd->disk_->bdf());
+}
+
+GuestVm* KiteSystem::CreateGuest(const std::string& name, int vcpus, int memory_mb) {
+  auto guest = std::make_unique<GuestVm>();
+  guest->domain_ = hv_->CreateDomain(name, vcpus, memory_mb);
+  guest->domain_->set_online(true);  // Guests boot outside our measurements.
+  GuestVm* raw = guest.get();
+  guests_.push_back(std::move(guest));
+  return raw;
+}
+
+void KiteSystem::EnsureClient() {
+  if (client_ != nullptr) {
+    return;
+  }
+  client_ = std::make_unique<ClientMachine>();
+  client_->vcpu_ = std::make_unique<Vcpu>(&executor_);
+  NicParams client_nic = params_.nic;
+  client_->nic_ = std::make_unique<Nic>(&executor_, "client:0000:02:00.0", "enp2s0",
+                                        MacAddr::FromId(0x200000u), client_nic);
+  client_->nic_->SetProcessingVcpu(client_->vcpu_.get());
+  client_->stack_ = std::make_unique<EtherStack>(&executor_, client_->vcpu_.get(),
+                                                 client_->nic_->netif());
+  client_->stack_->ConfigureIp(client_ip_);
+}
+
+void KiteSystem::AttachVif(GuestVm* guest, NetworkDomain* netdom, Ipv4Addr ip) {
+  KITE_CHECK(guest->netfront_ == nullptr) << "guest already has a VIF";
+  const int devid = 0;
+  const DomId gid = guest->domain_->id();
+  const DomId bid = netdom->domain_->id();
+  XenStore& store = hv_->store();
+
+  // Toolstack (`xl`) operations from Dom0: create both device directories,
+  // cross-link them, and grant cross-domain read permissions.
+  const std::string fe = FrontendPath(gid, "vif", devid);
+  const std::string be = BackendPath(bid, "vif", gid, devid);
+  store.Write(kDom0, fe + "/backend", be);
+  store.WriteInt(kDom0, fe + "/backend-id", bid);
+  store.WriteInt(kDom0, fe + "/state", static_cast<int>(XenbusState::kInitialising));
+  store.Write(kDom0, be + "/frontend", fe);
+  store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/state", static_cast<int>(XenbusState::kInitialising));
+  store.SetPermission(kDom0, fe, bid);
+  store.SetPermission(kDom0, be, gid);
+
+  // Guest side: netfront and the network stack on top of it.
+  MacAddr mac = MacAddr::FromId(0x300000u + static_cast<uint32_t>(gid));
+  guest->netfront_ = std::make_unique<Netfront>(guest->domain_, bid, devid, mac);
+  guest->stack_ = std::make_unique<EtherStack>(&executor_, guest->domain_->vcpu(0),
+                                               guest->netfront_.get());
+  guest->stack_->ConfigureIp(ip);
+}
+
+void KiteSystem::AttachVbd(GuestVm* guest, StorageDomain* stordom) {
+  KITE_CHECK(guest->blkfront_ == nullptr) << "guest already has a VBD";
+  const int devid = 51712;  // xvda.
+  const DomId gid = guest->domain_->id();
+  const DomId bid = stordom->domain_->id();
+  XenStore& store = hv_->store();
+
+  const std::string fe = FrontendPath(gid, "vbd", devid);
+  const std::string be = BackendPath(bid, "vbd", gid, devid);
+  store.Write(kDom0, fe + "/backend", be);
+  store.WriteInt(kDom0, fe + "/backend-id", bid);
+  store.Write(kDom0, be + "/frontend", fe);
+  store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.SetPermission(kDom0, fe, bid);
+  store.SetPermission(kDom0, be, gid);
+
+  guest->blkfront_ = std::make_unique<Blkfront>(guest->domain_, bid, devid);
+}
+
+bool KiteSystem::WaitUntil(const std::function<bool()>& pred, SimDuration timeout) {
+  const SimTime deadline = executor_.Now() + timeout;
+  while (!pred()) {
+    if (executor_.Now() > deadline) {
+      return false;
+    }
+    if (!executor_.Step()) {
+      // Queue drained without the predicate holding.
+      return pred();
+    }
+  }
+  return true;
+}
+
+bool KiteSystem::WaitConnected(GuestVm* guest, SimDuration timeout) {
+  return WaitUntil(
+      [guest] {
+        if (guest->netfront() != nullptr && !guest->netfront()->connected()) {
+          return false;
+        }
+        if (guest->blkfront() != nullptr && !guest->blkfront()->connected()) {
+          return false;
+        }
+        return true;
+      },
+      timeout);
+}
+
+NetworkDomain* KiteSystem::RestartNetworkDomain(NetworkDomain* netdom) {
+  // Tear down: services first, then the VM itself.
+  OsKind os_kind = netdom->os_->kind;
+  netdom->app_.reset();
+  netdom->driver_.reset();
+  hv_->UnassignPci(netdom->nic_.get());
+  hv_->DestroyDomain(netdom->domain_->id());
+  for (auto it = network_domains_.begin(); it != network_domains_.end(); ++it) {
+    if (it->get() == netdom) {
+      network_domains_.erase(it);
+      break;
+    }
+  }
+  DriverDomainConfig config;
+  config.os = os_kind;
+  return CreateNetworkDomain(config);
+}
+
+}  // namespace kite

@@ -1,0 +1,199 @@
+// KiteSystem: assembles the full testbed of the paper (Table 2): a server
+// machine running Xen with Dom0, driver domains (Kite or Linux personality),
+// guest DomUs, and a directly-attached client machine — all in one
+// deterministic simulation.
+//
+// This is the library's primary entry point: construct a KiteSystem, create
+// a network and/or storage driver domain, create guests, attach
+// VIFs/VBDs, and drive traffic.
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/blk/disk.h"
+#include "src/blkdrv/blkback.h"
+#include "src/blkdrv/blkfront.h"
+#include "src/bmk/sched.h"
+#include "src/core/blkapp.h"
+#include "src/core/netapp.h"
+#include "src/hv/hypervisor.h"
+#include "src/net/nic.h"
+#include "src/net/stack.h"
+#include "src/net/tcp.h"
+#include "src/netdrv/netback.h"
+#include "src/netdrv/netfront.h"
+#include "src/os/profile.h"
+
+namespace kite {
+
+struct DriverDomainConfig {
+  OsKind os = OsKind::kKiteRumprun;
+  int vcpus = 1;
+  // Paper §5: Kite domains get 1 GB (small footprint), Linux 2 GB.
+  int memory_mb = 0;  // 0: choose by personality.
+  NetbackParams netback;
+  BlkbackParams blkback;
+};
+
+// A driver domain running the network backend, the bridge, and the network
+// application, with the physical NIC assigned via PCI passthrough.
+class NetworkDomain {
+ public:
+  Domain* domain() const { return domain_; }
+  Nic* nic() const { return nic_.get(); }
+  Bridge* bridge() const { return app_->bridge(); }
+  NetworkBackendDriver* driver() const { return driver_.get(); }
+  NetworkApp* app() const { return app_.get(); }
+  const OsProfile* os() const { return os_; }
+  SimTime boot_completed_at() const { return boot_completed_at_; }
+  bool booted() const { return domain_->online(); }
+
+ private:
+  friend class KiteSystem;
+  Domain* domain_ = nullptr;
+  const OsProfile* os_ = nullptr;
+  std::vector<std::unique_ptr<BmkSched>> scheds_;  // One per vCPU.
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<NetworkBackendDriver> driver_;
+  std::unique_ptr<NetworkApp> app_;
+  SimTime boot_completed_at_;
+};
+
+// A driver domain running the block backend and the block status app, with
+// the NVMe device assigned via PCI passthrough.
+class StorageDomain {
+ public:
+  Domain* domain() const { return domain_; }
+  BlockDevice* disk() const { return disk_.get(); }
+  StorageBackendDriver* driver() const { return driver_.get(); }
+  BlockStatusApp* app() const { return app_.get(); }
+  const OsProfile* os() const { return os_; }
+  SimTime boot_completed_at() const { return boot_completed_at_; }
+  bool booted() const { return domain_->online(); }
+
+ private:
+  friend class KiteSystem;
+  Domain* domain_ = nullptr;
+  const OsProfile* os_ = nullptr;
+  std::unique_ptr<BmkSched> sched_;
+  std::unique_ptr<BlockDevice> disk_;
+  std::unique_ptr<StorageBackendDriver> driver_;
+  std::unique_ptr<BlockStatusApp> app_;
+  SimTime boot_completed_at_;
+};
+
+// A guest DomU: Ubuntu application VM with a network stack behind netfront
+// and/or a block device behind blkfront.
+class GuestVm {
+ public:
+  Domain* domain() const { return domain_; }
+  Netfront* netfront() const { return netfront_.get(); }
+  EtherStack* stack() const { return stack_.get(); }
+  Blkfront* blkfront() const { return blkfront_.get(); }
+  Ipv4Addr ip() const { return stack_ ? stack_->ip() : Ipv4Addr{}; }
+
+ private:
+  friend class KiteSystem;
+  Domain* domain_ = nullptr;
+  std::unique_ptr<Netfront> netfront_;
+  std::unique_ptr<EtherStack> stack_;
+  std::unique_ptr<Blkfront> blkfront_;
+};
+
+// The client load-generator machine (Core i5, Table 2), directly connected
+// to the server NIC.
+class ClientMachine {
+ public:
+  Nic* nic() const { return nic_.get(); }
+  EtherStack* stack() const { return stack_.get(); }
+  Ipv4Addr ip() const { return stack_->ip(); }
+
+ private:
+  friend class KiteSystem;
+  std::unique_ptr<Vcpu> vcpu_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<EtherStack> stack_;
+};
+
+class KiteSystem {
+ public:
+  struct Params {
+    HvCosts hv_costs;
+    NicParams nic;
+    DiskParams disk;
+    bool disk_store_data = false;
+    // When true (default for tests/benches), domain boot completes
+    // immediately; when false the full boot-phase sequence is simulated
+    // (used by the boot-time experiment and the restart example).
+    bool instant_boot = true;
+    Ipv4Addr subnet_base = Ipv4Addr::FromOctets(10, 0, 0, 0);
+  };
+
+  KiteSystem() : KiteSystem(Params{}) {}
+  explicit KiteSystem(Params params);
+  ~KiteSystem();
+
+  Executor& executor() { return executor_; }
+  Hypervisor& hv() { return *hv_; }
+  SimTime Now() const { return executor_.Now(); }
+
+  // --- Topology construction. ---
+  NetworkDomain* CreateNetworkDomain(DriverDomainConfig config = DriverDomainConfig{});
+  StorageDomain* CreateStorageDomain(DriverDomainConfig config = DriverDomainConfig{});
+  GuestVm* CreateGuest(const std::string& name, int vcpus = 22, int memory_mb = 5120);
+
+  // Toolstack operations (what `xl` does in the artifact, §A.4).
+  // Attaches a VIF: creates xenstore device directories, instantiates
+  // netfront, and brings up the guest's network stack at `ip`.
+  void AttachVif(GuestVm* guest, NetworkDomain* netdom, Ipv4Addr ip);
+  // Attaches a VBD and instantiates blkfront.
+  void AttachVbd(GuestVm* guest, StorageDomain* stordom);
+
+  // The client machine exists once a network domain is created.
+  ClientMachine* client() { return client_.get(); }
+  Ipv4Addr client_ip() const { return client_ip_; }
+  Ipv4Addr gateway_ip() const { return gateway_ip_; }
+
+  // --- Simulation control. ---
+  void RunFor(SimDuration d) { executor_.RunFor(d); }
+  void RunUntilIdle() { executor_.RunUntilIdle(); }
+  // Steps the simulation until pred() holds; false on timeout.
+  bool WaitUntil(const std::function<bool()>& pred, SimDuration timeout = Seconds(10));
+  // Convenience: wait for a guest's netfront (and blkfront, if any) to
+  // connect.
+  bool WaitConnected(GuestVm* guest, SimDuration timeout = Seconds(10));
+
+  // --- Driver-domain restart (experiment E1 / failure recovery). ---
+  // Destroys the network domain's VM and boots a fresh one with the same
+  // configuration. Returns the new domain; measures boot via
+  // boot_completed_at().
+  NetworkDomain* RestartNetworkDomain(NetworkDomain* netdom);
+
+  const Params& params() const { return params_; }
+
+ private:
+  void BootDomain(Domain* dom, const OsProfile* os, std::function<void()> on_booted);
+  void StartNetworkDomainServices(NetworkDomain* nd, DriverDomainConfig config);
+  void StartStorageDomainServices(StorageDomain* sd, DriverDomainConfig config);
+  void EnsureClient();
+
+  Params params_;
+  Executor executor_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::vector<std::unique_ptr<NetworkDomain>> network_domains_;
+  std::vector<std::unique_ptr<StorageDomain>> storage_domains_;
+  std::vector<std::unique_ptr<GuestVm>> guests_;
+  std::unique_ptr<ClientMachine> client_;
+  Ipv4Addr gateway_ip_;
+  Ipv4Addr client_ip_;
+  int next_host_ = 10;
+  int next_mac_id_ = 1;
+};
+
+}  // namespace kite
+
+#endif  // SRC_CORE_SYSTEM_H_

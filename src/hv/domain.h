@@ -1,0 +1,85 @@
+// A virtual machine (Xen domain): Dom0, a driver domain, or a guest DomU.
+//
+// Domains own their vCPUs, grant table, and event-channel port table, and
+// provide cost-charged convenience wrappers for xenstore access (every
+// xenstore operation from a domain is a round trip through xenstored and is
+// charged accordingly).
+#ifndef SRC_HV_DOMAIN_H_
+#define SRC_HV_DOMAIN_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hv/grant_table.h"
+#include "src/hv/xenstore.h"
+#include "src/sim/cpu.h"
+
+namespace kite {
+
+class Hypervisor;
+
+using EvtPort = int32_t;
+inline constexpr EvtPort kInvalidPort = -1;
+
+class Domain {
+ public:
+  Domain(Hypervisor* hv, DomId id, std::string name, int vcpus, int memory_mb);
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  DomId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int memory_mb() const { return memory_mb_; }
+  Hypervisor* hypervisor() const { return hv_; }
+
+  int vcpu_count() const { return static_cast<int>(vcpus_.size()); }
+  Vcpu* vcpu(int i = 0) { return vcpus_[i].get(); }
+
+  GrantTable& grant_table() { return grant_table_; }
+
+  // --- Cost-charged xenstore wrappers. ---
+  bool StoreWrite(const std::string& path, const std::string& value);
+  bool StoreWriteInt(const std::string& path, int64_t value);
+  std::optional<std::string> StoreRead(const std::string& path);
+  std::optional<int64_t> StoreReadInt(const std::string& path);
+  std::optional<std::vector<std::string>> StoreList(const std::string& path);
+  bool StoreRemove(const std::string& path);
+  WatchId StoreWatch(const std::string& prefix, const std::string& token, WatchFn fn);
+
+  // Home directory in xenstore: /local/domain/<id>.
+  std::string store_home() const;
+
+  // Whether the domain has finished booting (set by the boot simulation in
+  // src/core; I/O backends refuse to connect before this).
+  bool online() const { return online_; }
+  void set_online(bool v) { online_ = v; }
+
+ private:
+  friend class Hypervisor;
+
+  struct PortInfo {
+    bool allocated = false;
+    DomId peer_dom = -1;
+    EvtPort peer_port = kInvalidPort;
+    DomId unbound_for = -1;  // Set while awaiting interdomain bind.
+    bool pending = false;
+    std::function<void()> handler;
+  };
+
+  Hypervisor* hv_;
+  DomId id_;
+  std::string name_;
+  int memory_mb_;
+  bool online_ = false;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  GrantTable grant_table_;
+  std::vector<PortInfo> ports_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_HV_DOMAIN_H_

@@ -1,0 +1,104 @@
+#include "src/hv/grant_table.h"
+
+#include "src/base/log.h"
+
+namespace kite {
+
+GrantRef GrantTable::GrantAccess(DomId peer, PageRef page, bool readonly) {
+  KITE_CHECK(page != nullptr);
+  GrantRef ref;
+  if (!free_list_.empty()) {
+    ref = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    ref = static_cast<GrantRef>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[ref];
+  e.page = std::move(page);
+  e.peer = peer;
+  e.readonly = readonly;
+  e.in_use = true;
+  e.active_maps = 0;
+  return ref;
+}
+
+bool GrantTable::EndAccess(GrantRef ref) {
+  Entry* e = Lookup(ref);
+  if (e == nullptr) {
+    return false;
+  }
+  if (e->active_maps > 0) {
+    // Peer still holds a mapping; revocation must wait (matches Xen's
+    // gnttab_end_foreign_access semantics for mapped grants).
+    return false;
+  }
+  e->page.reset();
+  e->in_use = false;
+  e->peer = -1;
+  free_list_.push_back(ref);
+  return true;
+}
+
+GrantTable::Entry* GrantTable::Lookup(GrantRef ref) {
+  if (ref >= entries_.size() || !entries_[ref].in_use) {
+    return nullptr;
+  }
+  return &entries_[ref];
+}
+
+int GrantTable::active_entry_count() const {
+  int n = 0;
+  for (const Entry& e : entries_) {
+    if (e.in_use) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int GrantTable::total_maps_outstanding() const {
+  int n = 0;
+  for (const Entry& e : entries_) {
+    if (e.in_use) {
+      n += e.active_maps;
+    }
+  }
+  return n;
+}
+
+MappedGrant& MappedGrant::operator=(MappedGrant&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    table_ = other.table_;
+    ref_ = other.ref_;
+    page_ = std::move(other.page_);
+    on_unmap_ = std::move(other.on_unmap_);
+    other.table_ = nullptr;
+    other.ref_ = kInvalidGrantRef;
+    other.page_.reset();
+    other.on_unmap_ = nullptr;
+  }
+  return *this;
+}
+
+void MappedGrant::Unmap() {
+  if (page_ == nullptr) {
+    return;
+  }
+  if (table_ != nullptr) {
+    GrantTable::Entry* e = table_->Lookup(ref_);
+    if (e != nullptr && e->active_maps > 0) {
+      --e->active_maps;
+    }
+  }
+  if (on_unmap_ != nullptr) {
+    on_unmap_();
+    on_unmap_ = nullptr;
+  }
+  page_.reset();
+  table_ = nullptr;
+  ref_ = kInvalidGrantRef;
+}
+
+}  // namespace kite

@@ -1,0 +1,305 @@
+#include "src/hv/hypervisor.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace kite {
+
+Hypervisor::Hypervisor(Executor* executor, HvCosts costs)
+    : executor_(executor), costs_(costs), store_(executor) {
+  store_.set_op_latency(costs_.xenstore_op);
+  // Dom0: the privileged administrative VM (runs xenstored).
+  domains_.push_back(std::make_unique<Domain>(this, 0, "Domain-0", 1, 8192));
+  domains_[0]->set_online(true);
+}
+
+Hypervisor::~Hypervisor() = default;
+
+Domain* Hypervisor::CreateDomain(const std::string& name, int vcpus, int memory_mb) {
+  DomId id = static_cast<DomId>(domains_.size());
+  domains_.push_back(std::make_unique<Domain>(this, id, name, vcpus, memory_mb));
+  Domain* dom = domains_.back().get();
+  // Dom0 provisions the new domain's xenstore home.
+  store_.Write(kDom0, dom->store_home() + "/name", name);
+  store_.SetPermission(kDom0, dom->store_home(), id);
+  return dom;
+}
+
+Domain* Hypervisor::domain(DomId id) {
+  if (id < 0 || static_cast<size_t>(id) >= domains_.size()) {
+    return nullptr;
+  }
+  return domains_[id].get();
+}
+
+void Hypervisor::DestroyDomain(DomId id) {
+  KITE_CHECK(id != 0) << "cannot destroy Dom0";
+  Domain* dom = domain(id);
+  if (dom == nullptr) {
+    return;
+  }
+  // Close all event channels (notifying nothing; peers see silence).
+  for (size_t p = 0; p < dom->ports_.size(); ++p) {
+    if (dom->ports_[p].allocated) {
+      EventClose(dom, static_cast<EvtPort>(p));
+    }
+  }
+  // Release PCI devices.
+  for (PciDevice* dev : pci_devices_) {
+    if (dev->owner_ == dom) {
+      dev->owner_ = nullptr;
+      dev->irq_handler_ = nullptr;
+    }
+  }
+  // Remove the domain's xenstore subtree.
+  store_.Remove(kDom0, dom->store_home());
+  domains_[id].reset();
+}
+
+int Hypervisor::live_domain_count() const {
+  int n = 0;
+  for (const auto& d : domains_) {
+    if (d != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Hypervisor::Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu) {
+  ++hypercalls_;
+  (caller_vcpu != nullptr ? caller_vcpu : dom->vcpu(0))->Charge(cost);
+}
+
+Domain::PortInfo* Hypervisor::PortOf(Domain* dom, EvtPort port) {
+  if (dom == nullptr || port < 0 || static_cast<size_t>(port) >= dom->ports_.size() ||
+      !dom->ports_[port].allocated) {
+    return nullptr;
+  }
+  return &dom->ports_[port];
+}
+
+EvtPort Hypervisor::EventAllocUnbound(Domain* caller, DomId remote) {
+  Charge(caller, costs_.hypercall);
+  EvtPort port = static_cast<EvtPort>(caller->ports_.size());
+  caller->ports_.emplace_back();
+  Domain::PortInfo& info = caller->ports_.back();
+  info.allocated = true;
+  info.unbound_for = remote;
+  return port;
+}
+
+EvtPort Hypervisor::EventBindInterdomain(Domain* caller, DomId remote_dom,
+                                         EvtPort remote_port) {
+  Charge(caller, costs_.hypercall);
+  Domain* remote = domain(remote_dom);
+  Domain::PortInfo* rinfo = PortOf(remote, remote_port);
+  if (rinfo == nullptr || rinfo->unbound_for != caller->id() ||
+      rinfo->peer_port != kInvalidPort) {
+    return kInvalidPort;
+  }
+  EvtPort port = static_cast<EvtPort>(caller->ports_.size());
+  caller->ports_.emplace_back();
+  Domain::PortInfo& info = caller->ports_.back();
+  info.allocated = true;
+  info.peer_dom = remote_dom;
+  info.peer_port = remote_port;
+  rinfo->peer_dom = caller->id();
+  rinfo->peer_port = port;
+  return port;
+}
+
+void Hypervisor::EventSetHandler(Domain* dom, EvtPort port, std::function<void()> fn) {
+  Domain::PortInfo* info = PortOf(dom, port);
+  KITE_CHECK(info != nullptr);
+  info->handler = std::move(fn);
+}
+
+bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
+  Domain::PortInfo* info = PortOf(caller, port);
+  if (info == nullptr || info->peer_port == kInvalidPort) {
+    return false;
+  }
+  Charge(caller, costs_.event_send, caller_vcpu);
+  ++events_sent_;
+  Domain* peer = domain(info->peer_dom);
+  if (peer == nullptr) {
+    return false;
+  }
+  Domain::PortInfo* pinfo = PortOf(peer, info->peer_port);
+  if (pinfo == nullptr) {
+    return false;
+  }
+  if (pinfo->pending) {
+    // Event coalescing: an undelivered event absorbs further sends.
+    return true;
+  }
+  pinfo->pending = true;
+  DomId peer_id = peer->id();
+  EvtPort peer_port = info->peer_port;
+  executor_->PostAfter(costs_.event_delivery, [this, peer_id, peer_port] {
+    Domain* d = domain(peer_id);
+    Domain::PortInfo* pi = PortOf(d, peer_port);
+    if (pi == nullptr) {
+      return;  // Domain or port vanished in flight.
+    }
+    pi->pending = false;
+    ++events_delivered_;
+    d->vcpu(0)->Charge(costs_.irq_dispatch);
+    if (pi->handler) {
+      pi->handler();
+    }
+  });
+  return true;
+}
+
+void Hypervisor::EventClose(Domain* dom, EvtPort port) {
+  Domain::PortInfo* info = PortOf(dom, port);
+  if (info == nullptr) {
+    return;
+  }
+  // Unlink the peer end.
+  if (info->peer_port != kInvalidPort) {
+    Domain* peer = domain(info->peer_dom);
+    Domain::PortInfo* pinfo = PortOf(peer, info->peer_port);
+    if (pinfo != nullptr) {
+      pinfo->peer_dom = -1;
+      pinfo->peer_port = kInvalidPort;
+    }
+  }
+  info->allocated = false;
+  info->handler = nullptr;
+  info->pending = false;
+  info->peer_port = kInvalidPort;
+}
+
+MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
+                                 bool write_access, Vcpu* caller_vcpu) {
+  Charge(mapper, costs_.grant_map, caller_vcpu);
+  ++grant_maps_;
+  Domain* owner_dom = domain(owner);
+  if (owner_dom == nullptr) {
+    return MappedGrant{};
+  }
+  GrantTable::Entry* e = owner_dom->grant_table().Lookup(ref);
+  if (e == nullptr || e->peer != mapper->id() || (write_access && e->readonly)) {
+    return MappedGrant{};
+  }
+  ++e->active_maps;
+  Vcpu* mapper_vcpu = caller_vcpu != nullptr ? caller_vcpu : mapper->vcpu(0);
+  SimDuration unmap_cost = costs_.grant_unmap;
+  auto on_unmap = [this, mapper_vcpu, unmap_cost] {
+    ++grant_unmaps_;
+    ++hypercalls_;
+    mapper_vcpu->Charge(unmap_cost);
+  };
+  return MappedGrant(&owner_dom->grant_table(), ref, e->page, on_unmap);
+}
+
+bool Hypervisor::GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, size_t offset,
+                                    std::span<const uint8_t> src, Vcpu* caller_vcpu) {
+  Charge(caller,
+         costs_.grant_copy_base +
+             Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * src.size())),
+         caller_vcpu);
+  ++grant_copies_;
+  Domain* owner_dom = domain(owner);
+  if (owner_dom == nullptr) {
+    return false;
+  }
+  GrantTable::Entry* e = owner_dom->grant_table().Lookup(ref);
+  if (e == nullptr || e->peer != caller->id() || e->readonly) {
+    return false;
+  }
+  if (offset + src.size() > kPageSize) {
+    return false;
+  }
+  std::copy(src.begin(), src.end(), e->page->data.begin() + offset);
+  grant_copy_bytes_ += src.size();
+  return true;
+}
+
+bool Hypervisor::GrantCopyFromGranted(Domain* caller, DomId owner, GrantRef ref,
+                                      size_t offset, std::span<uint8_t> dst,
+                                      Vcpu* caller_vcpu) {
+  Charge(caller,
+         costs_.grant_copy_base +
+             Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * dst.size())),
+         caller_vcpu);
+  ++grant_copies_;
+  Domain* owner_dom = domain(owner);
+  if (owner_dom == nullptr) {
+    return false;
+  }
+  GrantTable::Entry* e = owner_dom->grant_table().Lookup(ref);
+  if (e == nullptr || e->peer != caller->id()) {
+    return false;
+  }
+  if (offset + dst.size() > kPageSize) {
+    return false;
+  }
+  std::copy_n(e->page->data.begin() + offset, dst.size(), dst.begin());
+  grant_copy_bytes_ += dst.size();
+  return true;
+}
+
+bool Hypervisor::AssignPci(PciDevice* device, Domain* owner, bool iommu) {
+  if (device->owner_ != nullptr) {
+    return false;
+  }
+  device->owner_ = owner;
+  device->iommu_ = iommu;
+  if (std::find(pci_devices_.begin(), pci_devices_.end(), device) == pci_devices_.end()) {
+    pci_devices_.push_back(device);
+  }
+  device->OnAssigned(owner);
+  return true;
+}
+
+void Hypervisor::UnassignPci(PciDevice* device) {
+  device->owner_ = nullptr;
+  device->irq_handler_ = nullptr;
+}
+
+void Hypervisor::DeliverPciIrq(PciDevice* device) {
+  Domain* owner = device->owner_;
+  if (owner == nullptr) {
+    return;
+  }
+  DomId owner_id = owner->id();
+  executor_->PostAfter(costs_.event_delivery, [this, device, owner_id] {
+    Domain* d = domain(owner_id);
+    if (d == nullptr || device->owner_ != d) {
+      return;
+    }
+    d->vcpu(0)->Charge(costs_.irq_dispatch);
+    ++events_delivered_;
+    if (device->irq_handler_) {
+      device->irq_handler_();
+    }
+  });
+}
+
+void Hypervisor::ChargeXenstoreOp(Domain* caller) {
+  ++hypercalls_;
+  caller->vcpu(0)->Charge(costs_.xenstore_op);
+}
+
+// --- PciDevice methods that need the hypervisor (defined here to keep pci.h
+// free of the Hypervisor dependency). ---
+
+void PciDevice::RaiseIrq() {
+  if (owner_ != nullptr) {
+    owner_->hypervisor()->DeliverPciIrq(this);
+  }
+}
+
+bool PciDevice::DmaAllowed(const Domain* target) const {
+  if (!iommu_) {
+    return true;  // No IOMMU: nothing constrains device DMA.
+  }
+  return owner_ != nullptr && target == owner_;
+}
+
+}  // namespace kite

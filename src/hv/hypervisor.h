@@ -1,0 +1,113 @@
+// The hypervisor: the only trusted component (paper §3.1).
+//
+// Provides domain lifecycle, event channels (virtual interrupts), grant
+// map/copy operations with cost accounting, xenstore (run by the xenstored
+// daemon, conceptually in Dom0), and PCI passthrough with IOMMU checks.
+#ifndef SRC_HV_HYPERVISOR_H_
+#define SRC_HV_HYPERVISOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/hv/domain.h"
+#include "src/hv/pci.h"
+#include "src/hv/xenstore.h"
+#include "src/sim/executor.h"
+
+namespace kite {
+
+// Hypercall and event cost parameters, calibrated to a Xeon E5-2695-class
+// machine (paper Table 2). These costs are what make "hypercalls are
+// expensive" true in simulation — the premise behind Kite's dedicated
+// threads, persistent grants, and request batching.
+struct HvCosts {
+  SimDuration hypercall = Nanos(650);        // Bare VMEXIT/VMENTER round trip.
+  SimDuration event_send = Nanos(700);       // EVTCHNOP_send from the caller.
+  SimDuration event_delivery = Micros(1);    // Latency until the peer's handler runs.
+  SimDuration irq_dispatch = Nanos(400);     // Charged to the receiving vCPU.
+  SimDuration grant_map = Nanos(1100);       // Per-page map hypercall share.
+  SimDuration grant_unmap = Nanos(1600);     // Unmap incl. TLB shootdown.
+  SimDuration grant_copy_base = Nanos(350);  // Per-op fixed cost.
+  double copy_ns_per_byte = 0.11;            // ~9 GB/s hypervisor-mediated copy.
+  SimDuration xenstore_op = Micros(15);      // One xenstored round trip.
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(Executor* executor, HvCosts costs = HvCosts{});
+  ~Hypervisor();
+
+  Executor* executor() const { return executor_; }
+  const HvCosts& costs() const { return costs_; }
+  XenStore& store() { return store_; }
+
+  // --- Domains. ---
+  // Dom0 is created by the constructor with id 0.
+  Domain* dom0() { return domains_[0].get(); }
+  Domain* CreateDomain(const std::string& name, int vcpus, int memory_mb);
+  Domain* domain(DomId id);
+  // Destroys a domain: revokes event channels and PCI assignments. Used by
+  // the driver-domain restart scenario.
+  void DestroyDomain(DomId id);
+  int live_domain_count() const;
+
+  // --- Event channels. ---
+  EvtPort EventAllocUnbound(Domain* caller, DomId remote);
+  EvtPort EventBindInterdomain(Domain* caller, DomId remote_dom, EvtPort remote_port);
+  void EventSetHandler(Domain* dom, EvtPort port, std::function<void()> fn);
+  // Sends an event through the caller's port. Pending events coalesce: a
+  // second send before delivery does not produce a second interrupt.
+  // caller_vcpu: the vCPU executing the hypercall (defaults to vCPU 0).
+  bool EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu = nullptr);
+  void EventClose(Domain* dom, EvtPort port);
+
+  // --- Grant operations (the mapper/copier is charged). ---
+  MappedGrant GrantMap(Domain* mapper, DomId owner, GrantRef ref, bool write_access,
+                       Vcpu* caller_vcpu = nullptr);
+  bool GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, size_t offset,
+                          std::span<const uint8_t> src, Vcpu* caller_vcpu = nullptr);
+  bool GrantCopyFromGranted(Domain* caller, DomId owner, GrantRef ref, size_t offset,
+                            std::span<uint8_t> dst, Vcpu* caller_vcpu = nullptr);
+
+  // --- PCI passthrough. ---
+  bool AssignPci(PciDevice* device, Domain* owner, bool iommu = true);
+  void UnassignPci(PciDevice* device);
+  // Delivers a device interrupt to the device's owner.
+  void DeliverPciIrq(PciDevice* device);
+
+  // --- Charged xenstore access (used by Domain wrappers). ---
+  void ChargeXenstoreOp(Domain* caller);
+
+  // --- Introspection for tests/benches. ---
+  uint64_t hypercalls_issued() const { return hypercalls_; }
+  uint64_t events_sent() const { return events_sent_; }
+  uint64_t events_delivered() const { return events_delivered_; }
+  uint64_t grant_maps() const { return grant_maps_; }
+  uint64_t grant_unmaps() const { return grant_unmaps_; }
+  uint64_t grant_copies() const { return grant_copies_; }
+  uint64_t grant_copy_bytes() const { return grant_copy_bytes_; }
+
+ private:
+  void Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu = nullptr);
+  Domain::PortInfo* PortOf(Domain* dom, EvtPort port);
+
+  Executor* executor_;
+  HvCosts costs_;
+  XenStore store_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<PciDevice*> pci_devices_;
+
+  uint64_t hypercalls_ = 0;
+  uint64_t events_sent_ = 0;
+  uint64_t events_delivered_ = 0;
+  uint64_t grant_maps_ = 0;
+  uint64_t grant_unmaps_ = 0;
+  uint64_t grant_copies_ = 0;
+  uint64_t grant_copy_bytes_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_HV_HYPERVISOR_H_

@@ -1,0 +1,41 @@
+// Machine pages shared between domains through the grant table.
+#ifndef SRC_HV_PAGE_H_
+#define SRC_HV_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace kite {
+
+inline constexpr size_t kPageSize = 4096;
+
+// One 4 KiB machine page. Pages are reference-counted: a domain that grants a
+// page keeps it alive while a peer holds a mapping.
+//
+// `object` carries a typed view of structured shared state living in the
+// page (e.g. a SharedRing): the granting side attaches it, the mapping side
+// retrieves it after GrantMap — the simulation analogue of both sides
+// casting the mapped page to the ring struct type.
+struct Page {
+  std::array<uint8_t, kPageSize> data{};
+  std::shared_ptr<void> object;
+
+  std::span<uint8_t> bytes() { return std::span<uint8_t>(data); }
+  std::span<const uint8_t> bytes() const { return std::span<const uint8_t>(data); }
+
+  template <typename T>
+  T* As() const {
+    return static_cast<T*>(object.get());
+  }
+};
+
+using PageRef = std::shared_ptr<Page>;
+
+inline PageRef AllocPage() { return std::make_shared<Page>(); }
+
+}  // namespace kite
+
+#endif  // SRC_HV_PAGE_H_

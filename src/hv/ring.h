@@ -1,0 +1,157 @@
+// Xen shared I/O ring protocol (public/io/ring.h re-implemented faithfully).
+//
+// A ring has `size` slots (power of two). Indices are free-running uint32
+// counters; slot = index & (size-1). The frontend produces requests at
+// req_prod, the backend produces responses at rsp_prod; each side keeps a
+// private producer/consumer. req_event/rsp_event implement notification
+// avoidance: a producer only notifies when the consumer asked to be told
+// about the range just pushed (RING_PUSH_*_AND_CHECK_NOTIFY), and a consumer
+// re-arms with RING_FINAL_CHECK_FOR_* before sleeping.
+//
+// Requests and responses share slots in real Xen; we keep two typed arrays
+// indexed by the same counters, which is protocol-equivalent (a response for
+// request i reuses logical slot i) while staying type-safe.
+#ifndef SRC_HV_RING_H_
+#define SRC_HV_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/log.h"
+
+namespace kite {
+
+// Shared state: conceptually lives in the granted ring page.
+template <typename Req, typename Rsp>
+struct SharedRing {
+  explicit SharedRing(uint32_t size) : size(size), req_slots(size), rsp_slots(size) {
+    KITE_CHECK(size != 0 && (size & (size - 1)) == 0) << "ring size must be a power of two";
+  }
+
+  uint32_t size;
+  // Shared producer indices and event thresholds (free-running).
+  uint32_t req_prod = 0;
+  uint32_t rsp_prod = 0;
+  uint32_t req_event = 1;
+  uint32_t rsp_event = 1;
+  std::vector<Req> req_slots;
+  std::vector<Rsp> rsp_slots;
+
+  uint32_t Mask(uint32_t idx) const { return idx & (size - 1); }
+};
+
+// Frontend view: produces requests, consumes responses.
+template <typename Req, typename Rsp>
+class FrontRing {
+ public:
+  explicit FrontRing(SharedRing<Req, Rsp>* shared) : shared_(shared) {}
+
+  uint32_t size() const { return shared_->size; }
+
+  // Unconsumed responses published by the backend.
+  uint32_t UnconsumedResponses() const { return shared_->rsp_prod - rsp_cons_; }
+  // Free request slots: a slot is reusable once its response was consumed.
+  bool Full() const { return req_prod_pvt_ - rsp_cons_ >= shared_->size; }
+  uint32_t FreeRequests() const { return shared_->size - (req_prod_pvt_ - rsp_cons_); }
+
+  // Stages a request in the next private slot. Caller must check !Full().
+  void ProduceRequest(const Req& req) {
+    KITE_CHECK(!Full());
+    shared_->req_slots[shared_->Mask(req_prod_pvt_)] = req;
+    ++req_prod_pvt_;
+  }
+
+  // Publishes staged requests; returns true if the backend must be notified.
+  bool PushRequests() {
+    const uint32_t old = shared_->req_prod;
+    const uint32_t next = req_prod_pvt_;
+    shared_->req_prod = next;
+    // Notify iff the backend's req_event falls inside (old, next].
+    return (next - shared_->req_event) < (next - old);
+  }
+
+  bool HasUnconsumedResponses() const { return UnconsumedResponses() != 0; }
+
+  Rsp ConsumeResponse() {
+    KITE_CHECK(HasUnconsumedResponses());
+    Rsp r = shared_->rsp_slots[shared_->Mask(rsp_cons_)];
+    ++rsp_cons_;
+    return r;
+  }
+
+  // Re-arms the response event and reports whether more responses raced in
+  // (RING_FINAL_CHECK_FOR_RESPONSES). Call before sleeping.
+  bool FinalCheckForResponses() {
+    if (HasUnconsumedResponses()) {
+      return true;
+    }
+    shared_->rsp_event = rsp_cons_ + 1;
+    return HasUnconsumedResponses();
+  }
+
+  uint32_t req_prod_pvt() const { return req_prod_pvt_; }
+  uint32_t rsp_cons() const { return rsp_cons_; }
+
+ private:
+  SharedRing<Req, Rsp>* shared_;
+  uint32_t req_prod_pvt_ = 0;
+  uint32_t rsp_cons_ = 0;
+};
+
+// Backend view: consumes requests, produces responses.
+template <typename Req, typename Rsp>
+class BackRing {
+ public:
+  explicit BackRing(SharedRing<Req, Rsp>* shared) : shared_(shared) {}
+
+  uint32_t size() const { return shared_->size; }
+
+  uint32_t UnconsumedRequests() const { return shared_->req_prod - req_cons_; }
+  bool HasUnconsumedRequests() const { return UnconsumedRequests() != 0; }
+
+  Req ConsumeRequest() {
+    KITE_CHECK(HasUnconsumedRequests());
+    Req r = shared_->req_slots[shared_->Mask(req_cons_)];
+    ++req_cons_;
+    return r;
+  }
+
+  // Re-arms the request event; call before sleeping.
+  bool FinalCheckForRequests() {
+    if (HasUnconsumedRequests()) {
+      return true;
+    }
+    shared_->req_event = req_cons_ + 1;
+    return HasUnconsumedRequests();
+  }
+
+  // A response may only be produced for a consumed request.
+  void ProduceResponse(const Rsp& rsp) {
+    KITE_CHECK(rsp_prod_pvt_ - shared_->rsp_prod < shared_->size);
+    KITE_CHECK(static_cast<int32_t>(req_cons_ - rsp_prod_pvt_) > 0)
+        << "response would overtake request consumption";
+    shared_->rsp_slots[shared_->Mask(rsp_prod_pvt_)] = rsp;
+    ++rsp_prod_pvt_;
+  }
+
+  // Publishes staged responses; returns true if the frontend must be
+  // notified.
+  bool PushResponses() {
+    const uint32_t old = shared_->rsp_prod;
+    const uint32_t next = rsp_prod_pvt_;
+    shared_->rsp_prod = next;
+    return (next - shared_->rsp_event) < (next - old);
+  }
+
+  uint32_t rsp_prod_pvt() const { return rsp_prod_pvt_; }
+  uint32_t req_cons() const { return req_cons_; }
+
+ private:
+  SharedRing<Req, Rsp>* shared_;
+  uint32_t rsp_prod_pvt_ = 0;
+  uint32_t req_cons_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_HV_RING_H_

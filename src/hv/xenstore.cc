@@ -1,0 +1,180 @@
+#include "src/hv/xenstore.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+const XenStore::Node* XenStore::FindNode(const std::string& path) const {
+  const Node* node = &root_;
+  for (const auto& part : SplitPath(path)) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = &it->second;
+  }
+  return node;
+}
+
+XenStore::Node* XenStore::FindNode(const std::string& path) {
+  return const_cast<Node*>(static_cast<const XenStore*>(this)->FindNode(path));
+}
+
+bool XenStore::CanRead(DomId caller, const Node& node) const {
+  return caller == kDom0 || caller == node.owner || node.permitted.count(caller) != 0;
+}
+
+bool XenStore::CanWrite(DomId caller, const Node& node) const {
+  return caller == kDom0 || caller == node.owner || node.permitted.count(caller) != 0;
+}
+
+bool XenStore::Write(DomId caller, const std::string& path, const std::string& value) {
+  Node* node = &root_;
+  for (const auto& part : SplitPath(path)) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      if (!CanWrite(caller, *node)) {
+        return false;
+      }
+      Node child;
+      child.owner = caller;
+      // Inherit explicit permissions so a frontend can populate its own
+      // subtree after dom0 grants it the parent directory.
+      child.permitted = node->permitted;
+      it = node->children.emplace(part, std::move(child)).first;
+    }
+    node = &it->second;
+  }
+  if (!CanWrite(caller, *node)) {
+    return false;
+  }
+  node->value = value;
+  FireWatches(path);
+  return true;
+}
+
+std::optional<std::string> XenStore::Read(DomId caller, const std::string& path) const {
+  const Node* node = FindNode(path);
+  if (node == nullptr || !CanRead(caller, *node)) {
+    return std::nullopt;
+  }
+  return node->value;
+}
+
+std::optional<std::vector<std::string>> XenStore::List(DomId caller,
+                                                       const std::string& path) const {
+  const Node* node = FindNode(path);
+  if (node == nullptr || !CanRead(caller, *node)) {
+    return std::nullopt;
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool XenStore::Remove(DomId caller, const std::string& path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return false;  // Refuse to remove the root.
+  }
+  Node* parent = &root_;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = parent->children.find(parts[i]);
+    if (it == parent->children.end()) {
+      return false;
+    }
+    parent = &it->second;
+  }
+  auto it = parent->children.find(parts.back());
+  if (it == parent->children.end() || !CanWrite(caller, it->second)) {
+    return false;
+  }
+  parent->children.erase(it);
+  FireWatches(path);
+  return true;
+}
+
+bool XenStore::Exists(const std::string& path) const { return FindNode(path) != nullptr; }
+
+bool XenStore::SetPermission(DomId caller, const std::string& path, DomId peer) {
+  Node* node = FindNode(path);
+  if (node == nullptr || (caller != kDom0 && caller != node->owner)) {
+    return false;
+  }
+  node->permitted.insert(peer);
+  // Also grant recursively to existing children (simplification of Xen's
+  // per-node perms: drivers set perms on the device directory root).
+  std::vector<Node*> stack{node};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    n->permitted.insert(peer);
+    for (auto& [name, child] : n->children) {
+      stack.push_back(&child);
+    }
+  }
+  return true;
+}
+
+bool XenStore::WriteInt(DomId caller, const std::string& path, int64_t value) {
+  return Write(caller, path, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+std::optional<int64_t> XenStore::ReadInt(DomId caller, const std::string& path) const {
+  auto v = Read(caller, path);
+  if (!v.has_value()) {
+    return std::nullopt;
+  }
+  int64_t parsed = ParseDecimal(*v);
+  if (parsed < 0) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+WatchId XenStore::AddWatch(DomId caller, const std::string& prefix, const std::string& token,
+                           WatchFn fn) {
+  KITE_CHECK(fn != nullptr);
+  WatchId id = next_watch_id_++;
+  watches_.push_back(Watch{id, caller, prefix, token, std::move(fn)});
+  // Xen fires a watch once on registration so the watcher can discover
+  // pre-existing state.
+  PostWatchEvent(id, prefix);
+  return id;
+}
+
+void XenStore::PostWatchEvent(WatchId id, const std::string& path) {
+  // The callback is resolved at *fire* time: a watch removed while the event
+  // was in flight (e.g. its owner was destroyed) silently expires.
+  executor_->PostAfter(op_latency_, [this, id, path] {
+    for (const Watch& w : watches_) {
+      if (w.id == id) {
+        w.fn(path, w.token);
+        return;
+      }
+    }
+  });
+}
+
+void XenStore::RemoveWatch(WatchId id) {
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->id == id) {
+      watches_.erase(it);
+      return;
+    }
+  }
+}
+
+void XenStore::FireWatches(const std::string& path) {
+  for (const Watch& w : watches_) {
+    if (PathIsUnder(path, w.prefix)) {
+      PostWatchEvent(w.id, path);
+    }
+  }
+}
+
+}  // namespace kite

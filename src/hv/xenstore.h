@@ -1,0 +1,116 @@
+// XenStore: the hierarchical key-value database shared between domains,
+// maintained by the xenstored daemon in Dom0.
+//
+// Backend and frontend drivers exchange configuration (ring grant refs,
+// event-channel ports, feature flags) through xenstore paths, and register
+// *watches* that fire when a path (or any descendant) changes — the mechanism
+// Kite's backend-invocation thread (paper §4.1) is built on.
+//
+// Semantics implemented:
+//  - hierarchical nodes, each with a value, an owner domain, and a read ACL;
+//  - writes create intermediate nodes; removes are recursive;
+//  - watches match a path prefix and fire asynchronously (posted to the
+//    executor with a xenstored processing latency), including once
+//    immediately upon registration (real Xen behaviour that drivers rely on
+//    to discover pre-existing state).
+#ifndef SRC_HV_XENSTORE_H_
+#define SRC_HV_XENSTORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hv/grant_table.h"  // for DomId
+#include "src/sim/executor.h"
+
+namespace kite {
+
+inline constexpr DomId kDom0 = 0;
+
+using WatchId = uint64_t;
+
+// Callback invoked with the changed path and the registration token.
+using WatchFn = std::function<void(const std::string& path, const std::string& token)>;
+
+class XenStore {
+ public:
+  explicit XenStore(Executor* executor) : executor_(executor) {}
+
+  // --- Data operations (caller identity is checked against node ACLs). ---
+
+  // Writes value at path, creating intermediate nodes owned by the caller.
+  // Returns false on permission failure.
+  bool Write(DomId caller, const std::string& path, const std::string& value);
+
+  std::optional<std::string> Read(DomId caller, const std::string& path) const;
+
+  // Child names of path (not full paths), or nullopt if missing/forbidden.
+  std::optional<std::vector<std::string>> List(DomId caller, const std::string& path) const;
+
+  // Recursive removal. Returns false if missing or forbidden.
+  bool Remove(DomId caller, const std::string& path);
+
+  bool Exists(const std::string& path) const;
+
+  // Makes a node (and future children created under it) readable/writable by
+  // `peer` — models xenstore permissions for the frontend/backend split.
+  bool SetPermission(DomId caller, const std::string& path, DomId peer);
+
+  // Convenience typed accessors used throughout the drivers.
+  bool WriteInt(DomId caller, const std::string& path, int64_t value);
+  std::optional<int64_t> ReadInt(DomId caller, const std::string& path) const;
+
+  // --- Watches. ---
+
+  // Registers a watch on `prefix`. Fires asynchronously once immediately
+  // (with the prefix itself) and then on every write/remove at or under the
+  // prefix (with the changed path).
+  WatchId AddWatch(DomId caller, const std::string& prefix, const std::string& token,
+                   WatchFn fn);
+  void RemoveWatch(WatchId id);
+
+  // Latency of one xenstored round trip (charged as event delivery delay on
+  // watch callbacks; data ops are synchronous in simulation but cost-charged
+  // by the Hypervisor wrapper).
+  void set_op_latency(SimDuration d) { op_latency_ = d; }
+  SimDuration op_latency() const { return op_latency_; }
+
+  int watch_count() const { return static_cast<int>(watches_.size()); }
+
+ private:
+  struct Node {
+    std::string value;
+    DomId owner = kDom0;
+    std::set<DomId> permitted;  // Domains besides owner/dom0 with access.
+    std::map<std::string, Node> children;
+  };
+
+  const Node* FindNode(const std::string& path) const;
+  Node* FindNode(const std::string& path);
+  bool CanRead(DomId caller, const Node& node) const;
+  bool CanWrite(DomId caller, const Node& node) const;
+  void FireWatches(const std::string& path);
+  void PostWatchEvent(WatchId id, const std::string& path);
+
+  struct Watch {
+    WatchId id;
+    DomId owner;
+    std::string prefix;
+    std::string token;
+    WatchFn fn;
+  };
+
+  Executor* executor_;
+  Node root_;
+  std::vector<Watch> watches_;
+  WatchId next_watch_id_ = 1;
+  SimDuration op_latency_ = Micros(15);
+};
+
+}  // namespace kite
+
+#endif  // SRC_HV_XENSTORE_H_

@@ -1,0 +1,77 @@
+#include "src/net/bridge.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace kite {
+
+void Bridge::AddIf(NetIf* netif) {
+  KITE_CHECK(!HasIf(netif));
+  ports_.push_back(netif);
+  netif->SetInputHandler([this, netif](const EthernetFrame& frame) { Input(netif, frame); });
+}
+
+void Bridge::RemoveIf(NetIf* netif) {
+  auto it = std::find(ports_.begin(), ports_.end(), netif);
+  if (it == ports_.end()) {
+    return;
+  }
+  ports_.erase(it);
+  netif->SetInputHandler(nullptr);
+  // Flush FDB entries pointing at the removed port.
+  for (auto fdb_it = fdb_.begin(); fdb_it != fdb_.end();) {
+    if (fdb_it->second == netif) {
+      fdb_it = fdb_.erase(fdb_it);
+    } else {
+      ++fdb_it;
+    }
+  }
+}
+
+bool Bridge::HasIf(const NetIf* netif) const {
+  return std::find(ports_.begin(), ports_.end(), netif) != ports_.end();
+}
+
+NetIf* Bridge::LookupFdb(MacAddr mac) const {
+  auto it = fdb_.find(mac);
+  return it == fdb_.end() ? nullptr : it->second;
+}
+
+void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
+  if (vcpu_ != nullptr) {
+    vcpu_->Charge(forward_cost_);
+  }
+  // Learn the source.
+  fdb_[frame.src] = ingress;
+
+  // Local sink check (driver domain's own address on the physical port).
+  if (local_sink_ && frame.dst == local_mac_) {
+    local_sink_(frame);
+    return;
+  }
+
+  if (!frame.dst.IsBroadcast()) {
+    auto it = fdb_.find(frame.dst);
+    if (it != fdb_.end()) {
+      if (it->second != ingress && it->second->up()) {
+        ++forwarded_;
+        it->second->Output(frame);
+      }
+      return;
+    }
+  }
+  // Broadcast or unknown unicast: flood all other up ports (plus the local
+  // sink for broadcasts, so the driver domain sees ARP etc.).
+  ++flooded_;
+  if (local_sink_ && frame.dst.IsBroadcast()) {
+    local_sink_(frame);
+  }
+  for (NetIf* port : ports_) {
+    if (port != ingress && port->up()) {
+      port->Output(frame);
+    }
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,66 @@
+// Learning Ethernet bridge (NetBSD bridge(4) analogue).
+//
+// Kite's network application creates a bridge, adds the physical interface,
+// and adds each netback VIF as guests connect (paper §4.3). The bridge
+// learns source MACs per port, forwards unicast to the learned port, and
+// floods unknown/broadcast frames.
+#ifndef SRC_NET_BRIDGE_H_
+#define SRC_NET_BRIDGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/netif.h"
+#include "src/sim/cpu.h"
+
+namespace kite {
+
+class Bridge {
+ public:
+  // forward_cost is charged to `vcpu` per forwarded frame (the driver
+  // domain's CPU doing the bridging). vcpu may be null (no accounting).
+  Bridge(std::string name, Vcpu* vcpu, SimDuration forward_cost = Nanos(100))
+      : name_(std::move(name)), vcpu_(vcpu), forward_cost_(forward_cost) {}
+
+  const std::string& name() const { return name_; }
+
+  // Adds an interface as a bridge port; the bridge takes over the
+  // interface's input handler (promiscuous member port).
+  void AddIf(NetIf* netif);
+  void RemoveIf(NetIf* netif);
+  bool HasIf(const NetIf* netif) const;
+  int port_count() const { return static_cast<int>(ports_.size()); }
+
+  // Optional local sink: unicast frames for this MAC are handed to the local
+  // stack (the driver domain's own IP on the physical interface) instead of
+  // being forwarded.
+  void SetLocalSink(MacAddr mac, std::function<void(const EthernetFrame&)> fn) {
+    local_mac_ = mac;
+    local_sink_ = std::move(fn);
+  }
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t flooded() const { return flooded_; }
+  size_t fdb_size() const { return fdb_.size(); }
+
+  // Test hook: the port the FDB learned for a MAC (nullptr if unknown).
+  NetIf* LookupFdb(MacAddr mac) const;
+
+ private:
+  void Input(NetIf* ingress, const EthernetFrame& frame);
+
+  std::string name_;
+  Vcpu* vcpu_;
+  SimDuration forward_cost_;
+  std::vector<NetIf*> ports_;
+  std::map<MacAddr, NetIf*> fdb_;
+  MacAddr local_mac_;
+  std::function<void(const EthernetFrame&)> local_sink_;
+  uint64_t forwarded_ = 0;
+  uint64_t flooded_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_BRIDGE_H_

@@ -1,0 +1,78 @@
+// Network interface abstraction (NetBSD ifnet analogue).
+//
+// A NetIf is anything a stack or bridge can attach to: the physical NIC's
+// interface in a driver domain, a netback VIF, or a guest netfront interface.
+#ifndef SRC_NET_NETIF_H_
+#define SRC_NET_NETIF_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/frame.h"
+
+namespace kite {
+
+class NetIf {
+ public:
+  NetIf(std::string ifname, MacAddr mac) : ifname_(std::move(ifname)), mac_(mac) {}
+  virtual ~NetIf() = default;
+
+  NetIf(const NetIf&) = delete;
+  NetIf& operator=(const NetIf&) = delete;
+
+  const std::string& ifname() const { return ifname_; }
+  MacAddr mac() const { return mac_; }
+
+  bool up() const { return up_; }
+  void SetUp(bool up) { up_ = up; }
+
+  // Transmits a frame out of this interface. Implementations deliver to the
+  // wire (NIC), to the peer ring (VIF/netfront), etc.
+  virtual void Output(const EthernetFrame& frame) = 0;
+
+  // The attached consumer (stack or bridge) receives inbound frames here.
+  void SetInputHandler(std::function<void(const EthernetFrame&)> fn) {
+    input_handler_ = std::move(fn);
+  }
+  bool has_input_handler() const { return input_handler_ != nullptr; }
+
+  // Feeds a frame into this interface as if it arrived from the medium
+  // (used by tests and by software devices).
+  void InjectInput(const EthernetFrame& frame) { DeliverInput(frame); }
+
+  uint64_t tx_frames() const { return tx_frames_; }
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+
+ protected:
+  void CountTx(const EthernetFrame& frame) {
+    ++tx_frames_;
+    tx_bytes_ += frame.PayloadBytes() + kEthernetHeaderBytes;
+  }
+
+  // Called by implementations when an inbound frame is ready for the
+  // consumer. Dropped (counted by callers where relevant) if no handler.
+  void DeliverInput(const EthernetFrame& frame) {
+    ++rx_frames_;
+    rx_bytes_ += frame.PayloadBytes() + kEthernetHeaderBytes;
+    if (input_handler_) {
+      input_handler_(frame);
+    }
+  }
+
+ private:
+  std::string ifname_;
+  MacAddr mac_;
+  bool up_ = false;
+  std::function<void(const EthernetFrame&)> input_handler_;
+  uint64_t tx_frames_ = 0;
+  uint64_t tx_bytes_ = 0;
+  uint64_t rx_frames_ = 0;
+  uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_NETIF_H_

@@ -1,0 +1,94 @@
+#include "src/net/nic.h"
+
+#include "src/base/log.h"
+#include "src/hv/domain.h"
+
+namespace kite {
+
+void NicNetIf::Output(const EthernetFrame& frame) {
+  CountTx(frame);
+  nic_->Transmit(frame);
+}
+
+Nic::Nic(Executor* executor, std::string bdf, std::string ifname, MacAddr mac,
+         NicParams params)
+    : PciDevice(std::move(bdf), "10GbE NIC"),
+      executor_(executor),
+      params_(params),
+      netif_(std::move(ifname), mac, this) {}
+
+Nic::~Nic() {
+  if (peer_ != nullptr) {
+    peer_->peer_ = nullptr;
+  }
+}
+
+void Nic::ConnectBackToBack(Nic* a, Nic* b) {
+  KITE_CHECK(a->peer_ == nullptr && b->peer_ == nullptr);
+  a->peer_ = b;
+  b->peer_ = a;
+}
+
+void Nic::OnAssigned(Domain* owner) { vcpu_ = owner->vcpu(0); }
+
+void Nic::Transmit(const EthernetFrame& frame) {
+  if (peer_ == nullptr) {
+    ++tx_dropped_;
+    return;
+  }
+  // Bounded transmit queue: if the backlog exceeds the queue, drop (what a
+  // real NIC ring does under overload).
+  const SimTime now = executor_->Now();
+  if (tx_inflight_ >= params_.tx_queue_frames) {
+    ++tx_dropped_;
+    return;
+  }
+  if (vcpu_ != nullptr) {
+    vcpu_->Charge(params_.tx_frame_cost);
+  }
+  const double bits = static_cast<double>(frame.WireBytes()) * 8.0;
+  const SimDuration wire_time = Nanos(static_cast<int64_t>(bits / params_.gbps));
+  SimTime start = tx_free_at_ > now ? tx_free_at_ : now;
+  tx_free_at_ = start + wire_time;
+  ++tx_inflight_;
+  const SimTime arrival = tx_free_at_ + params_.propagation;
+  Nic* peer = peer_;
+  executor_->PostAt(arrival, [this, peer, frame] {
+    --tx_inflight_;
+    peer->Arrive(frame);
+  });
+}
+
+void Nic::Arrive(EthernetFrame frame) {
+  if (rx_queue_.size() >= params_.rx_queue_frames) {
+    ++rx_dropped_;
+    return;
+  }
+  rx_queue_.push_back(std::move(frame));
+  ScheduleRxDrain();
+}
+
+void Nic::ScheduleRxDrain() {
+  if (rx_drain_scheduled_) {
+    return;
+  }
+  rx_drain_scheduled_ = true;
+  executor_->PostAfter(params_.irq_latency, [this] { DrainRx(); });
+}
+
+void Nic::DrainRx() {
+  rx_drain_scheduled_ = false;
+  // NAPI-style batch: drain everything queued; new arrivals during the drain
+  // are picked up in this loop as well since we re-check the queue.
+  while (!rx_queue_.empty()) {
+    EthernetFrame frame = std::move(rx_queue_.front());
+    rx_queue_.pop_front();
+    if (vcpu_ != nullptr) {
+      vcpu_->Charge(params_.rx_frame_cost);
+    }
+    ++rx_delivered_;
+    netif_.DeliverInput(frame);
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,94 @@
+// Physical NIC model (Intel 82599ES 10GbE class) and the point-to-point
+// link between the server's passthrough NIC and the client machine's NIC.
+//
+// Transmission serializes at line rate; receive queues are bounded, so
+// overload produces real packet loss (what the nuttcp UDP benchmark
+// measures). The NIC is a PciDevice: in the testbed it is assigned to the
+// driver domain via PCI passthrough.
+#ifndef SRC_NET_NIC_H_
+#define SRC_NET_NIC_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/hv/pci.h"
+#include "src/net/netif.h"
+#include "src/sim/cpu.h"
+#include "src/sim/executor.h"
+
+namespace kite {
+
+class Nic;
+
+// The NIC's host-facing interface (e.g. ixg0). Output goes to the wire.
+class NicNetIf : public NetIf {
+ public:
+  NicNetIf(std::string ifname, MacAddr mac, Nic* nic) : NetIf(std::move(ifname), mac), nic_(nic) {}
+  void Output(const EthernetFrame& frame) override;
+
+ private:
+  friend class Nic;
+  Nic* nic_;
+};
+
+struct NicParams {
+  double gbps = 10.0;
+  SimDuration propagation = Nanos(500);   // Direct SFI/SFP+ cable.
+  SimDuration rx_frame_cost = Nanos(250);  // Driver per-frame receive cost.
+  SimDuration tx_frame_cost = Nanos(200);  // Driver per-frame transmit cost.
+  SimDuration irq_latency = Micros(1);
+  size_t tx_queue_frames = 1024;
+  size_t rx_queue_frames = 1024;
+};
+
+class Nic : public PciDevice {
+ public:
+  Nic(Executor* executor, std::string bdf, std::string ifname, MacAddr mac,
+      NicParams params = NicParams{});
+  ~Nic() override;
+
+  NetIf* netif() { return &netif_; }
+  MacAddr mac() const { return netif_.mac(); }
+  const NicParams& params() const { return params_; }
+
+  // Connects two NICs back to back (full duplex).
+  static void ConnectBackToBack(Nic* a, Nic* b);
+
+  // For endpoints outside Xen (the client machine): the vCPU charged for
+  // frame processing. For passthrough NICs this is set on domain assignment.
+  void SetProcessingVcpu(Vcpu* vcpu) { vcpu_ = vcpu; }
+  void OnAssigned(Domain* owner) override;
+
+  // Wire-side: queues the frame for transmission at line rate.
+  void Transmit(const EthernetFrame& frame);
+
+  uint64_t tx_dropped() const { return tx_dropped_; }
+  uint64_t rx_dropped() const { return rx_dropped_; }
+  uint64_t rx_delivered() const { return rx_delivered_; }
+
+ private:
+  friend class NicNetIf;
+
+  void Arrive(EthernetFrame frame);  // Called by the peer after propagation.
+  void ScheduleRxDrain();
+  void DrainRx();
+
+  Executor* executor_;
+  NicParams params_;
+  NicNetIf netif_;
+  Nic* peer_ = nullptr;
+  Vcpu* vcpu_ = nullptr;
+
+  SimTime tx_free_at_;
+  size_t tx_inflight_ = 0;
+  std::deque<EthernetFrame> rx_queue_;
+  bool rx_drain_scheduled_ = false;
+
+  uint64_t tx_dropped_ = 0;
+  uint64_t rx_dropped_ = 0;
+  uint64_t rx_delivered_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_NIC_H_

@@ -1,0 +1,167 @@
+// EtherStack: a small but real TCP/IP endpoint stack over a NetIf.
+//
+// Provides ARP resolution, IPv4 with fragmentation/reassembly, ICMP echo
+// (ping), UDP sockets, and TCP connections (src/net/tcp.h). Used by guest
+// DomUs (behind netfront), by the client load-generator machine, and by
+// daemon service VMs (the DHCP server).
+#ifndef SRC_NET_STACK_H_
+#define SRC_NET_STACK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/netif.h"
+#include "src/sim/cpu.h"
+#include "src/sim/executor.h"
+
+namespace kite {
+
+class EtherStack;
+class TcpConn;
+class TcpListener;
+
+struct StackParams {
+  SimDuration per_packet_cost = Nanos(550);  // Per-packet protocol processing.
+  SimDuration icmp_reply_cost = Nanos(700);
+};
+
+// Connectionless datagram socket.
+class UdpSocket {
+ public:
+  using RecvFn =
+      std::function<void(Ipv4Addr src_ip, uint16_t src_port, const Buffer& payload)>;
+
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Binds to a specific port (e.g. DHCP's 67/68). Sockets are created
+  // already bound to an ephemeral port; Bind rebinds.
+  bool Bind(uint16_t port);
+  uint16_t local_port() const { return port_; }
+
+  void SetRecvCallback(RecvFn fn) { recv_cb_ = std::move(fn); }
+
+  // Sends a datagram. Broadcast destinations bypass ARP; a stack with no IP
+  // yet sends from 0.0.0.0 (DHCP bootstrapping).
+  void SendTo(Ipv4Addr dst, uint16_t dst_port, Buffer payload);
+
+  uint64_t datagrams_sent() const { return sent_; }
+  uint64_t datagrams_received() const { return received_; }
+
+ private:
+  friend class EtherStack;
+  explicit UdpSocket(EtherStack* stack) : stack_(stack) {}
+
+  EtherStack* stack_;
+  uint16_t port_ = 0;
+  RecvFn recv_cb_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+class EtherStack {
+ public:
+  // vcpu may be null (no CPU accounting, e.g. an ideal client).
+  EtherStack(Executor* executor, Vcpu* vcpu, NetIf* netif, StackParams params = StackParams{});
+  ~EtherStack();
+
+  EtherStack(const EtherStack&) = delete;
+  EtherStack& operator=(const EtherStack&) = delete;
+
+  void ConfigureIp(Ipv4Addr ip, uint32_t netmask = kSlash24);
+  Ipv4Addr ip() const { return ip_; }
+  MacAddr mac() const { return netif_->mac(); }
+  NetIf* netif() const { return netif_; }
+  Executor* executor() const { return executor_; }
+  Vcpu* vcpu() const { return vcpu_; }
+
+  // --- ICMP. ---
+  // Sends an echo request; the callback fires with (true, rtt) on reply.
+  // Lost pings time out after `timeout` and report (false, timeout).
+  void Ping(Ipv4Addr dst, size_t payload_bytes,
+            std::function<void(bool ok, SimDuration rtt)> cb,
+            SimDuration timeout = Seconds(1));
+
+  // --- UDP. ---
+  std::unique_ptr<UdpSocket> OpenUdp();
+
+  // --- TCP (implementation in src/net/tcp.cc). ---
+  TcpListener* ListenTcp(uint16_t port, std::function<void(TcpConn*)> accept_cb);
+  void CloseListener(uint16_t port);
+  // Initiates a connection; connected_cb fires when established. Returns the
+  // connection (owned by the stack; valid until closed).
+  TcpConn* ConnectTcp(Ipv4Addr dst, uint16_t dst_port,
+                      std::function<void(TcpConn*)> connected_cb);
+
+  // --- Internals shared with TCP and sockets. ---
+  void SendIp(Ipv4Packet&& packet);
+  uint16_t AllocEphemeralPort() { return next_ephemeral_++; }
+
+  // --- Stats. ---
+  uint64_t ip_tx_packets() const { return ip_tx_; }
+  uint64_t ip_rx_packets() const { return ip_rx_; }
+  uint64_t arp_requests_sent() const { return arp_requests_; }
+
+  // Static ARP entry injection (tests).
+  void AddArpEntry(Ipv4Addr ip, MacAddr mac) { arp_table_[ip] = mac; }
+  bool HasArpEntry(Ipv4Addr ip) const { return arp_table_.count(ip) != 0; }
+
+ private:
+  friend class UdpSocket;
+  friend class TcpConn;
+
+  void Input(const EthernetFrame& frame);
+  void HandleArp(const ArpPacket& arp);
+  void HandleIp(const Ipv4Packet& packet);
+  void HandleIcmp(const Ipv4Packet& packet, const IcmpMessage& icmp);
+  void Transmit(MacAddr dst, Ipv4Packet&& packet);
+  void RemoveConn(TcpConn* conn);
+  TcpConn* CreateConn(Ipv4Addr peer_ip, uint16_t peer_port, uint16_t local_port);
+
+  struct PendingPing {
+    SimTime sent_at;
+    std::function<void(bool, SimDuration)> cb;
+    bool done = false;
+  };
+
+  Executor* executor_;
+  Vcpu* vcpu_;
+  NetIf* netif_;
+  StackParams params_;
+
+  Ipv4Addr ip_;
+  uint32_t netmask_ = kSlash24;
+  uint16_t next_ip_id_ = 1;
+  uint16_t next_ephemeral_ = 32768;
+  Ipv4Reassembler reassembler_;
+
+  std::map<Ipv4Addr, MacAddr> arp_table_;
+  std::map<Ipv4Addr, std::vector<Ipv4Packet>> arp_pending_;
+
+  uint16_t ping_ident_;
+  uint16_t next_ping_seq_ = 1;
+  std::map<uint16_t, std::shared_ptr<PendingPing>> pending_pings_;
+
+  std::map<uint16_t, UdpSocket*> udp_ports_;
+
+  struct ConnKey {
+    uint32_t peer_ip;
+    uint16_t peer_port;
+    uint16_t local_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+  std::map<ConnKey, std::unique_ptr<TcpConn>> conns_;
+  std::map<uint16_t, std::unique_ptr<TcpListener>> listeners_;
+
+  uint64_t ip_tx_ = 0;
+  uint64_t ip_rx_ = 0;
+  uint64_t arp_requests_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_STACK_H_

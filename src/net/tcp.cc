@@ -1,0 +1,348 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace kite {
+namespace {
+
+// Signed distance for wrap-safe sequence comparison.
+int32_t SeqDiff(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b); }
+
+}  // namespace
+
+TcpConn::TcpConn(EtherStack* stack, Ipv4Addr peer_ip, uint16_t peer_port,
+                 uint16_t local_port)
+    : stack_(stack), peer_ip_(peer_ip), peer_port_(peer_port), local_port_(local_port) {
+  // Deterministic ISN derived from the 4-tuple keeps runs reproducible.
+  snd_una_ = snd_nxt_ = (static_cast<uint32_t>(local_port) << 16) ^ peer_ip.value ^ 0x1d073c9u;
+}
+
+TcpConn::~TcpConn() { *alive_ = false; }
+
+void TcpConn::StartActiveOpen(std::function<void(TcpConn*)> connected_cb) {
+  connected_cb_ = std::move(connected_cb);
+  state_ = State::kSynSent;
+  TcpSegment syn;
+  syn.syn = true;
+  syn.seq = snd_nxt_;
+  ++snd_nxt_;
+  EmitSegment(std::move(syn));
+  ArmRto();
+}
+
+void TcpConn::StartPassiveOpen(const TcpSegment& syn, std::function<void(TcpConn*)> accept_cb) {
+  KITE_CHECK(syn.syn && !syn.ack_flag);
+  connected_cb_ = std::move(accept_cb);
+  state_ = State::kSynReceived;
+  rcv_nxt_ = syn.seq + 1;
+  TcpSegment synack;
+  synack.syn = true;
+  synack.ack_flag = true;
+  synack.seq = snd_nxt_;
+  synack.ack = rcv_nxt_;
+  ++snd_nxt_;
+  EmitSegment(std::move(synack));
+  ArmRto();
+}
+
+void TcpConn::Send(Buffer data) {
+  KITE_CHECK(!fin_pending_ && !fin_sent_) << "Send after Close";
+  if (state_ == State::kClosed) {
+    return;
+  }
+  send_buf_.insert(send_buf_.end(), data.begin(), data.end());
+  if (state_ == State::kEstablished) {
+    PumpSend();
+  }
+}
+
+void TcpConn::Close() {
+  if (state_ == State::kClosed || fin_pending_ || fin_sent_) {
+    return;
+  }
+  fin_pending_ = true;
+  if (state_ == State::kEstablished) {
+    PumpSend();
+  }
+}
+
+void TcpConn::Abort() {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  TcpSegment rst;
+  rst.rst = true;
+  rst.seq = snd_nxt_;
+  EmitSegment(std::move(rst));
+  EnterClosed(/*deliver_close=*/false);
+}
+
+void TcpConn::OnSegment(const TcpSegment& seg) {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  if (seg.rst) {
+    EnterClosed(/*deliver_close=*/true);
+    return;
+  }
+
+  // --- Handshake progression. ---
+  if (state_ == State::kSynSent) {
+    if (seg.syn && seg.ack_flag && seg.ack == snd_nxt_) {
+      rcv_nxt_ = seg.seq + 1;
+      snd_una_ = seg.ack;
+      state_ = State::kEstablished;
+      rto_armed_ = false;
+      SendAckNow();
+      if (connected_cb_) {
+        auto cb = std::move(connected_cb_);
+        connected_cb_ = nullptr;
+        cb(this);
+      }
+      PumpSend();
+    }
+    return;
+  }
+  if (state_ == State::kSynReceived) {
+    if (seg.ack_flag && seg.ack == snd_nxt_) {
+      snd_una_ = seg.ack;
+      state_ = State::kEstablished;
+      rto_armed_ = false;
+      if (connected_cb_) {
+        auto cb = std::move(connected_cb_);
+        connected_cb_ = nullptr;
+        cb(this);
+      }
+      // Fall through: the ACK may carry data.
+    } else {
+      return;
+    }
+  }
+
+  // --- ACK processing. ---
+  if (seg.ack_flag) {
+    int32_t acked = SeqDiff(seg.ack, snd_una_);
+    if (acked > 0 && SeqDiff(seg.ack, snd_nxt_) <= 0) {
+      uint32_t fin_seq_bump = 0;
+      if (fin_sent_ && seg.ack == snd_nxt_) {
+        fin_acked_ = true;
+        fin_seq_bump = 1;
+      }
+      const size_t payload_acked = static_cast<size_t>(acked) - fin_seq_bump;
+      KITE_CHECK(payload_acked <= send_buf_.size());
+      send_buf_.erase(send_buf_.begin(), send_buf_.begin() + payload_acked);
+      snd_una_ = seg.ack;
+      rto_armed_ = false;  // Re-armed by PumpSend if data remains in flight.
+      if (SeqDiff(snd_nxt_, snd_una_) > 0) {
+        ArmRto();
+      }
+      PumpSend();
+    }
+    peer_window_ = kTcpWindowBytes;  // Fixed-window model.
+  }
+
+  // --- In-order data delivery (go-back-N: out-of-order is dropped). ---
+  if (!seg.payload.empty()) {
+    if (seg.seq == rcv_nxt_) {
+      rcv_nxt_ += static_cast<uint32_t>(seg.payload.size());
+      bytes_received_ += seg.payload.size();
+      ++ack_pending_segments_;
+      if (data_cb_) {
+        data_cb_(std::span<const uint8_t>(seg.payload));
+      }
+      if (state_ == State::kClosed) {
+        return;  // Callback closed us.
+      }
+      if (ack_pending_segments_ >= 2) {
+        SendAckNow();
+      } else {
+        ScheduleDelayedAck();
+      }
+    } else {
+      // Duplicate or hole: re-ACK what we have so the sender can catch up.
+      SendAckNow();
+    }
+  }
+
+  // --- Peer FIN. ---
+  if (seg.fin &&
+      static_cast<uint32_t>(seg.seq + static_cast<uint32_t>(seg.payload.size())) == rcv_nxt_ &&
+      !peer_fin_received_) {
+    peer_fin_received_ = true;
+    ++rcv_nxt_;
+    SendAckNow();
+    if (fin_acked_ || !fin_sent_) {
+      // Either we already closed, or the peer closed first: deliver close.
+      if (fin_acked_) {
+        EnterClosed(/*deliver_close=*/true);
+      } else if (close_cb_ && !close_delivered_) {
+        close_delivered_ = true;
+        close_cb_();
+      }
+    }
+  }
+  if (fin_acked_ && peer_fin_received_ && state_ != State::kClosed) {
+    EnterClosed(/*deliver_close=*/true);
+  }
+}
+
+void TcpConn::PumpSend() {
+  if (state_ != State::kEstablished && state_ != State::kFinSent) {
+    return;
+  }
+  const uint32_t fin_adjust = fin_sent_ ? 1 : 0;
+  uint32_t in_flight = static_cast<uint32_t>(SeqDiff(snd_nxt_, snd_una_)) - fin_adjust;
+  size_t send_offset = in_flight;  // Bytes of send_buf_ already in flight.
+  bool sent_any = false;
+  while (send_offset < send_buf_.size() && in_flight < peer_window_ && !fin_sent_) {
+    const size_t len =
+        std::min({kTcpMss, send_buf_.size() - send_offset,
+                  static_cast<size_t>(peer_window_ - in_flight)});
+    if (len == 0) {
+      break;
+    }
+    TcpSegment seg;
+    seg.seq = snd_nxt_;
+    seg.ack_flag = true;
+    seg.ack = rcv_nxt_;
+    seg.payload.assign(send_buf_.begin() + send_offset,
+                       send_buf_.begin() + send_offset + len);
+    snd_nxt_ += static_cast<uint32_t>(len);
+    bytes_sent_ += len;
+    send_offset += len;
+    in_flight += static_cast<uint32_t>(len);
+    EmitSegment(std::move(seg));
+    sent_any = true;
+    // Piggybacked ACK: clear any pending delayed ACK.
+    ack_pending_segments_ = 0;
+  }
+  if (fin_pending_ && !fin_sent_ && send_offset >= send_buf_.size()) {
+    TcpSegment fin;
+    fin.fin = true;
+    fin.ack_flag = true;
+    fin.seq = snd_nxt_;
+    fin.ack = rcv_nxt_;
+    ++snd_nxt_;
+    fin_sent_ = true;
+    state_ = State::kFinSent;
+    EmitSegment(std::move(fin));
+    sent_any = true;
+  }
+  if (sent_any) {
+    ArmRto();
+  }
+}
+
+void TcpConn::EmitSegment(TcpSegment&& seg) {
+  seg.src_port = local_port_;
+  seg.dst_port = peer_port_;
+  seg.window = std::min<uint32_t>(kTcpWindowBytes, 0xffff);
+  Ipv4Packet packet;
+  packet.src = stack_->ip();
+  packet.dst = peer_ip_;
+  packet.proto = kIpProtoTcp;
+  packet.l4 = std::move(seg);
+  stack_->SendIp(std::move(packet));
+}
+
+void TcpConn::SendAckNow() {
+  ack_pending_segments_ = 0;
+  TcpSegment ack;
+  ack.ack_flag = true;
+  ack.seq = snd_nxt_;
+  ack.ack = rcv_nxt_;
+  EmitSegment(std::move(ack));
+}
+
+void TcpConn::ScheduleDelayedAck() {
+  if (delayed_ack_armed_) {
+    return;
+  }
+  delayed_ack_armed_ = true;
+  stack_->executor()->PostAfter(Micros(100), [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    delayed_ack_armed_ = false;
+    if (state_ != State::kClosed && ack_pending_segments_ > 0) {
+      SendAckNow();
+    }
+  });
+}
+
+void TcpConn::ArmRto() {
+  ++rto_generation_;
+  rto_armed_ = true;
+  stack_->executor()->PostAfter(rto_, [this, alive = alive_, gen = rto_generation_] {
+    if (*alive) {
+      OnRto(gen);
+    }
+  });
+}
+
+void TcpConn::OnRto(uint64_t generation) {
+  if (generation != rto_generation_ || !rto_armed_ || state_ == State::kClosed) {
+    return;
+  }
+  rto_armed_ = false;
+  ++retransmits_;
+  if (retransmits_ > 30) {
+    Abort();
+    if (close_cb_ && !close_delivered_) {
+      close_delivered_ = true;
+      close_cb_();
+    }
+    return;
+  }
+  // Go-back-N: rewind snd_nxt to the last acknowledged point and resend.
+  switch (state_) {
+    case State::kSynSent: {
+      TcpSegment syn;
+      syn.syn = true;
+      syn.seq = snd_una_;
+      EmitSegment(std::move(syn));
+      ArmRto();
+      break;
+    }
+    case State::kSynReceived: {
+      TcpSegment synack;
+      synack.syn = true;
+      synack.ack_flag = true;
+      synack.seq = snd_una_;
+      synack.ack = rcv_nxt_;
+      EmitSegment(std::move(synack));
+      ArmRto();
+      break;
+    }
+    case State::kEstablished:
+    case State::kFinSent: {
+      snd_nxt_ = snd_una_;
+      if (fin_sent_ && !fin_acked_) {
+        fin_sent_ = false;  // FIN will be re-emitted by PumpSend.
+        state_ = State::kEstablished;
+      }
+      PumpSend();
+      break;
+    }
+    case State::kClosed:
+      break;
+  }
+}
+
+void TcpConn::EnterClosed(bool deliver_close) {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  state_ = State::kClosed;
+  ++rto_generation_;  // Invalidate outstanding timers.
+  rto_armed_ = false;
+  if (deliver_close && close_cb_ && !close_delivered_) {
+    close_delivered_ = true;
+    close_cb_();
+  }
+  stack_->RemoveConn(this);
+}
+
+}  // namespace kite

@@ -1,0 +1,137 @@
+// TCP-lite: a reliable byte stream sufficient for the paper's
+// macrobenchmarks (HTTP, Redis, memcached, MySQL traffic).
+//
+// Implemented: three-way handshake, cumulative ACKs with coalescing,
+// go-back-N retransmission on timeout, fixed 256 KiB windows, FIN/RST
+// teardown. Not implemented (not needed on a lossless-unless-overloaded
+// point-to-point link): SACK, congestion control beyond the fixed window,
+// out-of-order reassembly.
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "src/net/stack.h"
+
+namespace kite {
+
+inline constexpr uint32_t kTcpWindowBytes = 256 * 1024;
+
+class TcpListener {
+ public:
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class EtherStack;
+  uint16_t port_ = 0;
+  std::function<void(TcpConn*)> accept_cb_;
+};
+
+class TcpConn {
+ public:
+  using DataFn = std::function<void(std::span<const uint8_t>)>;
+
+  ~TcpConn();
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  // Delivery of received in-order payload bytes.
+  void SetDataCallback(DataFn fn) { data_cb_ = std::move(fn); }
+  // Fired once when the peer closes (FIN/RST) or the connection aborts.
+  void SetCloseCallback(std::function<void()> fn) { close_cb_ = std::move(fn); }
+
+  // Queues bytes for transmission.
+  void Send(Buffer data);
+  void Send(std::span<const uint8_t> data) { Send(Buffer(data.begin(), data.end())); }
+
+  // Graceful close: FIN after all queued data.
+  void Close();
+  // Abortive close: RST now.
+  void Abort();
+
+  bool connected() const { return state_ == State::kEstablished; }
+  bool closed() const { return state_ == State::kClosed; }
+  size_t send_queue_bytes() const { return send_buf_.size(); }
+
+  Ipv4Addr peer_ip() const { return peer_ip_; }
+  uint16_t peer_port() const { return peer_port_; }
+  uint16_t local_port() const { return local_port_; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint32_t retransmits() const { return retransmits_; }
+
+  // Liveness guard for deferred work (e.g. a server response scheduled at a
+  // CPU-completion time): *guard is true while this object exists.
+  std::shared_ptr<const bool> AliveGuard() const { return alive_; }
+
+ private:
+  friend class EtherStack;
+
+  enum class State {
+    kSynSent,      // Active open, SYN out.
+    kSynReceived,  // Passive open, SYN/ACK out.
+    kEstablished,
+    kFinSent,  // Our FIN sent, awaiting ACK (and possibly peer FIN).
+    kClosed,
+  };
+
+  TcpConn(EtherStack* stack, Ipv4Addr peer_ip, uint16_t peer_port, uint16_t local_port);
+
+  void StartActiveOpen(std::function<void(TcpConn*)> connected_cb);
+  void StartPassiveOpen(const TcpSegment& syn, std::function<void(TcpConn*)> accept_cb);
+  void OnSegment(const TcpSegment& seg);
+  void PumpSend();
+  void EmitSegment(TcpSegment&& seg);
+  void SendAckNow();
+  void ScheduleDelayedAck();
+  void ArmRto();
+  void OnRto(uint64_t generation);
+  void EnterClosed(bool deliver_close);
+
+  EtherStack* stack_;
+  Ipv4Addr peer_ip_;
+  uint16_t peer_port_;
+  uint16_t local_port_;
+  State state_ = State::kSynSent;
+
+  // Send side. send_buf_ front corresponds to sequence snd_una_.
+  std::deque<uint8_t> send_buf_;
+  uint32_t snd_una_ = 0;
+  uint32_t snd_nxt_ = 0;
+  uint32_t peer_window_ = kTcpWindowBytes;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+
+  // Receive side.
+  uint32_t rcv_nxt_ = 0;
+  bool peer_fin_received_ = false;
+  int ack_pending_segments_ = 0;
+  bool delayed_ack_armed_ = false;
+
+  // Retransmission.
+  uint64_t rto_generation_ = 0;
+  bool rto_armed_ = false;
+  SimDuration rto_ = Millis(10);
+  uint32_t retransmits_ = 0;
+
+  // Timer lifetime guard: executor events capture this flag; a destroyed
+  // connection flips it so stale timers become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  DataFn data_cb_;
+  std::function<void()> close_cb_;
+  std::function<void(TcpConn*)> connected_cb_;
+  bool close_delivered_ = false;
+
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_TCP_H_

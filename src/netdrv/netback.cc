@@ -1,0 +1,333 @@
+#include "src/netdrv/netback.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+// --- NetbackInstance. ---
+
+NetbackInstance::NetbackInstance(Domain* backend, BmkSched* sched,
+                                 const OsCostProfile* costs, NetbackParams params,
+                                 DomId frontend_dom, int devid)
+    : NetIf(StrFormat("vif%d.%d", frontend_dom, devid),
+            MacAddr::FromId(0xba0000u | static_cast<uint32_t>(frontend_dom) << 8 |
+                            static_cast<uint32_t>(devid))),
+      backend_(backend),
+      hv_(backend->hypervisor()),
+      sched_(sched),
+      costs_(costs),
+      params_(params),
+      frontend_dom_(frontend_dom),
+      devid_(devid),
+      tx_wake_(sched->executor()),
+      rx_wake_(sched->executor()) {
+  backend_path_ = BackendPath(backend->id(), "vif", frontend_dom, devid);
+  frontend_path_ = FrontendPath(frontend_dom, "vif", devid);
+}
+
+NetbackInstance::~NetbackInstance() {
+  if (port_ != kInvalidPort) {
+    hv_->EventClose(backend_, port_);
+  }
+}
+
+bool NetbackInstance::Connect() {
+  auto tx_ref = backend_->StoreReadInt(frontend_path_ + "/tx-ring-ref");
+  auto rx_ref = backend_->StoreReadInt(frontend_path_ + "/rx-ring-ref");
+  auto evt = backend_->StoreReadInt(frontend_path_ + "/event-channel");
+  auto rx_copy = backend_->StoreReadInt(frontend_path_ + "/request-rx-copy");
+  if (!tx_ref || !rx_ref || !evt) {
+    return false;
+  }
+  if (params_.use_hv_copy && (!rx_copy || *rx_copy != 1)) {
+    KITE_LOG(Warning) << ifname() << ": frontend does not support rx-copy";
+  }
+
+  tx_ring_map_ = hv_->GrantMap(backend_, frontend_dom_, static_cast<GrantRef>(*tx_ref),
+                               /*write_access=*/true);
+  rx_ring_map_ = hv_->GrantMap(backend_, frontend_dom_, static_cast<GrantRef>(*rx_ref),
+                               /*write_access=*/true);
+  if (!tx_ring_map_.valid() || !rx_ring_map_.valid()) {
+    return false;
+  }
+  auto* tx_shared = tx_ring_map_.page()->As<NetTxSharedRing>();
+  auto* rx_shared = rx_ring_map_.page()->As<NetRxSharedRing>();
+  if (tx_shared == nullptr || rx_shared == nullptr) {
+    return false;
+  }
+  tx_ring_ = std::make_unique<NetTxBackRing>(tx_shared);
+  rx_ring_ = std::make_unique<NetRxBackRing>(rx_shared);
+
+  port_ = hv_->EventBindInterdomain(backend_, frontend_dom_, static_cast<EvtPort>(*evt));
+  if (port_ == kInvalidPort) {
+    return false;
+  }
+  // The handler only wakes the worker threads (paper §3.2): never do
+  // hypercall-heavy work in the notification path.
+  hv_->EventSetHandler(backend_, port_, [this] {
+    tx_wake_.Signal();
+    rx_wake_.Signal();
+  });
+
+  pusher_last_active_ = soft_start_last_active_ = sched_->executor()->Now();
+  sched_->Spawn(ifname() + "-pusher", [this] { return PusherThread(); });
+  sched_->Spawn(ifname() + "-soft_start", [this] { return SoftStartThread(); });
+  connected_ = true;
+  SetUp(true);
+  return true;
+}
+
+SimDuration NetbackInstance::WakeLatency(SimTime* last_active) const {
+  SimDuration latency =
+      params_.dedicated_threads ? costs_->netback_pass_latency : SimDuration(0);
+  const SimTime now = sched_->executor()->Now();
+  if (now - *last_active > costs_->cold_threshold) {
+    latency += costs_->cold_penalty;
+  }
+  *last_active = now;
+  return latency;
+}
+
+void NetbackInstance::PushTxResponses() {
+  if (tx_ring_->PushResponses()) {
+    hv_->EventSend(backend_, port_, sched_->vcpu());
+  }
+}
+
+void NetbackInstance::PushRxResponses() {
+  if (rx_ring_->PushResponses()) {
+    hv_->EventSend(backend_, port_, sched_->vcpu());
+  }
+}
+
+bool NetbackInstance::CopyFromGuest(GrantRef gref, uint16_t offset, std::span<uint8_t> out) {
+  if (params_.use_hv_copy) {
+    return hv_->GrantCopyFromGranted(backend_, frontend_dom_, gref, offset, out,
+                                     sched_->vcpu());
+  }
+  MappedGrant map = hv_->GrantMap(backend_, frontend_dom_, gref, /*write_access=*/false,
+                                  sched_->vcpu());
+  if (!map.valid()) {
+    return false;
+  }
+  std::copy_n(map.page()->data.begin() + offset, out.size(), out.begin());
+  return true;  // map's destructor unmaps (charging the unmap hypercall).
+}
+
+bool NetbackInstance::CopyToGuest(GrantRef gref, std::span<const uint8_t> data) {
+  if (params_.use_hv_copy) {
+    return hv_->GrantCopyToGranted(backend_, frontend_dom_, gref, 0, data,
+                                   sched_->vcpu());
+  }
+  MappedGrant map = hv_->GrantMap(backend_, frontend_dom_, gref, /*write_access=*/true,
+                                  sched_->vcpu());
+  if (!map.valid()) {
+    return false;
+  }
+  std::copy(data.begin(), data.end(), map.page()->data.begin());
+  return true;
+}
+
+Task NetbackInstance::PusherThread() {
+  const SimDuration per_packet =
+      costs_->netback_per_packet + costs_->syscall_cost * costs_->syscalls_per_packet;
+  for (;;) {
+    co_await tx_wake_.Wait();
+    const SimDuration wake_latency = WakeLatency(&pusher_last_active_);
+    if (wake_latency > SimDuration(0)) {
+      co_await sched_->Sleep(wake_latency);
+    }
+    for (;;) {
+      int batch = 0;
+      while (tx_ring_->HasUnconsumedRequests()) {
+        NetTxRequest req = tx_ring_->ConsumeRequest();
+        Buffer bytes(req.size);
+        const bool ok = CopyFromGuest(req.gref, req.offset, bytes);
+        co_await sched_->Run(per_packet);
+        NetTxResponse rsp;
+        rsp.id = req.id;
+        rsp.status = ok ? NetifStatus::kOkay : NetifStatus::kError;
+        tx_ring_->ProduceResponse(rsp);
+        if (ok) {
+          auto frame = ParseEthernet(bytes);
+          if (frame.has_value()) {
+            ++guest_tx_frames_;
+            // Hand the frame to the network stack/bridge through the VIF.
+            DeliverInput(*frame);
+          }
+        }
+        if (!params_.dedicated_threads || ++batch >= params_.batch_limit) {
+          PushTxResponses();
+          batch = 0;
+          co_await sched_->Yield();
+        }
+      }
+      PushTxResponses();
+      if (!tx_ring_->FinalCheckForRequests()) {
+        break;
+      }
+    }
+    pusher_last_active_ = sched_->executor()->Now();
+  }
+}
+
+void NetbackInstance::Output(const EthernetFrame& frame) {
+  if (!connected_) {
+    return;
+  }
+  if (rx_pending_.size() >= params_.rx_queue_cap) {
+    ++rx_queue_drops_;
+    return;
+  }
+  rx_pending_.push_back(frame);
+  // The stack callback only wakes soft_start (paper §4.2 "Multiple
+  // Threads"); the copy work happens on the thread.
+  rx_wake_.Signal();
+}
+
+Task NetbackInstance::SoftStartThread() {
+  const SimDuration per_packet =
+      costs_->netback_per_packet + costs_->syscall_cost * costs_->syscalls_per_packet;
+  for (;;) {
+    co_await rx_wake_.Wait();
+    const SimDuration wake_latency = WakeLatency(&soft_start_last_active_);
+    if (wake_latency > SimDuration(0)) {
+      co_await sched_->Sleep(wake_latency);
+    }
+    int batch = 0;
+    while (!rx_pending_.empty()) {
+      if (!rx_ring_->HasUnconsumedRequests() && !rx_ring_->FinalCheckForRequests()) {
+        // No posted guest buffers; wait for the frontend to replenish (we
+        // will be woken by its notification).
+        break;
+      }
+      NetRxRequest req = rx_ring_->ConsumeRequest();
+      EthernetFrame frame = std::move(rx_pending_.front());
+      rx_pending_.pop_front();
+      Buffer bytes = SerializeEthernet(frame);
+      KITE_CHECK(bytes.size() <= kPageSize);
+      const bool ok = CopyToGuest(req.gref, bytes);
+      co_await sched_->Run(per_packet);
+      NetRxResponse rsp;
+      rsp.id = req.id;
+      rsp.offset = 0;
+      rsp.size = ok ? static_cast<int32_t>(bytes.size())
+                    : static_cast<int32_t>(NetifStatus::kError);
+      rx_ring_->ProduceResponse(rsp);
+      ++guest_rx_frames_;
+      CountTx(frame);  // VIF "transmitted" toward the guest.
+      if (!params_.dedicated_threads || ++batch >= params_.batch_limit) {
+        PushRxResponses();
+        batch = 0;
+        co_await sched_->Yield();
+      }
+    }
+    PushRxResponses();
+    soft_start_last_active_ = sched_->executor()->Now();
+  }
+}
+
+// --- NetworkBackendDriver. ---
+
+NetworkBackendDriver::NetworkBackendDriver(Domain* backend, std::vector<BmkSched*> scheds,
+                                           const OsCostProfile* costs, NetbackParams params)
+    : backend_(backend),
+      hv_(backend->hypervisor()),
+      scheds_(std::move(scheds)),
+      costs_(costs),
+      params_(params),
+      watch_wake_(scheds_.front()->executor()) {
+  KITE_CHECK(!scheds_.empty());
+  const std::string root = StrFormat("/local/domain/%d/backend/vif", backend->id());
+  // The watch only wakes the scanning thread (paper §4.1).
+  watch_ = backend_->StoreWatch(root, "vif-backend",
+                                [this](const std::string&, const std::string&) {
+                                  watch_wake_.Signal();
+                                });
+  scheds_.front()->Spawn("xenwatch", [this] { return WatchThread(); });
+}
+
+NetworkBackendDriver::~NetworkBackendDriver() {
+  if (watch_ != 0) {
+    hv_->store().RemoveWatch(watch_);
+  }
+  for (WatchId id : fe_watch_ids_) {
+    hv_->store().RemoveWatch(id);
+  }
+}
+
+NetbackInstance* NetworkBackendDriver::instance(DomId frontend_dom, int devid) {
+  auto it = instances_.find({frontend_dom, devid});
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Task NetworkBackendDriver::WatchThread() {
+  for (;;) {
+    co_await watch_wake_.Wait();
+    // Query xenbus for unpaired frontends.
+    co_await scheds_.front()->Run(Micros(5));
+    ScanForFrontends();
+  }
+}
+
+void NetworkBackendDriver::ScanForFrontends() {
+  ++scans_;
+  const std::string root = StrFormat("/local/domain/%d/backend/vif", backend_->id());
+  auto fdoms = backend_->StoreList(root);
+  if (!fdoms.has_value()) {
+    return;
+  }
+  XenbusClient bus(&hv_->store(), backend_->id());
+  for (const std::string& fdom_str : *fdoms) {
+    const int64_t fdom = ParseDecimal(fdom_str);
+    if (fdom < 0) {
+      continue;
+    }
+    auto devids = backend_->StoreList(root + "/" + fdom_str);
+    if (!devids.has_value()) {
+      continue;
+    }
+    for (const std::string& devid_str : *devids) {
+      const int64_t devid = ParseDecimal(devid_str);
+      if (devid < 0 || instances_.count({static_cast<DomId>(fdom), static_cast<int>(devid)})) {
+        continue;
+      }
+      // Pair only once the frontend has published its parameters.
+      const std::string fe_path =
+          FrontendPath(static_cast<DomId>(fdom), "vif", static_cast<int>(devid));
+      if (bus.ReadState(fe_path) != XenbusState::kInitialised) {
+        // Not published yet: watch the frontend's state so the scan reruns
+        // when it advances (avoids a pairing race).
+        if (fe_watched_.insert(fe_path).second) {
+          fe_watch_ids_.push_back(backend_->StoreWatch(
+              fe_path + "/state", "fe-state",
+              [this](const std::string&, const std::string&) { watch_wake_.Signal(); }));
+        }
+        continue;
+      }
+      // Shard instances across the domain's vCPUs for I/O scaling.
+      BmkSched* sched = scheds_[next_sched_++ % scheds_.size()];
+      auto inst = std::make_unique<NetbackInstance>(backend_, sched, costs_, params_,
+                                                    static_cast<DomId>(fdom),
+                                                    static_cast<int>(devid));
+      const std::string be_path = BackendPath(backend_->id(), "vif",
+                                              static_cast<DomId>(fdom),
+                                              static_cast<int>(devid));
+      bus.SwitchState(be_path, XenbusState::kInitWait);
+      if (!inst->Connect()) {
+        KITE_LOG(Warning) << "netback: failed to connect " << fe_path;
+        bus.SwitchState(be_path, XenbusState::kClosed);
+        continue;
+      }
+      bus.SwitchState(be_path, XenbusState::kConnected);
+      NetbackInstance* raw = inst.get();
+      instances_[{static_cast<DomId>(fdom), static_cast<int>(devid)}] = std::move(inst);
+      if (on_new_vif_) {
+        on_new_vif_(raw);
+      }
+    }
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,184 @@
+#include "src/netdrv/netfront.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+Netfront::Netfront(Domain* guest, DomId backend_dom, int devid, MacAddr mac,
+                   std::function<void()> on_connected)
+    : NetIf(StrFormat("xn%d", devid), mac),
+      guest_(guest),
+      hv_(guest->hypervisor()),
+      backend_dom_(backend_dom),
+      devid_(devid),
+      on_connected_(std::move(on_connected)) {
+  frontend_path_ = FrontendPath(guest->id(), "vif", devid);
+  backend_path_ = BackendPath(backend_dom, "vif", guest->id(), devid);
+  PublishAndInitialise();
+}
+
+Netfront::~Netfront() {
+  if (backend_watch_ != 0) {
+    hv_->store().RemoveWatch(backend_watch_);
+  }
+}
+
+void Netfront::PublishAndInitialise() {
+  // Allocate rings in shared pages and attach the ring objects to them.
+  tx_ring_page_ = AllocPage();
+  rx_ring_page_ = AllocPage();
+  tx_shared_ = std::make_shared<NetTxSharedRing>(kNetRingSize);
+  rx_shared_ = std::make_shared<NetRxSharedRing>(kNetRingSize);
+  tx_ring_page_->object = tx_shared_;
+  rx_ring_page_->object = rx_shared_;
+  tx_ring_ = std::make_unique<NetTxFrontRing>(tx_shared_.get());
+  rx_ring_ = std::make_unique<NetRxFrontRing>(rx_shared_.get());
+  tx_ring_gref_ = guest_->grant_table().GrantAccess(backend_dom_, tx_ring_page_, false);
+  rx_ring_gref_ = guest_->grant_table().GrantAccess(backend_dom_, rx_ring_page_, false);
+
+  // Data pools: tx pages are granted read-only (backend copies out of them);
+  // rx pages writable (backend copies into them).
+  tx_slots_.resize(kNetRingSize);
+  rx_slots_.resize(kNetRingSize);
+  for (uint16_t i = 0; i < kNetRingSize; ++i) {
+    tx_slots_[i].page = AllocPage();
+    tx_slots_[i].gref =
+        guest_->grant_table().GrantAccess(backend_dom_, tx_slots_[i].page, true);
+    tx_free_ids_.push_back(i);
+    rx_slots_[i].page = AllocPage();
+    rx_slots_[i].gref =
+        guest_->grant_table().GrantAccess(backend_dom_, rx_slots_[i].page, false);
+    rx_free_ids_.push_back(i);
+  }
+
+  // Event channel: allocate unbound for the backend to bind.
+  port_ = hv_->EventAllocUnbound(guest_, backend_dom_);
+  hv_->EventSetHandler(guest_, port_, [this] { OnIrq(); });
+
+  // Publish connection parameters (paper §4.2 "Initialization").
+  guest_->StoreWriteInt(frontend_path_ + "/tx-ring-ref", tx_ring_gref_);
+  guest_->StoreWriteInt(frontend_path_ + "/rx-ring-ref", rx_ring_gref_);
+  guest_->StoreWriteInt(frontend_path_ + "/event-channel", port_);
+  guest_->StoreWrite(frontend_path_ + "/mac", mac().ToString());
+  guest_->StoreWriteInt(frontend_path_ + "/request-rx-copy", 1);
+
+  // Pre-post the full Rx ring so the backend can deliver immediately.
+  PostRxBuffers();
+
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kInitialised);
+
+  // Watch the backend's state; Connected completes the handshake.
+  backend_watch_ = guest_->StoreWatch(backend_path_ + "/state", "backend-state",
+                                      [this](const std::string&, const std::string&) {
+                                        OnBackendStateChange();
+                                      });
+}
+
+void Netfront::OnBackendStateChange() {
+  XenbusClient bus(&hv_->store(), guest_->id());
+  XenbusState state = bus.ReadState(backend_path_);
+  if (state == XenbusState::kConnected && !connected_) {
+    connected_ = true;
+    bus.SwitchState(frontend_path_, XenbusState::kConnected);
+    SetUp(true);
+    if (on_connected_) {
+      on_connected_();
+    }
+  }
+  if (state == XenbusState::kClosing || state == XenbusState::kClosed) {
+    connected_ = false;
+    SetUp(false);
+  }
+}
+
+void Netfront::PostRxBuffers() {
+  bool posted = false;
+  while (!rx_free_ids_.empty() && !rx_ring_->Full()) {
+    uint16_t id = rx_free_ids_.back();
+    rx_free_ids_.pop_back();
+    rx_slots_[id].in_use = true;
+    NetRxRequest req;
+    req.id = id;
+    req.gref = rx_slots_[id].gref;
+    rx_ring_->ProduceRequest(req);
+    posted = true;
+  }
+  if (posted && rx_ring_->PushRequests() && connected_) {
+    hv_->EventSend(guest_, port_);
+  }
+}
+
+void Netfront::Output(const EthernetFrame& frame) {
+  if (!connected_ || tx_free_ids_.empty() || tx_ring_->Full()) {
+    ++tx_dropped_;
+    return;
+  }
+  guest_->vcpu(0)->Charge(frame_cost_);
+  uint16_t id = tx_free_ids_.back();
+  tx_free_ids_.pop_back();
+  Slot& slot = tx_slots_[id];
+  slot.in_use = true;
+
+  Buffer bytes = SerializeEthernet(frame);
+  KITE_CHECK(bytes.size() <= kPageSize) << "frame exceeds page";
+  std::copy(bytes.begin(), bytes.end(), slot.page->data.begin());
+
+  NetTxRequest req;
+  req.gref = slot.gref;
+  req.id = id;
+  req.offset = 0;
+  req.size = static_cast<uint16_t>(bytes.size());
+  tx_ring_->ProduceRequest(req);
+  CountTx(frame);
+  if (tx_ring_->PushRequests()) {
+    hv_->EventSend(guest_, port_);
+  }
+}
+
+void Netfront::OnIrq() {
+  ProcessTxResponses();
+  ProcessRxResponses();
+}
+
+void Netfront::ProcessTxResponses() {
+  do {
+    while (tx_ring_->HasUnconsumedResponses()) {
+      NetTxResponse rsp = tx_ring_->ConsumeResponse();
+      KITE_CHECK(rsp.id < kNetRingSize);
+      if (tx_slots_[rsp.id].in_use) {
+        tx_slots_[rsp.id].in_use = false;
+        tx_free_ids_.push_back(rsp.id);
+      }
+    }
+  } while (tx_ring_->FinalCheckForResponses());
+}
+
+void Netfront::ProcessRxResponses() {
+  do {
+    while (rx_ring_->HasUnconsumedResponses()) {
+      NetRxResponse rsp = rx_ring_->ConsumeResponse();
+      KITE_CHECK(rsp.id < kNetRingSize);
+      Slot& slot = rx_slots_[rsp.id];
+      slot.in_use = false;
+      rx_free_ids_.push_back(rsp.id);
+      if (rsp.size <= 0) {
+        ++rx_errors_;
+        continue;
+      }
+      guest_->vcpu(0)->Charge(frame_cost_);
+      auto frame = ParseEthernet(std::span<const uint8_t>(
+          slot.page->data.data() + rsp.offset, static_cast<size_t>(rsp.size)));
+      if (!frame.has_value()) {
+        ++rx_errors_;
+        continue;
+      }
+      DeliverInput(*frame);
+    }
+  } while (rx_ring_->FinalCheckForResponses());
+  // Refill the Rx ring with the freed buffers.
+  PostRxBuffers();
+}
+
+}  // namespace kite

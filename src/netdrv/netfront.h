@@ -1,0 +1,93 @@
+// Netfront: the paravirtualized network frontend driver in a guest DomU.
+//
+// Presents a NetIf to the guest's network stack. Allocates the Tx/Rx shared
+// rings and data pages, grants them to the backend domain, negotiates over
+// xenbus, and then exchanges frames through the rings with event-channel
+// notifications (paper §2.2.1, §4.2).
+#ifndef SRC_NETDRV_NETFRONT_H_
+#define SRC_NETDRV_NETFRONT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hv/domain.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/xenbus.h"
+#include "src/net/netif.h"
+#include "src/netdrv/netif_ring.h"
+
+namespace kite {
+
+class Netfront : public NetIf {
+ public:
+  // The xenstore device directories must already exist (created by the
+  // toolstack, see core/system.h). Construction starts the xenbus handshake;
+  // `on_connected` fires when the backend reports Connected.
+  Netfront(Domain* guest, DomId backend_dom, int devid, MacAddr mac,
+           std::function<void()> on_connected = nullptr);
+  ~Netfront() override;
+
+  // NetIf: transmit a frame from the guest stack toward the backend.
+  void Output(const EthernetFrame& frame) override;
+
+  bool connected() const { return connected_; }
+  int devid() const { return devid_; }
+  Domain* guest() const { return guest_; }
+
+  uint64_t tx_dropped() const { return tx_dropped_; }
+  uint64_t rx_errors() const { return rx_errors_; }
+
+  // Per-frame guest-side processing cost (serialize + driver work).
+  void set_frame_cost(SimDuration d) { frame_cost_ = d; }
+
+ private:
+  void PublishAndInitialise();
+  void OnBackendStateChange();
+  void OnIrq();
+  void ProcessTxResponses();
+  void ProcessRxResponses();
+  void PostRxBuffers();
+
+  Domain* guest_;
+  Hypervisor* hv_;
+  DomId backend_dom_;
+  int devid_;
+  std::function<void()> on_connected_;
+  bool connected_ = false;
+
+  std::string frontend_path_;
+  std::string backend_path_;
+  WatchId backend_watch_ = 0;
+
+  // Rings (frontend-allocated; shared via ring-page grants).
+  PageRef tx_ring_page_;
+  PageRef rx_ring_page_;
+  std::shared_ptr<NetTxSharedRing> tx_shared_;
+  std::shared_ptr<NetRxSharedRing> rx_shared_;
+  std::unique_ptr<NetTxFrontRing> tx_ring_;
+  std::unique_ptr<NetRxFrontRing> rx_ring_;
+  GrantRef tx_ring_gref_ = kInvalidGrantRef;
+  GrantRef rx_ring_gref_ = kInvalidGrantRef;
+
+  // Data page pools, one page per ring slot id.
+  struct Slot {
+    PageRef page;
+    GrantRef gref = kInvalidGrantRef;
+    bool in_use = false;
+  };
+  std::vector<Slot> tx_slots_;
+  std::vector<uint16_t> tx_free_ids_;
+  std::vector<Slot> rx_slots_;
+  std::vector<uint16_t> rx_free_ids_;
+
+  EvtPort port_ = kInvalidPort;
+  SimDuration frame_cost_ = Nanos(400);
+
+  uint64_t tx_dropped_ = 0;
+  uint64_t rx_errors_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_NETDRV_NETFRONT_H_

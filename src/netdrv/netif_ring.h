@@ -1,0 +1,59 @@
+// Xen netif ring message formats (public/io/netif.h analogue).
+//
+// Netfront and netback communicate over two rings: Tx (guest → backend) and
+// Rx (backend → guest). Both are allocated by the frontend; each slot
+// references a granted page. In rx-copy mode (the modern default, which Kite
+// implements — paper §4.2) the backend moves data with hypervisor grant
+// copies instead of mapping guest pages.
+#ifndef SRC_NETDRV_NETIF_RING_H_
+#define SRC_NETDRV_NETIF_RING_H_
+
+#include "src/hv/grant_table.h"
+#include "src/hv/ring.h"
+
+namespace kite {
+
+inline constexpr uint32_t kNetRingSize = 256;
+
+enum class NetifStatus : int8_t {
+  kOkay = 0,
+  kError = -1,
+  kDropped = -2,
+};
+
+// Guest → backend: "transmit this frame from my granted page".
+struct NetTxRequest {
+  GrantRef gref = kInvalidGrantRef;
+  uint16_t id = 0;
+  uint16_t offset = 0;
+  uint16_t size = 0;
+};
+
+struct NetTxResponse {
+  uint16_t id = 0;
+  NetifStatus status = NetifStatus::kOkay;
+};
+
+// Guest → backend: "here is an empty granted page for received data".
+struct NetRxRequest {
+  uint16_t id = 0;
+  GrantRef gref = kInvalidGrantRef;
+};
+
+// Backend → guest: "slot id now holds `size` bytes of frame data".
+struct NetRxResponse {
+  uint16_t id = 0;
+  uint16_t offset = 0;
+  int32_t size = 0;  // Negative: NetifStatus error.
+};
+
+using NetTxSharedRing = SharedRing<NetTxRequest, NetTxResponse>;
+using NetRxSharedRing = SharedRing<NetRxRequest, NetRxResponse>;
+using NetTxFrontRing = FrontRing<NetTxRequest, NetTxResponse>;
+using NetTxBackRing = BackRing<NetTxRequest, NetTxResponse>;
+using NetRxFrontRing = FrontRing<NetRxRequest, NetRxResponse>;
+using NetRxBackRing = BackRing<NetRxRequest, NetRxResponse>;
+
+}  // namespace kite
+
+#endif  // SRC_NETDRV_NETIF_RING_H_

@@ -1,0 +1,60 @@
+#include "src/os/profile.h"
+
+namespace kite {
+
+const char* OsKindName(OsKind kind) {
+  switch (kind) {
+    case OsKind::kKiteRumprun:
+      return "Kite";
+    case OsKind::kUbuntuLinux:
+      return "Ubuntu";
+    case OsKind::kDefaultLinux:
+      return "Default";
+    case OsKind::kCentOs:
+      return "CentOS";
+    case OsKind::kFedora:
+      return "Fedora";
+    case OsKind::kDebian:
+      return "Debian";
+  }
+  return "?";
+}
+
+SimDuration OsProfile::BootTime() const {
+  SimDuration total;
+  for (const BootPhase& p : boot_phases) {
+    total += p.duration;
+  }
+  return total;
+}
+
+int64_t OsProfile::ImageBytes() const {
+  int64_t total = 0;
+  for (const OsComponent& c : components) {
+    total += c.bytes;
+  }
+  return total;
+}
+
+std::set<std::string> OsProfile::RequiredSyscalls() const {
+  std::set<std::string> out;
+  for (const OsComponent& c : components) {
+    out.insert(c.syscalls.begin(), c.syscalls.end());
+  }
+  return out;
+}
+
+std::set<std::string> OsProfile::ExposedSyscalls() const {
+  std::set<std::string> out = RequiredSyscalls();
+  out.insert(extra_exposed_syscalls.begin(), extra_exposed_syscalls.end());
+  return out;
+}
+
+const OsProfile& DriverDomainProfile(OsKind kind, bool storage) {
+  if (kind == OsKind::kKiteRumprun) {
+    return storage ? KiteStorageProfile() : KiteNetworkProfile();
+  }
+  return UbuntuDriverDomainProfile();
+}
+
+}  // namespace kite

@@ -1,0 +1,137 @@
+// OS personalities for service VMs.
+//
+// A driver domain in this reproduction runs the *same functional backend
+// code* whether it is a Kite (rumprun) or a Linux (Ubuntu) domain — exactly
+// as in the paper, where both implement the same Xen backend protocol. What
+// differs is the OS around the driver:
+//   - cost profile: syscall crossings, softirq/work-queue scheduling latency,
+//     per-packet and per-request overhead of the OS I/O path;
+//   - component inventory: what is in the image (size, Fig 4b) and which
+//     system calls the components need (Fig 4a, Table 3);
+//   - boot phases (Fig 4c);
+//   - code profile for ROP-gadget analysis (Figs 1b, 5).
+#ifndef SRC_OS_PROFILE_H_
+#define SRC_OS_PROFILE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace kite {
+
+enum class OsKind {
+  kKiteRumprun,
+  kUbuntuLinux,    // Ubuntu 18.04 driver domain (the paper's baseline).
+  kDefaultLinux,   // Default-config kernel, Fig 5.
+  kCentOs,
+  kFedora,
+  kDebian,
+};
+
+const char* OsKindName(OsKind kind);
+
+// Per-operation costs on the I/O path. All charged to the driver domain's
+// vCPU or added as path latency.
+struct OsCostProfile {
+  // Cost of one system-call crossing (≈0 for unikernels: function call).
+  SimDuration syscall_cost;
+  // Backend CPU cost per network frame beyond grant-copy costs (driver work,
+  // bridge forwarding, memory management).
+  SimDuration netback_per_packet;
+  // Extra latency added per backend traversal (softirq/work-queue scheduling
+  // in Linux; Kite's dedicated threads run immediately).
+  SimDuration netback_pass_latency;
+  // Additional first-packet latency after an idle period (cold caches,
+  // deeper idle states in a full OS).
+  SimDuration cold_penalty;
+  SimDuration cold_threshold;
+  // Backend CPU cost per block request and per segment beyond grant costs.
+  SimDuration blkback_per_request;
+  SimDuration blkback_per_segment;
+  // Extra latency per block request traversal.
+  SimDuration blkback_pass_latency;
+  // Number of syscall crossings the OS performs per I/O operation on the
+  // backend path (0 for the unikernel, where the driver is the app).
+  int syscalls_per_packet = 0;
+  int syscalls_per_block_request = 0;
+};
+
+// One boot phase (Fig 4c is the sum; the restart example replays them).
+struct BootPhase {
+  std::string name;
+  SimDuration duration;
+};
+
+// One software component in the image: its size and the syscalls it needs.
+struct OsComponent {
+  std::string name;
+  int64_t bytes = 0;
+  bool kernel_space = false;
+  // Syscalls this component requires to function. For kernel components this
+  // is the set of syscalls it *implements/exposes*.
+  std::vector<std::string> syscalls;
+};
+
+// Instruction-mix profile of the image's executable code, consumed by the
+// ROP-gadget analysis (src/security). Weights need not sum to 1.
+struct CodeProfile {
+  int64_t code_bytes = 0;
+  // Relative weights per emitted instruction class; see security/isa.h.
+  double data_move = 30;
+  double arithmetic = 14;
+  double logic = 8;
+  double control_flow = 16;
+  double shift_rotate = 3;
+  double setting_flags = 7;
+  double string_ops = 1;
+  double floating = 2;
+  double misc = 3;
+  double mmx_sse = 4;
+  double nop = 6;
+  double ret_density = 1.5;  // Function density: rets per ~100 instructions.
+};
+
+struct OsProfile {
+  OsKind kind = OsKind::kKiteRumprun;
+  std::string name;
+  OsCostProfile costs;
+  std::vector<BootPhase> boot_phases;
+  std::vector<OsComponent> components;
+  CodeProfile code;
+  // Syscalls the kernel exposes beyond what the components *use*. A general-
+  // purpose kernel cannot remove entries from its syscall table, so its
+  // attack surface exceeds its used set; a unikernel discards unused
+  // syscalls at compile time (paper §5.1.1), so this is empty for Kite.
+  std::vector<std::string> extra_exposed_syscalls;
+
+  SimDuration BootTime() const;
+  int64_t ImageBytes() const;
+  // Union of syscalls over all components: the *used* set (Fig 4a).
+  std::set<std::string> RequiredSyscalls() const;
+  // Used ∪ extra-exposed: the reachable attack surface (Table 3 analysis).
+  std::set<std::string> ExposedSyscalls() const;
+};
+
+// --- Canonical profiles (defined in inventory.cc / profile.cc). ---
+
+// Kite driver domains (rumprun). The network and storage builds differ in
+// component set and syscall count (14 vs 18, Fig 4a).
+const OsProfile& KiteNetworkProfile();
+const OsProfile& KiteStorageProfile();
+// Ubuntu 18.04 driver domain: kernel + modules + required userspace.
+const OsProfile& UbuntuDriverDomainProfile();
+// Gadget-comparison-only profiles (Fig 5).
+const OsProfile& DefaultLinuxProfile();
+const OsProfile& CentOsProfile();
+const OsProfile& FedoraProfile();
+const OsProfile& DebianProfile();
+
+// Convenience: pick the driver-domain profile for a personality.
+const OsProfile& DriverDomainProfile(OsKind kind, bool storage);
+
+}  // namespace kite
+
+#endif  // SRC_OS_PROFILE_H_

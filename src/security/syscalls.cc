@@ -1,0 +1,29 @@
+#include "src/security/syscalls.h"
+
+namespace kite {
+
+SyscallReport AnalyzeSyscalls(const OsProfile& profile) {
+  SyscallReport report;
+  report.os_name = profile.name;
+  const std::set<std::string> used = profile.RequiredSyscalls();
+  const std::set<std::string> exposed = profile.ExposedSyscalls();
+  report.used = static_cast<int>(used.size());
+  report.exposed = static_cast<int>(exposed.size());
+  for (const std::string& s : exposed) {
+    if (used.count(s) == 0) {
+      report.removable.push_back(s);
+    }
+  }
+  return report;
+}
+
+double SyscallReductionFactor(const OsProfile& small_os, const OsProfile& big_os) {
+  const auto small_used = small_os.RequiredSyscalls();
+  const auto big_used = big_os.RequiredSyscalls();
+  if (small_used.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(big_used.size()) / static_cast<double>(small_used.size());
+}
+
+}  // namespace kite

@@ -1,0 +1,29 @@
+// System-call attack-surface analysis (paper §5.1.1, Fig 4a).
+#ifndef SRC_SECURITY_SYSCALLS_H_
+#define SRC_SECURITY_SYSCALLS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/os/profile.h"
+
+namespace kite {
+
+struct SyscallReport {
+  std::string os_name;
+  int used = 0;      // Syscalls the domain's software actually uses.
+  int exposed = 0;   // Syscalls reachable by an attacker.
+  // Syscalls exposed but not used — removable in a unikernel (discarded at
+  // compile time), irremovable in a general-purpose kernel.
+  std::vector<std::string> removable;
+};
+
+SyscallReport AnalyzeSyscalls(const OsProfile& profile);
+
+// Reduction factor of used syscalls between two profiles (Fig 4a's "10x").
+double SyscallReductionFactor(const OsProfile& small_os, const OsProfile& big_os);
+
+}  // namespace kite
+
+#endif  // SRC_SECURITY_SYSCALLS_H_

@@ -1,0 +1,18 @@
+#include "src/sim/cpu.h"
+
+namespace kite {
+
+SimTime Vcpu::Charge(SimDuration cost) {
+  if (cost < SimDuration(0)) {
+    cost = SimDuration(0);
+  }
+  SimTime start = executor_->Now();
+  if (free_at_ > start) {
+    start = free_at_;
+  }
+  free_at_ = start + cost;
+  busy_total_ += cost;
+  return free_at_;
+}
+
+}  // namespace kite

@@ -1,0 +1,78 @@
+// Virtual CPU cost model.
+//
+// A Vcpu serializes the simulated CPU work of one domain vCPU: work segments
+// extend a single "busy-until" horizon, so concurrent actors (threads,
+// interrupt handlers, hypercalls) naturally queue behind each other — the
+// behaviour of rumprun's non-preemptive single-vCPU scheduler that the paper's
+// thread structure is designed around.
+//
+// Two interfaces:
+//  - Charge(cost): synchronous accounting (used from interrupt handlers and
+//    hypercall paths that logically run to completion).
+//  - co_await Run(cost): suspend until the CPU has executed `cost` of work
+//    for this caller (used by driver threads; models queuing delay).
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <coroutine>
+#include <cstdint>
+
+#include "src/sim/executor.h"
+#include "src/sim/time.h"
+
+namespace kite {
+
+class Vcpu {
+ public:
+  explicit Vcpu(Executor* executor) : executor_(executor) {}
+
+  Executor* executor() const { return executor_; }
+
+  // Accounts `cost` of CPU work starting no earlier than now and no earlier
+  // than the end of previously queued work. Returns the completion time.
+  SimTime Charge(SimDuration cost);
+
+  // Awaitable that resumes once `cost` of work has been executed.
+  class RunAwaiter {
+   public:
+    RunAwaiter(Vcpu* cpu, SimDuration cost) : cpu_(cpu), cost_(cost) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      SimTime done = cpu_->Charge(cost_);
+      cpu_->executor_->ResumeAt(done, handle);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Vcpu* cpu_;
+    SimDuration cost_;
+  };
+
+  RunAwaiter Run(SimDuration cost) { return RunAwaiter(this, cost); }
+  // Cooperative yield: requeue behind any pending work.
+  RunAwaiter Yield() { return RunAwaiter(this, SimDuration(0)); }
+
+  // Total CPU time consumed since construction (for utilization reports).
+  SimDuration busy_total() const { return busy_total_; }
+  SimTime free_at() const { return free_at_; }
+
+  // Utilization over a window, given busy_total() sampled at window start.
+  static double Utilization(SimDuration busy_at_start, SimDuration busy_at_end,
+                            SimDuration window) {
+    if (window.ns() <= 0) {
+      return 0.0;
+    }
+    double u = static_cast<double>((busy_at_end - busy_at_start).ns()) /
+               static_cast<double>(window.ns());
+    return u > 1.0 ? 1.0 : u;
+  }
+
+ private:
+  Executor* executor_;
+  SimTime free_at_;
+  SimDuration busy_total_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_SIM_CPU_H_

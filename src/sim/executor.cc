@@ -1,0 +1,87 @@
+#include "src/sim/executor.h"
+
+#include "src/base/log.h"
+
+namespace kite {
+
+Executor::~Executor() {
+  // Destroy coroutine frames still parked in the queue so long-lived server
+  // loops suspended on a timer do not leak when a simulation is torn down.
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we only need the handle.
+    const Event& ev = queue_.top();
+    if (ev.coro) {
+      ev.coro.destroy();
+    }
+    queue_.pop();
+  }
+}
+
+void Executor::PostAt(SimTime when, std::function<void()> fn) {
+  KITE_CHECK(fn != nullptr);
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+}
+
+void Executor::PostAfter(SimDuration delay, std::function<void()> fn) {
+  if (delay < SimDuration(0)) {
+    delay = SimDuration(0);
+  }
+  PostAt(now_ + delay, std::move(fn));
+}
+
+void Executor::ResumeAt(SimTime when, std::coroutine_handle<> handle) {
+  KITE_CHECK(handle != nullptr);
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, nullptr, handle});
+}
+
+void Executor::ResumeAfter(SimDuration delay, std::coroutine_handle<> handle) {
+  if (delay < SimDuration(0)) {
+    delay = SimDuration(0);
+  }
+  ResumeAt(now_ + delay, handle);
+}
+
+void Executor::RunEvent(Event& ev) {
+  now_ = ev.at;
+  ++steps_;
+  if (ev.coro) {
+    ev.coro.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+bool Executor::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move out of the queue before running: the handler may push new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  RunEvent(ev);
+  return true;
+}
+
+void Executor::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void Executor::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    RunEvent(ev);
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace kite

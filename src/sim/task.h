@@ -1,0 +1,59 @@
+// Coroutine task type for simulation actors.
+//
+// A Task is an eager, detached coroutine: it runs until its first suspension
+// when called, and its frame self-destroys on completion (final_suspend is
+// suspend_never). While suspended, the frame is owned by exactly one parking
+// place — the Executor queue (timer waits) or a WaitChannel (condition waits)
+// — whose destructor destroys still-parked frames, so simulations can be torn
+// down mid-run without leaks.
+//
+// This mirrors the paper's threading model directly: rumprun BMK threads are
+// cooperative and non-preemptive, which is exactly what single-threaded
+// coroutines give us.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+
+#include "src/sim/executor.h"
+#include "src/sim/time.h"
+
+namespace kite {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() noexcept { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+// co_await SleepFor(executor, d): park in the executor until Now() + d.
+class SleepAwaiter {
+ public:
+  SleepAwaiter(Executor* executor, SimDuration delay) : executor_(executor), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) { executor_->ResumeAfter(delay_, handle); }
+  void await_resume() const noexcept {}
+
+ private:
+  Executor* executor_;
+  SimDuration delay_;
+};
+
+inline SleepAwaiter SleepFor(Executor* executor, SimDuration delay) {
+  return SleepAwaiter(executor, delay);
+}
+
+inline SleepAwaiter SleepUntil(Executor* executor, SimTime when) {
+  return SleepAwaiter(executor, when - executor->Now());
+}
+
+}  // namespace kite
+
+#endif  // SRC_SIM_TASK_H_

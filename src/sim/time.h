@@ -1,0 +1,73 @@
+// Simulated time. All simulation timestamps are nanoseconds since simulation
+// start, wrapped in strong types so wall-clock and simulated time can never
+// be confused.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace kite {
+
+// A span of simulated time, in nanoseconds. Negative durations are allowed
+// arithmetically but never scheduled.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(int64_t k) const { return SimDuration(ns_ * k); }
+  constexpr SimDuration operator/(int64_t k) const { return SimDuration(ns_ / k); }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+constexpr SimDuration Micros(int64_t n) { return SimDuration(n * 1000); }
+constexpr SimDuration Millis(int64_t n) { return SimDuration(n * 1000 * 1000); }
+constexpr SimDuration Seconds(int64_t n) { return SimDuration(n * 1000 * 1000 * 1000); }
+// Fractional-seconds constructor for calibration constants.
+constexpr SimDuration SecondsF(double s) { return SimDuration(static_cast<int64_t>(s * 1e9)); }
+constexpr SimDuration MicrosF(double us) { return SimDuration(static_cast<int64_t>(us * 1e3)); }
+
+// An instant of simulated time.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ns_ - o.ns_); }
+
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+}  // namespace kite
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,45 @@
+#include "src/sim/wait.h"
+
+namespace kite {
+
+WaitChannel::~WaitChannel() {
+  // Destroy frames parked on the channel...
+  for (auto handle : waiters_) {
+    handle.destroy();
+  }
+  // ...and frames whose resumption is still queued in the executor. The
+  // queued event observes `cancelled` and becomes a no-op.
+  for (const auto& r : in_flight_) {
+    r->cancelled = true;
+    if (r->handle) {
+      r->handle.destroy();
+    }
+  }
+}
+
+void WaitChannel::NotifyOne() {
+  if (waiters_.empty()) {
+    return;
+  }
+  auto resumption = std::make_shared<Resumption>();
+  resumption->handle = waiters_.front();
+  waiters_.pop_front();
+  in_flight_.insert(resumption);
+  executor_->Post([this, resumption] {
+    if (resumption->cancelled) {
+      return;  // Channel destroyed; frame already reclaimed.
+    }
+    in_flight_.erase(resumption);
+    auto handle = resumption->handle;
+    resumption->handle = nullptr;
+    handle.resume();
+  });
+}
+
+void WaitChannel::NotifyAll() {
+  while (!waiters_.empty()) {
+    NotifyOne();
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,111 @@
+// Condition-variable-like primitive for coroutine actors.
+//
+// WaitChannel models rumprun's wait channels: a thread sleeps on a channel
+// and is woken by an event handler. NotifyOne/NotifyAll resume waiters via
+// the executor (never inline), matching the paper's design where interrupt
+// handlers only *wake* the pusher/soft_start threads and return immediately.
+//
+// Destruction safety: coroutine frames parked on the channel — including
+// those whose resumption is already queued in the executor — are destroyed
+// with the channel, so tearing down a component (e.g. a driver domain being
+// restarted) cannot leave dangling resumptions behind.
+#ifndef SRC_SIM_WAIT_H_
+#define SRC_SIM_WAIT_H_
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "src/sim/executor.h"
+
+namespace kite {
+
+class WaitChannel {
+ public:
+  explicit WaitChannel(Executor* executor) : executor_(executor) {}
+  ~WaitChannel();
+
+  WaitChannel(const WaitChannel&) = delete;
+  WaitChannel& operator=(const WaitChannel&) = delete;
+
+  class Awaiter {
+   public:
+    explicit Awaiter(WaitChannel* channel) : channel_(channel) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) { channel_->Park(handle); }
+    void await_resume() const noexcept {}
+
+   private:
+    WaitChannel* channel_;
+  };
+
+  // co_await channel.Wait(): park until notified.
+  Awaiter Wait() { return Awaiter(this); }
+
+  // Wakes the oldest waiter (no-op when none). Resumption is posted to the
+  // executor at the current time, never run inline.
+  void NotifyOne();
+  void NotifyAll();
+
+  // Parks a coroutine handle (used by Awaiter and by WakeFlag below).
+  void Park(std::coroutine_handle<> handle) { waiters_.push_back(handle); }
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Resumption {
+    std::coroutine_handle<> handle;
+    bool cancelled = false;
+  };
+
+  Executor* executor_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  // Wakeups already posted to the executor but not yet run.
+  std::set<std::shared_ptr<Resumption>> in_flight_;
+};
+
+// One-bit wakeup flag: a thread that loops "process everything, then sleep
+// unless more work arrived while I was processing". This is the exact
+// semantics netback's pusher/soft_start threads need to avoid lost wakeups.
+class WakeFlag {
+ public:
+  explicit WakeFlag(Executor* executor) : channel_(executor) {}
+
+  // Sets the flag; wakes a sleeping waiter if any.
+  void Signal() {
+    signaled_ = true;
+    channel_.NotifyOne();
+  }
+
+  bool signaled() const { return signaled_; }
+
+  // Awaitable: returns immediately if signaled, else parks. Clears the flag.
+  class Awaiter {
+   public:
+    explicit Awaiter(WakeFlag* flag) : flag_(flag) {}
+    bool await_ready() const noexcept {
+      if (flag_->signaled_) {
+        flag_->signaled_ = false;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) { flag_->channel_.Park(handle); }
+    void await_resume() const noexcept { flag_->signaled_ = false; }
+
+   private:
+    WakeFlag* flag_;
+  };
+
+  Awaiter Wait() { return Awaiter(this); }
+
+ private:
+  friend class Awaiter;
+  WaitChannel channel_;
+  bool signaled_ = false;
+};
+
+}  // namespace kite
+
+#endif  // SRC_SIM_WAIT_H_

@@ -1,0 +1,205 @@
+#include "src/workloads/filebench.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+struct Filebench::Thread {
+  int id = 0;
+  bool idle = true;
+  SimTime op_started;
+};
+
+Filebench::Filebench(SimpleFs* fs, FilebenchConfig config, Vcpu* cpu_to_sample)
+    : fs_(fs), config_(config), sampled_cpu_(cpu_to_sample) {
+  // Pre-populate the file set (Filebench does this before the run).
+  KITE_CHECK(fs_->CreateMany("fbfile.", config_.file_count, config_.mean_file_bytes))
+      << "filebench population failed";
+  next_create_id_ = config_.file_count;
+  for (int i = 0; i < config_.threads; ++i) {
+    auto t = std::make_unique<Thread>();
+    t->id = i;
+    threads_.push_back(std::move(t));
+  }
+}
+
+Filebench::~Filebench() = default;
+
+Executor* Filebench::executor() const {
+  return fs_->device()->guest()->hypervisor()->executor();
+}
+
+std::string Filebench::RandomFile() {
+  return StrFormat("fbfile.%06d", static_cast<int>(rng_.NextBelow(config_.file_count)));
+}
+
+void Filebench::Run(std::function<void(const FilebenchResult&)> done) {
+  done_ = std::move(done);
+  started_at_ = executor()->Now();
+  deadline_ = started_at_ + config_.duration;
+  if (sampled_cpu_ != nullptr) {
+    cpu_busy_at_start_ = sampled_cpu_->busy_total();
+  }
+  for (auto& t : threads_) {
+    NextOp(t.get());
+  }
+}
+
+void Filebench::NextOp(Thread* t) {
+  if (executor()->Now() >= deadline_) {
+    t->idle = true;
+    FinishIfDue();
+    return;
+  }
+  t->idle = false;
+  t->op_started = executor()->Now();
+  switch (config_.personality) {
+    case FilebenchPersonality::kFileserver:
+      RunFileserverCycle(t);
+      break;
+    case FilebenchPersonality::kWebserver:
+      RunWebserverCycle(t);
+      break;
+    case FilebenchPersonality::kMongoDb:
+      RunMongoCycle(t);
+      break;
+  }
+}
+
+void Filebench::OpDone(Thread* t, size_t bytes_moved) {
+  ++ops_;
+  bytes_moved_ += bytes_moved;
+  result_.latency_ms.Add((executor()->Now() - t->op_started).ms());
+  NextOp(t);
+}
+
+void Filebench::ChunkedIo(const std::string& path, int64_t total, bool is_read,
+                          std::function<void(bool)> done) {
+  auto pos = std::make_shared<int64_t>(0);
+  // Weak self-reference: the in-flight I/O's callback owns the strong ref,
+  // so the chain lives exactly as long as work is pending (no refcycle).
+  auto step = std::make_shared<std::function<void(bool)>>();
+  std::weak_ptr<std::function<void(bool)>> weak_step = step;
+  *step = [this, path, total, is_read, pos, weak_step, done = std::move(done)](bool ok) {
+    if (*pos >= total || !ok) {
+      done(ok);
+      return;
+    }
+    const int64_t n =
+        std::min<int64_t>(static_cast<int64_t>(config_.io_bytes), total - *pos);
+    const int64_t off = *pos;
+    *pos += n;
+    auto self = weak_step.lock();
+    auto cont = [self](bool ok2) { (*self)(ok2); };
+    if (is_read) {
+      fs_->Read(path, off, static_cast<size_t>(n), cont);
+    } else {
+      fs_->Write(path, off, static_cast<size_t>(n), cont);
+    }
+  };
+  (*step)(true);
+}
+
+void Filebench::RunFileserverCycle(Thread* t) {
+  // create → write-whole → append → read-whole → stat → delete.
+  const std::string fresh = StrFormat("fbnew.%d.%06d", t->id, next_create_id_++);
+  const int64_t fsize = config_.mean_file_bytes;
+  if (!fs_->Create(fresh, fsize)) {
+    // Out of space: recycle by deleting a random file first.
+    fs_->Delete(RandomFile());
+    OpDone(t, 0);
+    return;
+  }
+  auto total = std::make_shared<size_t>(0);
+  auto finish = [this, t, fresh, total](bool) {
+    fs_->Stat(fresh);
+    fs_->Delete(fresh);
+    OpDone(t, *total);
+  };
+  auto read_whole = [this, fresh, fsize, total, finish](bool) {
+    *total += static_cast<size_t>(fsize);
+    ChunkedIo(fresh, fsize, /*is_read=*/true, finish);
+  };
+  auto append = [this, fresh, total, read_whole](bool) {
+    *total += config_.append_bytes;
+    fs_->Append(fresh, config_.append_bytes, read_whole);
+  };
+  *total += static_cast<size_t>(fsize);
+  ChunkedIo(fresh, fsize, /*is_read=*/false, append);
+}
+
+void Filebench::RunWebserverCycle(Thread* t) {
+  // open+read-whole of 10 random files, then a 16 KB log append.
+  auto remaining = std::make_shared<int>(10);
+  auto total = std::make_shared<size_t>(0);
+  auto after_reads = [this, t, total](bool) {
+    const std::string log = StrFormat("weblog.%d", t->id);
+    if (!fs_->Exists(log)) {
+      fs_->Create(log, 0);
+    }
+    *total += config_.append_bytes;
+    fs_->Append(log, config_.append_bytes,
+                [this, t, total](bool) { OpDone(t, *total); });
+  };
+  auto one_read_done = std::make_shared<std::function<void(bool)>>();
+  std::weak_ptr<std::function<void(bool)>> weak_read = one_read_done;
+  *one_read_done = [this, remaining, total, after_reads, weak_read](bool) {
+    if (--*remaining == 0) {
+      after_reads(true);
+      return;
+    }
+    const std::string f = RandomFile();
+    const int64_t len = fs_->FileSize(f);
+    *total += static_cast<size_t>(len);
+    auto self = weak_read.lock();
+    ChunkedIo(f, len, /*is_read=*/true, [self](bool ok) { (*self)(ok); });
+  };
+  const std::string f = RandomFile();
+  const int64_t len = fs_->FileSize(f);
+  *total += static_cast<size_t>(len);
+  auto self = one_read_done;
+  ChunkedIo(f, len, /*is_read=*/true, [self](bool ok) { (*self)(ok); });
+}
+
+void Filebench::RunMongoCycle(Thread* t) {
+  // Read-modify-write of a 4 MB region plus an fsync — MongoDB's large
+  // sequential I/O pattern.
+  const std::string f = RandomFile();
+  const int64_t fsize = fs_->FileSize(f);
+  const size_t io = std::min<size_t>(config_.io_bytes, static_cast<size_t>(fsize));
+  auto total = std::make_shared<size_t>(0);
+  *total += io;
+  fs_->Read(f, 0, io, [this, t, f, io, total](bool) {
+    *total += io;
+    fs_->Write(f, 0, io, [this, t, total](bool) {
+      fs_->Fsync([this, t, total](bool) { OpDone(t, *total); });
+    });
+  });
+}
+
+void Filebench::FinishIfDue() {
+  if (finished_) {
+    return;
+  }
+  for (const auto& t : threads_) {
+    if (!t->idle) {
+      return;
+    }
+  }
+  finished_ = true;
+  const double elapsed = (executor()->Now() - started_at_).seconds();
+  result_.ops = ops_;
+  result_.ops_per_sec = elapsed > 0 ? ops_ / elapsed : 0;
+  result_.mbytes_per_sec =
+      elapsed > 0 ? bytes_moved_ / (1024.0 * 1024.0) / elapsed : 0;
+  if (sampled_cpu_ != nullptr && ops_ > 0) {
+    result_.cpu_us_per_op =
+        (sampled_cpu_->busy_total() - cpu_busy_at_start_).us() / static_cast<double>(ops_);
+  }
+  if (done_) {
+    done_(result_);
+  }
+}
+
+}  // namespace kite

@@ -1,0 +1,92 @@
+// Filebench personalities over SimpleFs: fileserver (Fig 14), webserver
+// (Fig 16), and the MongoDB-style profile (Fig 15).
+#ifndef SRC_WORKLOADS_FILEBENCH_H_
+#define SRC_WORKLOADS_FILEBENCH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/sim/cpu.h"
+#include "src/workloads/fs.h"
+
+namespace kite {
+
+enum class FilebenchPersonality {
+  // create → write-whole → append → read-whole → stat → delete loop, 50
+  // threads, 100k files × 128 KB average (paper §5.4.4).
+  kFileserver,
+  // open → read-whole ×10 → append 16 KB log, 50 threads, 200k files × 64 KB
+  // (paper §5.4.6).
+  kWebserver,
+  // large sequential read-modify-write + fsync, 4 MB mean I/O, single user
+  // (paper §5.4.5).
+  kMongoDb,
+};
+
+struct FilebenchConfig {
+  FilebenchPersonality personality = FilebenchPersonality::kFileserver;
+  int threads = 50;
+  int file_count = 2000;              // Scaled from 100k/200k.
+  int64_t mean_file_bytes = 128 * 1024;
+  size_t io_bytes = 1024 * 1024;      // Swept in Fig 14.
+  size_t append_bytes = 1024;         // 1 KB fileserver / 16 KB webserver.
+  SimDuration duration = Millis(400);
+};
+
+struct FilebenchResult {
+  double ops_per_sec = 0;
+  double mbytes_per_sec = 0;
+  double cpu_us_per_op = 0;  // Driver-domain CPU per operation (Figs 15/16).
+  Stats latency_ms;
+  uint64_t ops = 0;
+};
+
+class Filebench {
+ public:
+  // cpu_to_sample: the vCPU whose busy time feeds cpu_us_per_op (the storage
+  // domain's vCPU in the paper's figures).
+  Filebench(SimpleFs* fs, FilebenchConfig config, Vcpu* cpu_to_sample = nullptr);
+  ~Filebench();
+
+  void Run(std::function<void(const FilebenchResult&)> done);
+  bool finished() const { return finished_; }
+  const FilebenchResult& result() const { return result_; }
+
+ private:
+  struct Thread;
+  void NextOp(Thread* t);
+  // Transfers `total` bytes of `path` in io_bytes-sized chunks (sequential,
+  // chained) — filebench's iosize semantics: larger I/Os amortize the
+  // per-request PV path overhead.
+  void ChunkedIo(const std::string& path, int64_t total, bool is_read,
+                 std::function<void(bool)> done);
+  void RunFileserverCycle(Thread* t);
+  void RunWebserverCycle(Thread* t);
+  void RunMongoCycle(Thread* t);
+  void OpDone(Thread* t, size_t bytes_moved);
+  void FinishIfDue();
+  Executor* executor() const;
+  std::string RandomFile();
+
+  SimpleFs* fs_;
+  FilebenchConfig config_;
+  Vcpu* sampled_cpu_;
+  Rng rng_{0xfb};
+  std::function<void(const FilebenchResult&)> done_;
+  SimTime started_at_;
+  SimTime deadline_;
+  SimDuration cpu_busy_at_start_;
+  uint64_t ops_ = 0;
+  uint64_t bytes_moved_ = 0;
+  int next_create_id_ = 0;
+  bool finished_ = false;
+  FilebenchResult result_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_WORKLOADS_FILEBENCH_H_

@@ -1,0 +1,87 @@
+#include "src/workloads/rpc.h"
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace kite {
+
+std::vector<RpcFramer::Frame> RpcFramer::Feed(std::span<const uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  std::vector<Frame> frames;
+  size_t pos = 0;
+  while (buf_.size() - pos >= 5) {
+    ByteReader r(std::span<const uint8_t>(buf_.data() + pos, buf_.size() - pos));
+    const uint32_t len = r.U32();
+    if (buf_.size() - pos < 4 + len) {
+      break;
+    }
+    Frame frame;
+    frame.type = buf_[pos + 4];
+    frame.payload.assign(buf_.begin() + pos + 5, buf_.begin() + pos + 4 + len);
+    frames.push_back(std::move(frame));
+    pos += 4 + len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + pos);
+  return frames;
+}
+
+Buffer RpcFramer::Encode(uint8_t type, std::span<const uint8_t> payload) {
+  Buffer out;
+  ByteWriter w(&out);
+  w.U32(static_cast<uint32_t>(payload.size() + 1));
+  w.U8(type);
+  w.Raw(payload);
+  return out;
+}
+
+RpcServer::RpcServer(EtherStack* stack, uint16_t port, Handler handler)
+    : stack_(stack), handler_(std::move(handler)) {
+  stack_->ListenTcp(port, [this](TcpConn* conn) {
+    auto framer = std::make_shared<RpcFramer>();
+    conn->SetDataCallback([this, conn, framer](std::span<const uint8_t> data) {
+      for (RpcFramer::Frame& frame : framer->Feed(data)) {
+        ++requests_;
+        // The respond closure may run arbitrarily later (CPU queueing,
+        // storage I/O); guard against the connection having gone away.
+        handler_(frame.type, frame.payload,
+                 [conn, alive = conn->AliveGuard()](uint8_t type, Buffer payload) {
+                   if (*alive && !conn->closed()) {
+                     conn->Send(RpcFramer::Encode(type, payload));
+                   }
+                 });
+      }
+    });
+  });
+}
+
+RpcClient::RpcClient(EtherStack* stack, Ipv4Addr server, uint16_t port) : stack_(stack) {
+  conn_ = stack_->ConnectTcp(server, port, [this](TcpConn* conn) {
+    connected_ = true;
+    for (Buffer& b : queued_sends_) {
+      conn->Send(std::move(b));
+    }
+    queued_sends_.clear();
+  });
+  conn_->SetDataCallback([pending = pending_, framer = framer_](
+                             std::span<const uint8_t> data) {
+    for (RpcFramer::Frame& frame : framer->Feed(data)) {
+      KITE_CHECK(!pending->empty()) << "response without a pending request";
+      auto cb = std::move(pending->front());
+      pending->pop_front();
+      cb(frame.type, frame.payload);
+    }
+  });
+  conn_->SetCloseCallback([this] { failed_ = !connected_; });
+}
+
+void RpcClient::Call(uint8_t type, Buffer payload, ResponseFn on_response) {
+  pending_->push_back(std::move(on_response));
+  Buffer encoded = RpcFramer::Encode(type, payload);
+  if (connected_) {
+    conn_->Send(std::move(encoded));
+  } else {
+    queued_sends_.push_back(std::move(encoded));
+  }
+}
+
+}  // namespace kite

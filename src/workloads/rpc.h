@@ -1,0 +1,75 @@
+// Minimal length-prefixed RPC framing over TCP, used by the MySQL server
+// model (the real MySQL wire protocol is out of scope; DESIGN.md documents
+// the substitution). Frame: [u32 length][u8 type][payload].
+#ifndef SRC_WORKLOADS_RPC_H_
+#define SRC_WORKLOADS_RPC_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/net/tcp.h"
+
+namespace kite {
+
+// Parses frames out of a TCP byte stream.
+class RpcFramer {
+ public:
+  struct Frame {
+    uint8_t type = 0;
+    Buffer payload;
+  };
+
+  // Feeds bytes; returns all complete frames.
+  std::vector<Frame> Feed(std::span<const uint8_t> data);
+
+  static Buffer Encode(uint8_t type, std::span<const uint8_t> payload);
+
+ private:
+  Buffer buf_;
+};
+
+// Server: one handler invoked per request frame; respond exactly once.
+class RpcServer {
+ public:
+  using RespondFn = std::function<void(uint8_t type, Buffer payload)>;
+  using Handler = std::function<void(uint8_t type, const Buffer& payload, RespondFn respond)>;
+
+  RpcServer(EtherStack* stack, uint16_t port, Handler handler);
+
+  uint64_t requests() const { return requests_; }
+
+ private:
+  EtherStack* stack_;
+  Handler handler_;
+  uint64_t requests_ = 0;
+};
+
+// Client connection with pipelining; responses match requests FIFO.
+class RpcClient {
+ public:
+  using ResponseFn = std::function<void(uint8_t type, const Buffer& payload)>;
+
+  // Connects immediately; calls made before the connection establishes are
+  // queued.
+  RpcClient(EtherStack* stack, Ipv4Addr server, uint16_t port);
+
+  void Call(uint8_t type, Buffer payload, ResponseFn on_response);
+  size_t outstanding() const { return pending_->size(); }
+  bool connected() const { return connected_; }
+  bool failed() const { return failed_; }
+
+ private:
+  EtherStack* stack_;
+  TcpConn* conn_ = nullptr;
+  bool connected_ = false;
+  bool failed_ = false;
+  std::deque<Buffer> queued_sends_;
+  std::shared_ptr<std::deque<ResponseFn>> pending_ =
+      std::make_shared<std::deque<ResponseFn>>();
+  std::shared_ptr<RpcFramer> framer_ = std::make_shared<RpcFramer>();
+};
+
+}  // namespace kite
+
+#endif  // SRC_WORKLOADS_RPC_H_

@@ -1,0 +1,377 @@
+// Unit tests for the hypervisor substrate: grant tables, event channels,
+// xenstore (permissions + watches), xenbus, PCI/IOMMU.
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/xenbus.h"
+
+namespace kite {
+namespace {
+
+class HvTest : public ::testing::Test {
+ protected:
+  Executor ex_;
+  Hypervisor hv_{&ex_};
+};
+
+TEST_F(HvTest, Dom0ExistsAndIsOnline) {
+  ASSERT_NE(hv_.dom0(), nullptr);
+  EXPECT_EQ(hv_.dom0()->id(), 0);
+  EXPECT_TRUE(hv_.dom0()->online());
+}
+
+TEST_F(HvTest, CreateDomainAssignsIds) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 2, 1024);
+  EXPECT_EQ(a->id(), 1);
+  EXPECT_EQ(b->id(), 2);
+  EXPECT_EQ(b->vcpu_count(), 2);
+  EXPECT_EQ(hv_.live_domain_count(), 3);
+  EXPECT_EQ(hv_.domain(1), a);
+  EXPECT_EQ(hv_.domain(99), nullptr);
+}
+
+TEST_F(HvTest, DestroyDomainRemovesStoreSubtree) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  const std::string home = a->store_home();
+  EXPECT_TRUE(hv_.store().Exists(home + "/name"));
+  hv_.DestroyDomain(a->id());
+  EXPECT_FALSE(hv_.store().Exists(home));
+  EXPECT_EQ(hv_.live_domain_count(), 1);
+}
+
+// --- Grant tables. ---
+
+TEST_F(HvTest, GrantMapRespectsOwnership) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  Domain* other = hv_.CreateDomain("other", 1, 512);
+  PageRef page = AllocPage();
+  page->data[0] = 0x42;
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), page, false);
+
+  MappedGrant good = hv_.GrantMap(peer, owner->id(), ref, true);
+  ASSERT_TRUE(good.valid());
+  EXPECT_EQ(good.page()->data[0], 0x42);
+
+  // A third domain may not map someone else's grant.
+  MappedGrant bad = hv_.GrantMap(other, owner->id(), ref, false);
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST_F(HvTest, ReadonlyGrantRefusesWriteMapping) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), AllocPage(), true);
+  EXPECT_FALSE(hv_.GrantMap(peer, owner->id(), ref, true).valid());
+  EXPECT_TRUE(hv_.GrantMap(peer, owner->id(), ref, false).valid());
+}
+
+TEST_F(HvTest, EndAccessFailsWhileMapped) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), AllocPage(), false);
+  {
+    MappedGrant map = hv_.GrantMap(peer, owner->id(), ref, false);
+    ASSERT_TRUE(map.valid());
+    EXPECT_FALSE(owner->grant_table().EndAccess(ref));  // Mapped: refuse.
+  }
+  EXPECT_TRUE(owner->grant_table().EndAccess(ref));  // Unmapped: ok.
+  EXPECT_EQ(owner->grant_table().active_entry_count(), 0);
+}
+
+TEST_F(HvTest, GrantRefsAreRecycled) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  GrantRef a = owner->grant_table().GrantAccess(0, AllocPage(), false);
+  EXPECT_TRUE(owner->grant_table().EndAccess(a));
+  GrantRef b = owner->grant_table().GrantAccess(0, AllocPage(), false);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(HvTest, GrantCopyMovesBytesAndChecksBounds) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  PageRef page = AllocPage();
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), page, false);
+
+  Buffer src = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(hv_.GrantCopyToGranted(peer, owner->id(), ref, 100, src));
+  EXPECT_EQ(page->data[100], 1);
+  EXPECT_EQ(page->data[104], 5);
+
+  Buffer dst(5);
+  EXPECT_TRUE(hv_.GrantCopyFromGranted(peer, owner->id(), ref, 100, dst));
+  EXPECT_EQ(dst, src);
+
+  // Out of bounds.
+  Buffer big(kPageSize);
+  EXPECT_FALSE(hv_.GrantCopyToGranted(peer, owner->id(), ref, 1, big));
+}
+
+TEST_F(HvTest, GrantCopyToReadonlyFails) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), AllocPage(), true);
+  Buffer src = {1};
+  EXPECT_FALSE(hv_.GrantCopyToGranted(peer, owner->id(), ref, 0, src));
+  Buffer dst(1);
+  EXPECT_TRUE(hv_.GrantCopyFromGranted(peer, owner->id(), ref, 0, dst));
+}
+
+TEST_F(HvTest, GrantOperationsChargeCpu) {
+  Domain* owner = hv_.CreateDomain("owner", 1, 512);
+  Domain* peer = hv_.CreateDomain("peer", 1, 512);
+  GrantRef ref = owner->grant_table().GrantAccess(peer->id(), AllocPage(), false);
+  const SimDuration before = peer->vcpu(0)->busy_total();
+  {
+    MappedGrant map = hv_.GrantMap(peer, owner->id(), ref, false);
+  }
+  const SimDuration after = peer->vcpu(0)->busy_total();
+  EXPECT_EQ((after - before).ns(),
+            (hv_.costs().grant_map + hv_.costs().grant_unmap).ns());
+  EXPECT_EQ(hv_.grant_maps(), 1u);
+  EXPECT_EQ(hv_.grant_unmaps(), 1u);
+}
+
+// --- Event channels. ---
+
+TEST_F(HvTest, EventChannelDelivery) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  EvtPort pa = hv_.EventAllocUnbound(a, b->id());
+  EvtPort pb = hv_.EventBindInterdomain(b, a->id(), pa);
+  ASSERT_NE(pb, kInvalidPort);
+
+  int a_irqs = 0;
+  int b_irqs = 0;
+  hv_.EventSetHandler(a, pa, [&] { ++a_irqs; });
+  hv_.EventSetHandler(b, pb, [&] { ++b_irqs; });
+
+  hv_.EventSend(a, pa);  // a → b.
+  ex_.RunUntilIdle();
+  EXPECT_EQ(b_irqs, 1);
+  EXPECT_EQ(a_irqs, 0);
+
+  hv_.EventSend(b, pb);  // b → a.
+  ex_.RunUntilIdle();
+  EXPECT_EQ(a_irqs, 1);
+}
+
+TEST_F(HvTest, EventsPendingCoalesce) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  EvtPort pa = hv_.EventAllocUnbound(a, b->id());
+  EvtPort pb = hv_.EventBindInterdomain(b, a->id(), pa);
+  int b_irqs = 0;
+  hv_.EventSetHandler(b, pb, [&] { ++b_irqs; });
+  hv_.EventSend(a, pa);
+  hv_.EventSend(a, pa);
+  hv_.EventSend(a, pa);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(b_irqs, 1);
+  // After delivery, a new send produces a new interrupt.
+  hv_.EventSend(a, pa);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(b_irqs, 2);
+}
+
+TEST_F(HvTest, BindRequiresMatchingRemote) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  Domain* c = hv_.CreateDomain("c", 1, 512);
+  EvtPort pa = hv_.EventAllocUnbound(a, b->id());
+  // c was not the designated remote.
+  EXPECT_EQ(hv_.EventBindInterdomain(c, a->id(), pa), kInvalidPort);
+  // Correct remote binds fine.
+  EXPECT_NE(hv_.EventBindInterdomain(b, a->id(), pa), kInvalidPort);
+  // Double-bind fails.
+  EXPECT_EQ(hv_.EventBindInterdomain(b, a->id(), pa), kInvalidPort);
+}
+
+TEST_F(HvTest, SendAfterPeerCloseFails) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  EvtPort pa = hv_.EventAllocUnbound(a, b->id());
+  EvtPort pb = hv_.EventBindInterdomain(b, a->id(), pa);
+  hv_.EventClose(b, pb);
+  EXPECT_FALSE(hv_.EventSend(a, pa));
+}
+
+TEST_F(HvTest, EventToDestroyedDomainIsDropped) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  EvtPort pa = hv_.EventAllocUnbound(a, b->id());
+  EvtPort pb = hv_.EventBindInterdomain(b, a->id(), pa);
+  int b_irqs = 0;
+  hv_.EventSetHandler(b, pb, [&] { ++b_irqs; });
+  hv_.EventSend(a, pa);
+  hv_.DestroyDomain(b->id());  // Destroy while the event is in flight.
+  ex_.RunUntilIdle();
+  EXPECT_EQ(b_irqs, 0);
+}
+
+// --- Xenstore. ---
+
+TEST_F(HvTest, StoreReadWriteList) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  EXPECT_TRUE(a->StoreWrite(a->store_home() + "/device/vif/0/mac", "aa:bb"));
+  EXPECT_EQ(a->StoreRead(a->store_home() + "/device/vif/0/mac").value_or(""), "aa:bb");
+  auto children = a->StoreList(a->store_home() + "/device/vif");
+  ASSERT_TRUE(children.has_value());
+  ASSERT_EQ(children->size(), 1u);
+  EXPECT_EQ((*children)[0], "0");
+}
+
+TEST_F(HvTest, StorePermissionsIsolateDomains) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  ASSERT_TRUE(a->StoreWrite(a->store_home() + "/secret", "s3cret"));
+  // b cannot read a's subtree.
+  EXPECT_FALSE(b->StoreRead(a->store_home() + "/secret").has_value());
+  // Dom0 grants b access; now it can.
+  hv_.store().SetPermission(kDom0, a->store_home() + "/secret", b->id());
+  EXPECT_TRUE(b->StoreRead(a->store_home() + "/secret").has_value());
+}
+
+TEST_F(HvTest, StoreCannotWriteIntoForeignTree) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  Domain* b = hv_.CreateDomain("b", 1, 512);
+  EXPECT_FALSE(b->StoreWrite(a->store_home() + "/evil", "x"));
+  EXPECT_FALSE(hv_.store().Exists(a->store_home() + "/evil"));
+}
+
+TEST_F(HvTest, StoreIntRoundTrip) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  EXPECT_TRUE(a->StoreWriteInt(a->store_home() + "/n", 12345));
+  EXPECT_EQ(a->StoreReadInt(a->store_home() + "/n").value_or(-1), 12345);
+  a->StoreWrite(a->store_home() + "/n", "garbage");
+  EXPECT_FALSE(a->StoreReadInt(a->store_home() + "/n").has_value());
+}
+
+TEST_F(HvTest, WatchFiresOnRegistrationAndOnChange) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  std::vector<std::string> fired;
+  a->StoreWatch(a->store_home() + "/device", "tok",
+                [&](const std::string& path, const std::string& token) {
+                  fired.push_back(path);
+                  EXPECT_EQ(token, "tok");
+                });
+  ex_.RunUntilIdle();
+  ASSERT_EQ(fired.size(), 1u);  // Registration fire.
+  a->StoreWrite(a->store_home() + "/device/vif/0/state", "1");
+  ex_.RunUntilIdle();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], a->store_home() + "/device/vif/0/state");
+}
+
+TEST_F(HvTest, WatchDoesNotFireOutsidePrefix) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  int fires = 0;
+  a->StoreWatch(a->store_home() + "/device", "tok",
+                [&](const std::string&, const std::string&) { ++fires; });
+  ex_.RunUntilIdle();
+  EXPECT_EQ(fires, 1);
+  a->StoreWrite(a->store_home() + "/other", "x");
+  ex_.RunUntilIdle();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(HvTest, WatchFiresOnRemove) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  a->StoreWrite(a->store_home() + "/device/x", "1");
+  int fires = 0;
+  a->StoreWatch(a->store_home() + "/device", "tok",
+                [&](const std::string&, const std::string&) { ++fires; });
+  ex_.RunUntilIdle();
+  fires = 0;
+  a->StoreRemove(a->store_home() + "/device/x");
+  ex_.RunUntilIdle();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(HvTest, RemovedWatchStopsFiring) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  int fires = 0;
+  WatchId id = a->StoreWatch(a->store_home(), "tok",
+                             [&](const std::string&, const std::string&) { ++fires; });
+  ex_.RunUntilIdle();
+  hv_.store().RemoveWatch(id);
+  a->StoreWrite(a->store_home() + "/x", "1");
+  ex_.RunUntilIdle();
+  EXPECT_EQ(fires, 1);  // Only the registration fire.
+}
+
+// --- Xenbus. ---
+
+TEST_F(HvTest, XenbusStateRoundTrip) {
+  Domain* a = hv_.CreateDomain("a", 1, 512);
+  XenbusClient bus(&hv_.store(), a->id());
+  const std::string path = FrontendPath(a->id(), "vif", 0);
+  EXPECT_EQ(bus.ReadState(path), XenbusState::kUnknown);
+  EXPECT_TRUE(bus.SwitchState(path, XenbusState::kInitialised));
+  EXPECT_EQ(bus.ReadState(path), XenbusState::kInitialised);
+  EXPECT_TRUE(bus.SwitchState(path, XenbusState::kConnected));
+  EXPECT_EQ(bus.ReadState(path), XenbusState::kConnected);
+}
+
+TEST_F(HvTest, XenbusPathConventions) {
+  EXPECT_EQ(BackendPath(1, "vif", 3, 0), "/local/domain/1/backend/vif/3/0");
+  EXPECT_EQ(FrontendPath(3, "vif", 0), "/local/domain/3/device/vif/0");
+  EXPECT_EQ(DomainPath(7), "/local/domain/7");
+}
+
+TEST(XenbusNamesTest, AllStatesNamed) {
+  EXPECT_STREQ(XenbusStateName(XenbusState::kInitialising), "Initialising");
+  EXPECT_STREQ(XenbusStateName(XenbusState::kConnected), "Connected");
+  EXPECT_STREQ(XenbusStateName(XenbusState::kClosed), "Closed");
+}
+
+// --- PCI / IOMMU. ---
+
+class TestPciDevice : public PciDevice {
+ public:
+  TestPciDevice() : PciDevice("0000:05:00.0", "test-dev") {}
+};
+
+TEST_F(HvTest, PciAssignmentAndIrq) {
+  Domain* dd = hv_.CreateDomain("driver", 1, 512);
+  TestPciDevice dev;
+  EXPECT_TRUE(hv_.AssignPci(&dev, dd, true));
+  EXPECT_FALSE(hv_.AssignPci(&dev, hv_.dom0(), true));  // Already assigned.
+  int irqs = 0;
+  dev.SetIrqHandler([&] { ++irqs; });
+  dev.RaiseIrq();
+  ex_.RunUntilIdle();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST_F(HvTest, IommuRestrictsDma) {
+  Domain* dd = hv_.CreateDomain("driver", 1, 512);
+  Domain* victim = hv_.CreateDomain("victim", 1, 512);
+  TestPciDevice dev;
+  hv_.AssignPci(&dev, dd, /*iommu=*/true);
+  EXPECT_TRUE(dev.DmaAllowed(dd));
+  EXPECT_FALSE(dev.DmaAllowed(victim));
+
+  TestPciDevice unprotected;
+  Domain* dd2 = hv_.CreateDomain("driver2", 1, 512);
+  hv_.AssignPci(&unprotected, dd2, /*iommu=*/false);
+  // Without IOMMU a malicious device can DMA anywhere — the paper's threat.
+  EXPECT_TRUE(unprotected.DmaAllowed(victim));
+}
+
+TEST_F(HvTest, IrqAfterUnassignIsDropped) {
+  Domain* dd = hv_.CreateDomain("driver", 1, 512);
+  TestPciDevice dev;
+  hv_.AssignPci(&dev, dd, true);
+  int irqs = 0;
+  dev.SetIrqHandler([&] { ++irqs; });
+  hv_.UnassignPci(&dev);
+  dev.RaiseIrq();
+  ex_.RunUntilIdle();
+  EXPECT_EQ(irqs, 0);
+}
+
+}  // namespace
+}  // namespace kite

@@ -1,0 +1,311 @@
+// Randomized property tests: xenstore tree consistency under random
+// operation sequences, codec round-trips over random packets, ROP scanner
+// determinism, and grant-table invariants under random grant/map/copy
+// schedules.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/hv/hypervisor.h"
+#include "src/net/frame.h"
+#include "src/security/rop.h"
+
+namespace kite {
+namespace {
+
+// --- Xenstore vs a model map. ---
+
+class XenstoreFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(XenstoreFuzz, MatchesModelMap) {
+  Executor ex;
+  Hypervisor hv(&ex);
+  Domain* dom = hv.CreateDomain("fuzz", 1, 512);
+  Rng rng(GetParam());
+  // Model: path → value for every write we performed under our home.
+  std::map<std::string, std::string> model;
+  const std::string home = dom->store_home();
+
+  auto random_path = [&] {
+    std::string path = home;
+    const int depth = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int d = 0; d < depth; ++d) {
+      path += StrFormat("/n%d", static_cast<int>(rng.NextBelow(4)));
+    }
+    return path;
+  };
+
+  for (int op = 0; op < 1500; ++op) {
+    const std::string path = random_path();
+    switch (rng.NextBelow(3)) {
+      case 0: {  // Write.
+        const std::string value = StrFormat("v%d", op);
+        ASSERT_TRUE(dom->StoreWrite(path, value));
+        model[path] = value;
+        break;
+      }
+      case 1: {  // Read + compare.
+        auto got = dom->StoreRead(path);
+        auto it = model.find(path);
+        if (it != model.end()) {
+          ASSERT_TRUE(got.has_value()) << path;
+          ASSERT_EQ(*got, it->second) << path;
+        } else if (got.has_value()) {
+          // Intermediate node created by a deeper write: value empty.
+          ASSERT_TRUE(got->empty()) << path;
+        }
+        break;
+      }
+      case 2: {  // Remove subtree; drop matching model entries.
+        if (dom->StoreRemove(path)) {
+          for (auto it = model.begin(); it != model.end();) {
+            if (PathIsUnder(it->first, path)) {
+              it = model.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Final sweep: every model entry readable with the right value.
+  for (const auto& [path, value] : model) {
+    auto got = dom->StoreRead(path);
+    ASSERT_TRUE(got.has_value()) << path;
+    EXPECT_EQ(*got, value) << path;
+  }
+  ex.RunUntilIdle();  // Drain watch events.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XenstoreFuzz, ::testing::Range(1, 6));
+
+// --- Codec round-trips over random packets. ---
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, EthernetRoundTripRandomPackets) {
+  Rng rng(GetParam() * 1000 + 7);
+  for (int i = 0; i < 300; ++i) {
+    EthernetFrame frame;
+    frame.src = MacAddr::FromId(static_cast<uint32_t>(rng.NextU64()));
+    frame.dst = MacAddr::FromId(static_cast<uint32_t>(rng.NextU64()));
+    frame.ethertype = kEtherTypeIpv4;
+    Ipv4Packet p;
+    p.src = Ipv4Addr{static_cast<uint32_t>(rng.NextU64())};
+    p.dst = Ipv4Addr{static_cast<uint32_t>(rng.NextU64())};
+    p.id = static_cast<uint16_t>(rng.NextU64());
+    p.ttl = static_cast<uint8_t>(1 + rng.NextBelow(255));
+    const size_t payload = rng.NextBelow(1200);
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        p.proto = kIpProtoUdp;
+        UdpDatagram u;
+        u.src_port = static_cast<uint16_t>(rng.NextU64());
+        u.dst_port = static_cast<uint16_t>(rng.NextU64());
+        u.payload.resize(payload);
+        for (auto& b : u.payload) {
+          b = static_cast<uint8_t>(rng.NextU64());
+        }
+        p.l4 = std::move(u);
+        break;
+      }
+      case 1: {
+        p.proto = kIpProtoTcp;
+        TcpSegment t;
+        t.src_port = static_cast<uint16_t>(rng.NextU64());
+        t.dst_port = static_cast<uint16_t>(rng.NextU64());
+        t.seq = static_cast<uint32_t>(rng.NextU64());
+        t.ack = static_cast<uint32_t>(rng.NextU64());
+        t.syn = rng.NextBool(0.2);
+        t.fin = rng.NextBool(0.2);
+        t.ack_flag = rng.NextBool(0.8);
+        t.rst = rng.NextBool(0.05);
+        t.window = static_cast<uint16_t>(rng.NextU64());
+        t.payload.resize(payload);
+        for (auto& b : t.payload) {
+          b = static_cast<uint8_t>(rng.NextU64());
+        }
+        p.l4 = std::move(t);
+        break;
+      }
+      default: {
+        p.proto = kIpProtoIcmp;
+        IcmpMessage m;
+        m.is_echo_request = rng.NextBool(0.5);
+        m.ident = static_cast<uint16_t>(rng.NextU64());
+        m.sequence = static_cast<uint16_t>(rng.NextU64());
+        m.payload.resize(payload);
+        p.l4 = std::move(m);
+        break;
+      }
+    }
+    frame.payload = std::move(p);
+
+    Buffer bytes = SerializeEthernet(frame);
+    auto parsed = ParseEthernet(bytes);
+    ASSERT_TRUE(parsed.has_value()) << "iteration " << i;
+    ASSERT_NE(parsed->ip(), nullptr);
+    EXPECT_EQ(parsed->ip()->src, frame.ip()->src);
+    EXPECT_EQ(parsed->ip()->dst, frame.ip()->dst);
+    EXPECT_EQ(parsed->ip()->proto, frame.ip()->proto);
+    EXPECT_EQ(parsed->ip()->L4Bytes(), frame.ip()->L4Bytes());
+    // Re-serialization is byte-identical (canonical encoding).
+    EXPECT_EQ(SerializeEthernet(*parsed), bytes);
+  }
+}
+
+TEST_P(CodecFuzz, ParserRejectsRandomGarbageGracefully) {
+  Rng rng(GetParam() * 77 + 3);
+  for (int i = 0; i < 500; ++i) {
+    Buffer junk(rng.NextBelow(200));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    // Must never crash; almost always rejects (checksums).
+    ParseEthernet(junk);
+    ParseIpv4(junk);
+    ParseArp(junk);
+    ParseUdp(junk, Ipv4Addr{1}, Ipv4Addr{2});
+    ParseTcp(junk, Ipv4Addr{1}, Ipv4Addr{2});
+    ParseIcmp(junk);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(1, 5));
+
+// --- Fragmentation round-trip property. ---
+
+class FragFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragFuzz, FragmentReassembleIdentity) {
+  Rng rng(GetParam());
+  Ipv4Reassembler reasm;
+  for (int i = 0; i < 50; ++i) {
+    Ipv4Packet p;
+    p.src = Ipv4Addr::FromOctets(10, 0, 0, 1);
+    p.dst = Ipv4Addr::FromOctets(10, 0, 0, 2);
+    p.proto = kIpProtoUdp;
+    p.id = static_cast<uint16_t>(i + GetParam() * 100);
+    UdpDatagram u;
+    u.src_port = 1;
+    u.dst_port = 2;
+    u.payload.resize(1 + rng.NextBelow(20000));
+    for (auto& b : u.payload) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    const uint64_t digest = Fnv1a(u.payload);
+    const size_t size = u.payload.size();
+    p.l4 = std::move(u);
+
+    auto frags = FragmentIpv4(p);
+    // Shuffle fragments.
+    for (size_t k = frags.size(); k > 1; --k) {
+      std::swap(frags[k - 1], frags[rng.NextBelow(k)]);
+    }
+    std::optional<Ipv4Packet> whole;
+    for (const auto& f : frags) {
+      auto r = reasm.Add(f);
+      if (r.has_value()) {
+        whole = r;
+      }
+    }
+    ASSERT_TRUE(whole.has_value()) << "size " << size;
+    const UdpDatagram& out = std::get<UdpDatagram>(whole->l4);
+    ASSERT_EQ(out.payload.size(), size);
+    EXPECT_EQ(Fnv1a(out.payload), digest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragFuzz, ::testing::Range(1, 5));
+
+// --- ROP scanner determinism and monotonicity. ---
+
+TEST(RopPropertyTest, ScanIsDeterministic) {
+  const GadgetCounts a = AnalyzeProfile(KiteNetworkProfile(), 0.02);
+  const GadgetCounts b = AnalyzeProfile(KiteNetworkProfile(), 0.02);
+  EXPECT_EQ(a.total, b.total);
+  for (int c = 0; c < kInsnClassCount; ++c) {
+    EXPECT_EQ(a.by_class[c], b.by_class[c]);
+  }
+}
+
+TEST(RopPropertyTest, TotalEqualsSumOfCategories) {
+  const GadgetCounts counts = AnalyzeProfile(DefaultLinuxProfile(), 0.02);
+  uint64_t sum = 0;
+  for (int c = 0; c < kInsnClassCount; ++c) {
+    sum += counts.by_class[c];
+  }
+  EXPECT_EQ(counts.total, sum);
+}
+
+// --- Grant table invariants under random schedules. ---
+
+class GrantFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrantFuzz, MapCountsNeverLeakOrUnderflow) {
+  Executor ex;
+  Hypervisor hv(&ex);
+  Domain* owner = hv.CreateDomain("owner", 1, 512);
+  Domain* peer = hv.CreateDomain("peer", 1, 512);
+  Rng rng(GetParam());
+
+  std::vector<GrantRef> granted;
+  std::vector<MappedGrant> maps;
+  for (int op = 0; op < 2000; ++op) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // Grant a new page.
+        granted.push_back(
+            owner->grant_table().GrantAccess(peer->id(), AllocPage(), rng.NextBool(0.3)));
+        break;
+      }
+      case 1: {  // Map a random grant.
+        if (!granted.empty()) {
+          GrantRef ref = granted[rng.NextBelow(granted.size())];
+          MappedGrant m = hv.GrantMap(peer, owner->id(), ref, /*write_access=*/false);
+          if (m.valid()) {
+            maps.push_back(std::move(m));
+          }
+        }
+        break;
+      }
+      case 2: {  // Unmap a random mapping.
+        if (!maps.empty()) {
+          const size_t idx = rng.NextBelow(maps.size());
+          maps[idx] = std::move(maps.back());
+          maps.pop_back();
+        }
+        break;
+      }
+      case 3: {  // Try to end a random grant (must fail while mapped).
+        if (!granted.empty()) {
+          const size_t idx = rng.NextBelow(granted.size());
+          GrantRef ref = granted[idx];
+          GrantTable::Entry* e = owner->grant_table().Lookup(ref);
+          const bool was_mapped = e != nullptr && e->active_maps > 0;
+          const bool ended = owner->grant_table().EndAccess(ref);
+          if (was_mapped) {
+            ASSERT_FALSE(ended);
+          }
+          if (ended) {
+            granted[idx] = granted.back();
+            granted.pop_back();
+          }
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(owner->grant_table().total_maps_outstanding(),
+              static_cast<int>(maps.size()));
+  }
+  maps.clear();
+  EXPECT_EQ(owner->grant_table().total_maps_outstanding(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrantFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace kite

@@ -1,0 +1,210 @@
+// Edge cases of the incremental protocol parsers (HTTP/RESP/memcached):
+// requests split across TCP segments, multiple requests in one segment,
+// and malformed input — plus OS-profile invariants.
+#include <gtest/gtest.h>
+
+#include "src/net/nic.h"
+#include "src/net/stack.h"
+#include "src/net/tcp.h"
+#include "src/os/profile.h"
+#include "src/workloads/http.h"
+#include "src/workloads/memcached.h"
+#include "src/workloads/redis.h"
+
+namespace kite {
+namespace {
+
+const Ipv4Addr kIpA = Ipv4Addr::FromOctets(10, 0, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::FromOctets(10, 0, 0, 2);
+
+class ProtocolPair : public ::testing::Test {
+ protected:
+  ProtocolPair() {
+    nic_a_ = std::make_unique<Nic>(&ex_, "a", "nicA", MacAddr::FromId(1));
+    nic_b_ = std::make_unique<Nic>(&ex_, "b", "nicB", MacAddr::FromId(2));
+    Nic::ConnectBackToBack(nic_a_.get(), nic_b_.get());
+    client_ = std::make_unique<EtherStack>(&ex_, nullptr, nic_a_->netif());
+    server_ = std::make_unique<EtherStack>(&ex_, nullptr, nic_b_->netif());
+    client_->ConfigureIp(kIpA);
+    server_->ConfigureIp(kIpB);
+  }
+
+  // Opens a raw TCP connection and sends `chunks` with small gaps so each
+  // lands in its own segment.
+  TcpConn* SendChunks(uint16_t port, std::vector<std::string> chunks,
+                      std::string* response) {
+    TcpConn* conn = client_->ConnectTcp(kIpB, port, [](TcpConn*) {});
+    conn->SetDataCallback([response](std::span<const uint8_t> data) {
+      response->append(reinterpret_cast<const char*>(data.data()), data.size());
+    });
+    SimDuration at = Millis(1);
+    for (const std::string& chunk : chunks) {
+      ex_.PostAfter(at, [conn, chunk] {
+        conn->Send(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(chunk.data()), chunk.size()));
+      });
+      at += Millis(1);
+    }
+    return conn;
+  }
+
+  Executor ex_;
+  std::unique_ptr<Nic> nic_a_, nic_b_;
+  std::unique_ptr<EtherStack> client_, server_;
+};
+
+TEST_F(ProtocolPair, HttpRequestSplitAcrossSegments) {
+  HttpServer http(server_.get(), 80);
+  http.AddFile("/x", 100);
+  std::string response;
+  SendChunks(80, {"GET /", "x HTT", "P/1.0\r\n", "\r\n"}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 100"), std::string::npos);
+}
+
+TEST_F(ProtocolPair, HttpTwoPipelinedRequestsInOneSegment) {
+  HttpServer http(server_.get(), 80);
+  http.AddFile("/x", 10);
+  std::string response;
+  SendChunks(80, {"GET /x HTTP/1.0\r\n\r\nGET /x HTTP/1.0\r\n\r\n"}, &response);
+  ex_.RunUntilIdle();
+  // Two complete responses.
+  size_t first = response.find("200 OK");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(response.find("200 OK", first + 1), std::string::npos);
+  EXPECT_EQ(http.requests_served(), 2u);
+}
+
+TEST_F(ProtocolPair, HttpMalformedRequestGets404) {
+  HttpServer http(server_.get(), 80);
+  std::string response;
+  SendChunks(80, {"BOGUS nonsense\r\n\r\n"}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST_F(ProtocolPair, RedisCommandSplitAcrossSegments) {
+  RedisServer redis(server_.get(), 6379);
+  std::string response;
+  Buffer cmd = RespEncodeCommand({"SET", "split-key", "split-value"});
+  const std::string cmd_str(cmd.begin(), cmd.end());
+  SendChunks(6379, {cmd_str.substr(0, 7), cmd_str.substr(7, 11), cmd_str.substr(18)},
+             &response);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(response, "+OK\r\n");
+  EXPECT_EQ(redis.sets(), 1u);
+  EXPECT_EQ(redis.keys(), 1u);
+}
+
+TEST_F(ProtocolPair, RedisPipelinedBatchInOneSegment) {
+  RedisServer redis(server_.get(), 6379);
+  Buffer batch;
+  for (int i = 0; i < 5; ++i) {
+    Buffer cmd = RespEncodeCommand({"SET", StrFormat("k%d", i), "v"});
+    batch.insert(batch.end(), cmd.begin(), cmd.end());
+  }
+  Buffer get = RespEncodeCommand({"GET", "k3"});
+  batch.insert(batch.end(), get.begin(), get.end());
+  std::string response;
+  SendChunks(6379, {std::string(batch.begin(), batch.end())}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(redis.sets(), 5u);
+  EXPECT_EQ(redis.gets(), 1u);
+  EXPECT_NE(response.find("$1\r\nv\r\n"), std::string::npos);
+}
+
+TEST_F(ProtocolPair, RedisUnknownCommandErrors) {
+  RedisServer redis(server_.get(), 6379);
+  Buffer cmd = RespEncodeCommand({"FLUSHALL"});
+  std::string response;
+  SendChunks(6379, {std::string(cmd.begin(), cmd.end())}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(response.rfind("-ERR", 0), 0u);
+}
+
+TEST_F(ProtocolPair, MemcachedSetDataBlockSplitFromCommandLine) {
+  MemcachedServer memcached(server_.get(), 11211);
+  std::string response;
+  // The "set" line arrives in one segment, the data block in the next.
+  SendChunks(11211, {"set key1 0 0 5\r\n", "hello", "\r\n", "get key1\r\n"}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_NE(response.find("STORED"), std::string::npos);
+  EXPECT_NE(response.find("VALUE key1 0 5\r\nhello\r\nEND"), std::string::npos);
+  EXPECT_EQ(memcached.hits(), 1u);
+}
+
+TEST_F(ProtocolPair, MemcachedGetMissReturnsEnd) {
+  MemcachedServer memcached(server_.get(), 11211);
+  std::string response;
+  SendChunks(11211, {"get nothing\r\n"}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(response, "END\r\n");
+  EXPECT_EQ(memcached.hits(), 0u);
+}
+
+TEST_F(ProtocolPair, MemcachedGarbageCommandErrors) {
+  MemcachedServer memcached(server_.get(), 11211);
+  std::string response;
+  SendChunks(11211, {"frobnicate\r\n"}, &response);
+  ex_.RunUntilIdle();
+  EXPECT_EQ(response, "ERROR\r\n");
+}
+
+// --- OS profile invariants. ---
+
+TEST(OsProfileTest, AllProfilesHaveConsistentInventories) {
+  for (const OsProfile* p :
+       {&KiteNetworkProfile(), &KiteStorageProfile(), &UbuntuDriverDomainProfile(),
+        &DefaultLinuxProfile(), &CentOsProfile(), &FedoraProfile(), &DebianProfile()}) {
+    EXPECT_FALSE(p->name.empty());
+    EXPECT_GT(p->ImageBytes(), 0);
+    EXPECT_GT(p->BootTime().ns(), 0);
+    EXPECT_FALSE(p->components.empty());
+    EXPECT_GT(p->code.code_bytes, 0);
+    // Exposed ⊇ used.
+    const auto used = p->RequiredSyscalls();
+    const auto exposed = p->ExposedSyscalls();
+    for (const std::string& s : used) {
+      EXPECT_TRUE(exposed.count(s)) << p->name << " missing " << s;
+    }
+  }
+}
+
+TEST(OsProfileTest, KiteStorageSyscallsSupersetOfCommonCore) {
+  // Both Kite builds share the BMK/rump base syscalls.
+  const auto net = KiteNetworkProfile().RequiredSyscalls();
+  const auto storage = KiteStorageProfile().RequiredSyscalls();
+  for (const char* common : {"read", "write", "open", "close", "mmap", "clock_gettime"}) {
+    EXPECT_TRUE(net.count(common)) << common;
+    EXPECT_TRUE(storage.count(common)) << common;
+  }
+  // Domain-specific syscalls differ.
+  EXPECT_TRUE(net.count("sendmsg"));
+  EXPECT_FALSE(storage.count("sendmsg"));
+  EXPECT_TRUE(storage.count("fsync"));
+  EXPECT_FALSE(net.count("fsync"));
+}
+
+TEST(OsProfileTest, DriverDomainProfileSelector) {
+  EXPECT_EQ(&DriverDomainProfile(OsKind::kKiteRumprun, false), &KiteNetworkProfile());
+  EXPECT_EQ(&DriverDomainProfile(OsKind::kKiteRumprun, true), &KiteStorageProfile());
+  EXPECT_EQ(&DriverDomainProfile(OsKind::kUbuntuLinux, false),
+            &UbuntuDriverDomainProfile());
+  EXPECT_EQ(&DriverDomainProfile(OsKind::kUbuntuLinux, true),
+            &UbuntuDriverDomainProfile());
+}
+
+TEST(OsProfileTest, CostProfilesOrderKiteBelowLinux) {
+  const OsCostProfile& kite = KiteNetworkProfile().costs;
+  const OsCostProfile& linux = UbuntuDriverDomainProfile().costs;
+  EXPECT_LT(kite.syscall_cost.ns(), linux.syscall_cost.ns());
+  EXPECT_LT(kite.netback_per_packet.ns(), linux.netback_per_packet.ns());
+  EXPECT_LT(kite.netback_pass_latency.ns(), linux.netback_pass_latency.ns());
+  EXPECT_LT(kite.cold_penalty.ns(), linux.cold_penalty.ns());
+  EXPECT_LT(kite.blkback_per_request.ns(), linux.blkback_per_request.ns());
+  EXPECT_LT(kite.blkback_per_segment.ns(), linux.blkback_per_segment.ns());
+}
+
+}  // namespace
+}  // namespace kite

@@ -1,0 +1,233 @@
+// Tests for the security analysis module: instruction decoder, code
+// generator, gadget scanner, syscall analysis, and the CVE database.
+#include <gtest/gtest.h>
+
+#include "src/security/cve.h"
+#include "src/security/rop.h"
+#include "src/security/syscalls.h"
+
+namespace kite {
+namespace {
+
+// --- Decoder. ---
+
+TEST(DecoderTest, KnownEncodings) {
+  struct Case {
+    std::vector<uint8_t> bytes;
+    size_t length;
+    InsnClass klass;
+  };
+  const Case cases[] = {
+      {{0x90}, 1, InsnClass::kNop},
+      {{0xc3}, 1, InsnClass::kRet},
+      {{0xc2, 0x08, 0x00}, 3, InsnClass::kRet},
+      {{0x48, 0x89, 0xc3}, 3, InsnClass::kDataMove},        // mov rbx, rax.
+      {{0x89, 0xc8}, 2, InsnClass::kDataMove},              // mov eax, ecx.
+      {{0x50}, 1, InsnClass::kDataMove},                    // push rax.
+      {{0xb8, 1, 2, 3, 4}, 5, InsnClass::kDataMove},        // mov eax, imm32.
+      {{0x48, 0x01, 0xd8}, 3, InsnClass::kArithmetic},      // add rax, rbx.
+      {{0x0f, 0xaf, 0xc3}, 3, InsnClass::kArithmetic},      // imul eax, ebx.
+      {{0x48, 0x31, 0xc0}, 3, InsnClass::kLogic},           // xor rax, rax.
+      {{0xeb, 0x10}, 2, InsnClass::kControlFlow},           // jmp +16.
+      {{0xe8, 0, 0, 0, 0}, 5, InsnClass::kControlFlow},     // call rel32.
+      {{0x74, 0x05}, 2, InsnClass::kControlFlow},           // je +5.
+      {{0xff, 0xe0}, 2, InsnClass::kControlFlow},           // jmp rax.
+      {{0x48, 0xc1, 0xe0, 0x04}, 4, InsnClass::kShiftRotate},  // shl rax, 4.
+      {{0x48, 0x39, 0xd8}, 3, InsnClass::kSettingFlags},    // cmp rax, rbx.
+      {{0x48, 0x85, 0xc0}, 3, InsnClass::kSettingFlags},    // test rax, rax.
+      {{0xf3, 0xa4}, 2, InsnClass::kString},                // rep movsb.
+      {{0xaa}, 1, InsnClass::kString},                      // stosb.
+      {{0xd8, 0xc1}, 2, InsnClass::kFloating},              // fadd st(1).
+      {{0x0f, 0x58, 0xc1}, 3, InsnClass::kFloating},        // addps.
+      {{0x66, 0x0f, 0x6f, 0xc1}, 4, InsnClass::kMmx},       // movdqa.
+      {{0x0f, 0xef, 0xc0}, 3, InsnClass::kMmx},             // pxor.
+      {{0x0f, 0xa2}, 2, InsnClass::kMisc},                  // cpuid.
+      {{0xc9}, 1, InsnClass::kMisc},                        // leave.
+      {{0x0f, 0x1f, 0xc0}, 3, InsnClass::kNop},             // multi-byte nop.
+  };
+  for (const Case& c : cases) {
+    DecodedInsn insn = DecodeInsn(c.bytes);
+    ASSERT_TRUE(insn.valid()) << "bytes[0]=" << std::hex << int(c.bytes[0]);
+    EXPECT_EQ(insn.length, c.length) << "bytes[0]=" << std::hex << int(c.bytes[0]);
+    EXPECT_EQ(insn.klass, c.klass) << "bytes[0]=" << std::hex << int(c.bytes[0]);
+  }
+}
+
+TEST(DecoderTest, InvalidBytesRejected) {
+  EXPECT_FALSE(DecodeInsn(std::vector<uint8_t>{}).valid());
+  EXPECT_FALSE(DecodeInsn(std::vector<uint8_t>{0x06}).valid());  // Not in subset.
+  // Truncated: mov r,imm32 with only 2 bytes.
+  EXPECT_FALSE(DecodeInsn(std::vector<uint8_t>{0xb8, 0x01}).valid());
+}
+
+// --- Generator + scanner interplay. ---
+
+TEST(GeneratorTest, EmitsDecodableStream) {
+  CodeProfile profile;
+  profile.code_bytes = 64 * 1024;
+  Rng rng(1);
+  Buffer code = GenerateCodeImage(profile, &rng, 1.0);
+  EXPECT_GE(code.size(), 64u * 1024);
+  // The aligned stream must decode fully.
+  size_t pos = 0;
+  size_t insns = 0;
+  while (pos < code.size()) {
+    DecodedInsn insn = DecodeInsn(std::span<const uint8_t>(code).subspan(pos));
+    if (!insn.valid()) {
+      // Tail may be truncated mid-instruction.
+      ASSERT_GT(code.size() - pos, 0u);
+      ASSERT_LT(code.size() - pos, 8u) << "undecodable byte at " << pos;
+      break;
+    }
+    pos += insn.length;
+    ++insns;
+  }
+  EXPECT_GT(insns, 10000u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  CodeProfile profile;
+  profile.code_bytes = 16 * 1024;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(GenerateCodeImage(profile, &a, 1.0), GenerateCodeImage(profile, &b, 1.0));
+}
+
+TEST(ScannerTest, FindsHandCraftedGadget) {
+  // pop rax; ret  +  xor rax,rax; ret
+  Buffer code = {0x58, 0xc3, 0x48, 0x31, 0xc0, 0xc3};
+  GadgetCounts counts = ScanGadgets(code);
+  EXPECT_GT(counts[InsnClass::kDataMove], 0u);  // pop rax; ret.
+  EXPECT_GT(counts[InsnClass::kLogic], 0u);     // xor rax, rax; ret.
+  EXPECT_GE(counts[InsnClass::kRet], 2u);       // The bare rets.
+}
+
+TEST(ScannerTest, NoRetsNoGadgets) {
+  Buffer code(1024, 0x90);  // All nops.
+  GadgetCounts counts = ScanGadgets(code);
+  EXPECT_EQ(counts.total, 0u);
+}
+
+TEST(ScannerTest, GadgetCountScalesWithCodeSize) {
+  CodeProfile small;
+  small.code_bytes = 64 * 1024;
+  CodeProfile big = small;
+  big.code_bytes = 256 * 1024;
+  Rng rng1(3);
+  Rng rng2(3);
+  Buffer small_img = GenerateCodeImage(small, &rng1, 1.0);
+  Buffer big_img = GenerateCodeImage(big, &rng2, 1.0);
+  const uint64_t small_count = ScanGadgets(small_img).total;
+  const uint64_t big_count = ScanGadgets(big_img).total;
+  EXPECT_GT(big_count, small_count * 3);
+  EXPECT_LT(big_count, small_count * 6);
+}
+
+TEST(ScannerTest, ProfilesOrderMatchesFig5) {
+  // Kite ≪ default Linux < CentOS < Fedora ≈ Debian ≤ Ubuntu.
+  const double scale = 0.02;
+  const uint64_t kite = AnalyzeProfile(KiteNetworkProfile(), scale).total;
+  const uint64_t deflt = AnalyzeProfile(DefaultLinuxProfile(), scale).total;
+  const uint64_t centos = AnalyzeProfile(CentOsProfile(), scale).total;
+  const uint64_t ubuntu = AnalyzeProfile(UbuntuDriverDomainProfile(), scale).total;
+  EXPECT_LT(kite, deflt);
+  EXPECT_LT(deflt, centos);
+  EXPECT_LT(centos, ubuntu);
+  // "already has 4x gadgets than Kite VMs" (paper §5.1.2).
+  EXPECT_GT(static_cast<double>(deflt) / kite, 2.5);
+  EXPECT_LT(static_cast<double>(deflt) / kite, 6.5);
+}
+
+// --- Syscall analysis. ---
+
+TEST(SyscallTest, PaperCounts) {
+  EXPECT_EQ(AnalyzeSyscalls(KiteNetworkProfile()).used, 14);   // Fig 4a.
+  EXPECT_EQ(AnalyzeSyscalls(KiteStorageProfile()).used, 18);   // Fig 4a.
+  EXPECT_EQ(AnalyzeSyscalls(UbuntuDriverDomainProfile()).used, 171);  // Fig 4a.
+}
+
+TEST(SyscallTest, ReductionFactorAtLeast10x) {
+  EXPECT_GE(SyscallReductionFactor(KiteNetworkProfile(), UbuntuDriverDomainProfile()),
+            10.0);
+}
+
+TEST(SyscallTest, UnikernelExposesOnlyUsed) {
+  const auto report = AnalyzeSyscalls(KiteNetworkProfile());
+  EXPECT_EQ(report.used, report.exposed);
+  EXPECT_TRUE(report.removable.empty());
+}
+
+TEST(SyscallTest, LinuxExposesMoreThanItUses) {
+  const auto report = AnalyzeSyscalls(UbuntuDriverDomainProfile());
+  EXPECT_GT(report.exposed, report.used);
+  EXPECT_GE(report.exposed, 300);  // ≈the full Linux syscall table.
+  EXPECT_FALSE(report.removable.empty());
+}
+
+// --- CVEs. ---
+
+TEST(CveTest, DatabaseHasTable3Entries) {
+  int table3 = 0;
+  for (const CveEntry& cve : CveDatabase()) {
+    if (cve.kind == CveKind::kSyscall) {
+      ++table3;
+    }
+  }
+  EXPECT_EQ(table3, 11);  // Table 3 lists 11 syscall CVEs.
+}
+
+TEST(CveTest, KiteMitigatesAllTable3Cves) {
+  for (const CveVerdict& v : CheckAllCves(KiteNetworkProfile())) {
+    EXPECT_TRUE(v.mitigated) << v.cve->id << ": " << v.reason;
+  }
+  for (const CveVerdict& v : CheckAllCves(KiteStorageProfile())) {
+    EXPECT_TRUE(v.mitigated) << v.cve->id << ": " << v.reason;
+  }
+}
+
+TEST(CveTest, UbuntuVulnerableToAll) {
+  EXPECT_EQ(CountMitigated(UbuntuDriverDomainProfile()), 0);
+}
+
+TEST(CveTest, SpecificExamples) {
+  const OsProfile& kite = KiteNetworkProfile();
+  const OsProfile& ubuntu = UbuntuDriverDomainProfile();
+  for (const CveEntry& cve : CveDatabase()) {
+    if (cve.id == "CVE-2021-35039") {  // init_module.
+      EXPECT_TRUE(CheckCve(kite, cve).mitigated);
+      EXPECT_FALSE(CheckCve(ubuntu, cve).mitigated);
+    }
+    if (cve.id == "CVE-2013-2072") {  // python bindings.
+      EXPECT_TRUE(CheckCve(kite, cve).mitigated);
+      EXPECT_FALSE(CheckCve(ubuntu, cve).mitigated);
+    }
+  }
+}
+
+TEST(CveTest, DriverCveTrendRises) {
+  const auto& data = DriverCvesByYear();
+  ASSERT_GE(data.size(), 5u);
+  EXPECT_GT(data.back().linux_drivers, data.front().linux_drivers);
+  for (const auto& year : data) {
+    EXPECT_GT(year.linux_drivers, year.windows_drivers);  // Fig 1a shape.
+  }
+  EXPECT_EQ(CraftedApplicationCveCount(), 172);
+  EXPECT_EQ(ShellCveCount(), 92);
+}
+
+// --- Image size / boot time (Fig 4b/4c data). ---
+
+TEST(FootprintTest, ImageSizeRatioAtLeast10x) {
+  const double kite_mb = KiteNetworkProfile().ImageBytes() / 1048576.0;
+  const double ubuntu_mb = UbuntuDriverDomainProfile().ImageBytes() / 1048576.0;
+  EXPECT_NEAR(kite_mb, 22.0, 6.0);  // ≈22 MB rumprun image (paper §1).
+  EXPECT_GE(ubuntu_mb / kite_mb, 10.0);  // Fig 4b.
+}
+
+TEST(FootprintTest, BootTimesMatchFig4c) {
+  EXPECT_NEAR(KiteNetworkProfile().BootTime().seconds(), 7.0, 0.2);
+  EXPECT_NEAR(UbuntuDriverDomainProfile().BootTime().seconds(), 75.0, 0.2);
+}
+
+}  // namespace
+}  // namespace kite

@@ -1,0 +1,374 @@
+// Tests for the workload generators and protocol servers: SimpleFs
+// allocation, HTTP, RESP/Redis, memcached, RPC/MySQL, and the benchmark
+// drivers — run against direct NIC pairs (fast) and full driver-domain
+// topologies (end-to-end smoke).
+#include <gtest/gtest.h>
+
+#include "src/core/kite.h"
+#include "src/workloads/filebench.h"
+#include "src/workloads/fs.h"
+#include "src/workloads/http.h"
+#include "src/workloads/memcached.h"
+#include "src/workloads/mysql.h"
+#include "src/workloads/netbench.h"
+#include "src/workloads/redis.h"
+#include "src/workloads/rpc.h"
+#include "src/workloads/storagebench.h"
+
+namespace kite {
+namespace {
+
+const Ipv4Addr kIpA = Ipv4Addr::FromOctets(10, 0, 0, 1);
+const Ipv4Addr kIpB = Ipv4Addr::FromOctets(10, 0, 0, 2);
+
+// Direct NIC-pair fixture for protocol-level tests (no driver domain).
+class NetPair : public ::testing::Test {
+ protected:
+  NetPair() {
+    nic_a_ = std::make_unique<Nic>(&ex_, "a", "nicA", MacAddr::FromId(1));
+    nic_b_ = std::make_unique<Nic>(&ex_, "b", "nicB", MacAddr::FromId(2));
+    Nic::ConnectBackToBack(nic_a_.get(), nic_b_.get());
+    client_ = std::make_unique<EtherStack>(&ex_, nullptr, nic_a_->netif());
+    server_ = std::make_unique<EtherStack>(&ex_, nullptr, nic_b_->netif());
+    client_->ConfigureIp(kIpA);
+    server_->ConfigureIp(kIpB);
+  }
+
+  Executor ex_;
+  std::unique_ptr<Nic> nic_a_, nic_b_;
+  std::unique_ptr<EtherStack> client_, server_;
+};
+
+// --- RPC framing. ---
+
+TEST(RpcFramerTest, FramesSplitAcrossFeeds) {
+  RpcFramer framer;
+  Buffer msg = RpcFramer::Encode(7, Buffer{1, 2, 3});
+  // Feed byte by byte; exactly one frame must come out, at the last byte.
+  int frames = 0;
+  for (size_t i = 0; i < msg.size(); ++i) {
+    auto out = framer.Feed(std::span<const uint8_t>(&msg[i], 1));
+    frames += static_cast<int>(out.size());
+    if (i + 1 < msg.size()) {
+      EXPECT_EQ(out.size(), 0u);
+    } else {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0].type, 7);
+      EXPECT_EQ(out[0].payload, (Buffer{1, 2, 3}));
+    }
+  }
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(RpcFramerTest, MultipleFramesInOneFeed) {
+  RpcFramer framer;
+  Buffer stream;
+  for (uint8_t t = 0; t < 5; ++t) {
+    Buffer m = RpcFramer::Encode(t, Buffer(10, t));
+    stream.insert(stream.end(), m.begin(), m.end());
+  }
+  auto out = framer.Feed(stream);
+  ASSERT_EQ(out.size(), 5u);
+  for (uint8_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(out[t].type, t);
+  }
+}
+
+TEST_F(NetPair, RpcRoundTripPipelined) {
+  RpcServer server(server_.get(), 9100,
+                   [](uint8_t type, const Buffer& req, RpcServer::RespondFn respond) {
+                     respond(type, Buffer(req.size() * 2, type));
+                   });
+  RpcClient client(client_.get(), kIpB, 9100);
+  int responses = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.Call(static_cast<uint8_t>(i), Buffer(100, 1),
+                [&responses, i](uint8_t type, const Buffer& payload) {
+                  EXPECT_EQ(type, i);  // FIFO ordering.
+                  EXPECT_EQ(payload.size(), 200u);
+                  ++responses;
+                });
+  }
+  ex_.RunUntilIdle();
+  EXPECT_EQ(responses, 10);
+  EXPECT_EQ(server.requests(), 10u);
+}
+
+// --- HTTP. ---
+
+TEST_F(NetPair, HttpServesFileAndApacheBenchMeasures) {
+  HttpServer http(server_.get(), 80);
+  http.AddFile("/file", 64 * 1024);
+  AbConfig config;
+  config.total_requests = 50;
+  config.concurrency = 8;
+  ApacheBench ab(client_.get(), kIpB, 80, config);
+  bool done = false;
+  ab.Run([&](const AbResult& r) {
+    done = true;
+    EXPECT_EQ(r.completed, 50u);
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_GT(r.requests_per_sec, 0);
+    EXPECT_GT(r.mbytes_per_sec, 0);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(http.requests_served(), 50u);
+}
+
+TEST_F(NetPair, Http404ForMissingFile) {
+  HttpServer http(server_.get(), 80);
+  AbConfig config;
+  config.total_requests = 1;
+  config.concurrency = 1;
+  config.path = "/nope";
+  ApacheBench ab(client_.get(), kIpB, 80, config);
+  bool done = false;
+  ab.Run([&](const AbResult& r) {
+    done = true;
+    EXPECT_EQ(r.completed, 1u);  // 404 with Content-Length: 0 still completes.
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+// --- Redis / RESP. ---
+
+TEST(RespTest, EncodeAndConsumeReplies) {
+  Buffer cmd = RespEncodeCommand({"SET", "k", "v"});
+  const std::string expect = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n";
+  EXPECT_EQ(std::string(cmd.begin(), cmd.end()), expect);
+
+  std::string replies = "+OK\r\n$5\r\nhello\r\n$-1\r\n:42\r\n";
+  EXPECT_EQ(RespConsumeReplies(&replies), 4);
+  EXPECT_TRUE(replies.empty());
+
+  std::string partial = "$10\r\nhel";
+  EXPECT_EQ(RespConsumeReplies(&partial), 0);
+  EXPECT_FALSE(partial.empty());
+}
+
+TEST_F(NetPair, RedisSetGetAndBench) {
+  RedisServer redis(server_.get(), 6379);
+  RedisBenchConfig config;
+  config.connections = 4;
+  config.pipeline = 50;
+  config.total_ops = 2000;
+  config.value_bytes = 128;
+  RedisBench bench(client_.get(), kIpB, 6379, config);
+  bool done = false;
+  bench.Run([&](const RedisBenchResult& r) {
+    done = true;
+    EXPECT_EQ(r.completed, 2000u);
+    EXPECT_GT(r.set_ops_per_sec + r.get_ops_per_sec, 0);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_GT(redis.sets(), 0u);
+  EXPECT_GT(redis.gets(), 0u);
+  EXPECT_EQ(redis.sets() + redis.gets(), 2000u);
+}
+
+// --- Memcached / memtier. ---
+
+TEST_F(NetPair, MemcachedSetGetProtocol) {
+  MemcachedServer memcached(server_.get(), 11211);
+  MemtierConfig config;
+  config.total_ops = 500;
+  config.connections = 2;
+  config.value_bytes = 1024;
+  MemtierBench bench(client_.get(), kIpB, 11211, config);
+  bool done = false;
+  bench.Run([&](const MemtierResult& r) {
+    done = true;
+    EXPECT_EQ(r.completed, 500u);
+    EXPECT_GT(r.avg_latency_ms, 0);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_GT(memcached.gets(), memcached.sets());  // 1:10 ratio.
+}
+
+// --- MySQL model. ---
+
+TEST_F(NetPair, SysbenchOltpMemoryBound) {
+  MysqlServer mysql(server_.get(), 3306, /*storage=*/nullptr);
+  SysbenchOltpConfig config;
+  config.threads = 4;
+  config.duration = Millis(50);
+  SysbenchOltp sysbench(client_.get(), kIpB, 3306, config);
+  bool done = false;
+  sysbench.Run([&](const SysbenchOltpResult& r) {
+    done = true;
+    EXPECT_GT(r.queries, 0u);
+    EXPECT_GT(r.transactions_per_sec, 0);
+    // read_only txn = 14 queries.
+    EXPECT_NEAR(r.queries_per_sec / r.transactions_per_sec, 14.0, 0.5);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mysql.page_reads(), 0u);  // Memory-bound: no storage I/O.
+}
+
+// --- Network micro-benchmarks over the pair. ---
+
+TEST_F(NetPair, NuttcpMeasuresThroughput) {
+  NuttcpConfig config;
+  config.offered_gbps = 2.0;
+  config.duration = Millis(20);
+  NuttcpUdp nuttcp(client_.get(), server_.get(), kIpB, config);
+  bool done = false;
+  nuttcp.Run([&](const NuttcpResult& r) {
+    done = true;
+    EXPECT_GT(r.goodput_gbps, 1.5);
+    EXPECT_LT(r.loss_percent, 5.0);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(NetPair, NetperfRrMeasuresLatency) {
+  NetperfRrConfig config;
+  config.requests = 50;
+  config.interval = Micros(200);
+  NetperfRr rr(client_.get(), server_.get(), kIpB, config);
+  bool done = false;
+  rr.Run([&](const NetperfRrResult& r) {
+    done = true;
+    EXPECT_EQ(r.completed, 50);
+    EXPECT_GT(r.latency_ms.Mean(), 0);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(NetPair, PingBenchCollectsRtts) {
+  PingBench ping(client_.get(), kIpB, /*count=*/10, /*interval=*/Millis(1));
+  bool done = false;
+  ping.Run([&](const PingBenchResult& r) {
+    done = true;
+    EXPECT_EQ(r.sent, 10);
+    EXPECT_EQ(r.received, 10);
+  });
+  ex_.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+// --- Storage workloads over a full storage domain. ---
+
+class StorageWorkloads : public ::testing::Test {
+ protected:
+  StorageWorkloads() {
+    KiteSystem::Params params;
+    params.disk.capacity_bytes = 4LL * 1024 * 1024 * 1024;
+    sys_ = std::make_unique<KiteSystem>(params);
+    stordom_ = sys_->CreateStorageDomain();
+    guest_ = sys_->CreateGuest("g");
+    sys_->AttachVbd(guest_, stordom_);
+    EXPECT_TRUE(sys_->WaitConnected(guest_));
+    fs_ = std::make_unique<SimpleFs>(guest_->blkfront());
+  }
+
+  std::unique_ptr<KiteSystem> sys_;
+  StorageDomain* stordom_ = nullptr;
+  GuestVm* guest_ = nullptr;
+  std::unique_ptr<SimpleFs> fs_;
+};
+
+TEST_F(StorageWorkloads, DdSequentialRead) {
+  DdConfig config;
+  config.total_bytes = 64LL * 1024 * 1024;
+  DdBench dd(guest_->blkfront(), config);
+  bool done = false;
+  dd.Run([&](const DdResult& r) {
+    done = true;
+    EXPECT_GT(r.mbytes_per_sec, 100);
+  });
+  EXPECT_TRUE(sys_->WaitUntil([&] { return done; }, Seconds(60)));
+}
+
+TEST_F(StorageWorkloads, SysbenchFileIoRuns) {
+  SysbenchFileIoConfig config;
+  config.files = 16;
+  config.total_bytes = 256LL * 1024 * 1024;
+  config.threads = 8;
+  config.duration = Millis(50);
+  SysbenchFileIo bench(fs_.get(), config);
+  bool done = false;
+  bench.Run([&](const SysbenchFileIoResult& r) {
+    done = true;
+    EXPECT_GT(r.ops, 0u);
+    EXPECT_GT(r.read_mbps, 0);
+    EXPECT_GT(r.write_mbps, 0);
+    // 3:2 read:write mix.
+    EXPECT_GT(r.read_mbps, r.write_mbps * 0.8);
+  });
+  EXPECT_TRUE(sys_->WaitUntil([&] { return done; }, Seconds(60)));
+}
+
+TEST_F(StorageWorkloads, FilebenchPersonalitiesRun) {
+  for (FilebenchPersonality p :
+       {FilebenchPersonality::kFileserver, FilebenchPersonality::kWebserver,
+        FilebenchPersonality::kMongoDb}) {
+    FilebenchConfig config;
+    config.personality = p;
+    config.threads = 8;
+    config.file_count = 64;
+    config.mean_file_bytes = 64 * 1024;
+    config.io_bytes = 64 * 1024;
+    config.duration = Millis(30);
+    Filebench bench(fs_.get(), config, stordom_->domain()->vcpu(0));
+    bool done = false;
+    bench.Run([&](const FilebenchResult& r) {
+      done = true;
+      EXPECT_GT(r.ops, 0u) << "personality " << static_cast<int>(p);
+      EXPECT_GT(r.cpu_us_per_op, 0);
+    });
+    EXPECT_TRUE(sys_->WaitUntil([&] { return done; }, Seconds(60)));
+  }
+}
+
+TEST_F(StorageWorkloads, MysqlStorageBoundIssuesPageReads) {
+  // Attach a network path so the sysbench client (on the client machine) can
+  // reach the MySQL server in the guest, whose data lives on the storage
+  // domain.
+  NetworkDomain* netdom = sys_->CreateNetworkDomain();
+  const Ipv4Addr guest_ip = Ipv4Addr::FromOctets(10, 0, 0, 30);
+  sys_->AttachVif(guest_, netdom, guest_ip);
+  ASSERT_TRUE(sys_->WaitConnected(guest_));
+
+  MysqlServerParams mysql_params;
+  mysql_params.buffer_pool_hit_ratio = 0.1;
+  mysql_params.data_region_bytes = 1LL * 1024 * 1024 * 1024;
+  MysqlServer mysql(guest_->stack(), 3306, fs_.get(), mysql_params);
+
+  SysbenchOltpConfig config;
+  config.threads = 4;
+  config.duration = Millis(30);
+  SysbenchOltp sysbench(sys_->client()->stack(), guest_ip, 3306, config);
+  bool done = false;
+  sysbench.Run([&](const SysbenchOltpResult& r) {
+    done = true;
+    EXPECT_GT(r.queries, 0u);
+  });
+  ASSERT_TRUE(sys_->WaitUntil([&] { return done; }, Seconds(60)));
+  EXPECT_GT(mysql.page_reads(), 0u);  // Buffer-pool misses hit storage.
+}
+
+TEST_F(StorageWorkloads, SimpleFsFragmentationAndReuse) {
+  // Fill, delete alternating files, and reallocate: free-list reuse.
+  ASSERT_TRUE(fs_->CreateMany("frag.", 32, 8 * 1024 * 1024));
+  const int64_t free_before = fs_->free_bytes();
+  for (int i = 0; i < 32; i += 2) {
+    ASSERT_TRUE(fs_->Delete(StrFormat("frag.%06d", i)));
+  }
+  EXPECT_GT(fs_->free_bytes(), free_before);
+  // New file larger than any single hole: must span extents.
+  ASSERT_TRUE(fs_->Create("big", 24 * 1024 * 1024));
+  bool done = false;
+  fs_->Write("big", 0, 24 * 1024 * 1024, [&](bool ok) { done = ok; });
+  EXPECT_TRUE(sys_->WaitUntil([&] { return done; }, Seconds(60)));
+}
+
+}  // namespace
+}  // namespace kite
