@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_cve.dir/bench_fig01_cve.cc.o"
+  "CMakeFiles/bench_fig01_cve.dir/bench_fig01_cve.cc.o.d"
+  "bench_fig01_cve"
+  "bench_fig01_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

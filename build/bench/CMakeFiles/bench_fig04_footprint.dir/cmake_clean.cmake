@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_footprint.dir/bench_fig04_footprint.cc.o"
+  "CMakeFiles/bench_fig04_footprint.dir/bench_fig04_footprint.cc.o.d"
+  "bench_fig04_footprint"
+  "bench_fig04_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_nuttcp.dir/bench_fig06_nuttcp.cc.o"
+  "CMakeFiles/bench_fig06_nuttcp.dir/bench_fig06_nuttcp.cc.o.d"
+  "bench_fig06_nuttcp"
+  "bench_fig06_nuttcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_nuttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_apache.dir/bench_fig08_apache.cc.o"
+  "CMakeFiles/bench_fig08_apache.dir/bench_fig08_apache.cc.o.d"
+  "bench_fig08_apache"
+  "bench_fig08_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

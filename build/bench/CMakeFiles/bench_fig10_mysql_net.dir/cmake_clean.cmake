@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mysql_net.dir/bench_fig10_mysql_net.cc.o"
+  "CMakeFiles/bench_fig10_mysql_net.dir/bench_fig10_mysql_net.cc.o.d"
+  "bench_fig10_mysql_net"
+  "bench_fig10_mysql_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mysql_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dd.dir/bench_fig11_dd.cc.o"
+  "CMakeFiles/bench_fig11_dd.dir/bench_fig11_dd.cc.o.d"
+  "bench_fig11_dd"
+  "bench_fig11_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fileio.dir/bench_fig12_fileio.cc.o"
+  "CMakeFiles/bench_fig12_fileio.dir/bench_fig12_fileio.cc.o.d"
+  "bench_fig12_fileio"
+  "bench_fig12_fileio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

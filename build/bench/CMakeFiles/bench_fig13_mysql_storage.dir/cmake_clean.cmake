@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mysql_storage.dir/bench_fig13_mysql_storage.cc.o"
+  "CMakeFiles/bench_fig13_mysql_storage.dir/bench_fig13_mysql_storage.cc.o.d"
+  "bench_fig13_mysql_storage"
+  "bench_fig13_mysql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mysql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fileserver.dir/bench_fig14_fileserver.cc.o"
+  "CMakeFiles/bench_fig14_fileserver.dir/bench_fig14_fileserver.cc.o.d"
+  "bench_fig14_fileserver"
+  "bench_fig14_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

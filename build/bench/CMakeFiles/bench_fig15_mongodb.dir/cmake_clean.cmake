@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mongodb.dir/bench_fig15_mongodb.cc.o"
+  "CMakeFiles/bench_fig15_mongodb.dir/bench_fig15_mongodb.cc.o.d"
+  "bench_fig15_mongodb"
+  "bench_fig15_mongodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mongodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_webserver.dir/bench_fig16_webserver.cc.o"
+  "CMakeFiles/bench_fig16_webserver.dir/bench_fig16_webserver.cc.o.d"
+  "bench_fig16_webserver"
+  "bench_fig16_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

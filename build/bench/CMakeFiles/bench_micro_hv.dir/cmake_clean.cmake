@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hv.dir/bench_micro_hv.cc.o"
+  "CMakeFiles/bench_micro_hv.dir/bench_micro_hv.cc.o.d"
+  "bench_micro_hv"
+  "bench_micro_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec55_dhcp.dir/bench_sec55_dhcp.cc.o"
+  "CMakeFiles/bench_sec55_dhcp.dir/bench_sec55_dhcp.cc.o.d"
+  "bench_sec55_dhcp"
+  "bench_sec55_dhcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_dhcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_storage.dir/database_storage.cc.o"
+  "CMakeFiles/database_storage.dir/database_storage.cc.o.d"
+  "database_storage"
+  "database_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhcp_appliance.dir/dhcp_appliance.cc.o"
+  "CMakeFiles/dhcp_appliance.dir/dhcp_appliance.cc.o.d"
+  "dhcp_appliance"
+  "dhcp_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhcp_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

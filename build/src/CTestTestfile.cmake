@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("hv")
+subdirs("bmk")
+subdirs("os")
+subdirs("net")
+subdirs("netdrv")
+subdirs("blk")
+subdirs("blkdrv")
+subdirs("core")
+subdirs("workloads")
+subdirs("services")
+subdirs("security")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_base.dir/log.cc.o"
+  "CMakeFiles/kite_base.dir/log.cc.o.d"
+  "CMakeFiles/kite_base.dir/rng.cc.o"
+  "CMakeFiles/kite_base.dir/rng.cc.o.d"
+  "CMakeFiles/kite_base.dir/stats.cc.o"
+  "CMakeFiles/kite_base.dir/stats.cc.o.d"
+  "CMakeFiles/kite_base.dir/strings.cc.o"
+  "CMakeFiles/kite_base.dir/strings.cc.o.d"
+  "libkite_base.a"
+  "libkite_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

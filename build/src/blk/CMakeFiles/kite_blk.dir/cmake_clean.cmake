@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_blk.dir/disk.cc.o"
+  "CMakeFiles/kite_blk.dir/disk.cc.o.d"
+  "libkite_blk.a"
+  "libkite_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

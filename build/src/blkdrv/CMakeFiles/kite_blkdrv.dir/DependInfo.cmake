@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blkdrv/blkback.cc" "src/blkdrv/CMakeFiles/kite_blkdrv.dir/blkback.cc.o" "gcc" "src/blkdrv/CMakeFiles/kite_blkdrv.dir/blkback.cc.o.d"
+  "/root/repo/src/blkdrv/blkfront.cc" "src/blkdrv/CMakeFiles/kite_blkdrv.dir/blkfront.cc.o" "gcc" "src/blkdrv/CMakeFiles/kite_blkdrv.dir/blkfront.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blk/CMakeFiles/kite_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/kite_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmk/CMakeFiles/kite_bmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/kite_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_blkdrv.dir/blkback.cc.o"
+  "CMakeFiles/kite_blkdrv.dir/blkback.cc.o.d"
+  "CMakeFiles/kite_blkdrv.dir/blkfront.cc.o"
+  "CMakeFiles/kite_blkdrv.dir/blkfront.cc.o.d"
+  "libkite_blkdrv.a"
+  "libkite_blkdrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_blkdrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kite_blkdrv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_bmk.dir/sched.cc.o"
+  "CMakeFiles/kite_bmk.dir/sched.cc.o.d"
+  "libkite_bmk.a"
+  "libkite_bmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_bmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

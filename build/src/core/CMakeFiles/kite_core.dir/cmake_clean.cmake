@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_core.dir/blkapp.cc.o"
+  "CMakeFiles/kite_core.dir/blkapp.cc.o.d"
+  "CMakeFiles/kite_core.dir/netapp.cc.o"
+  "CMakeFiles/kite_core.dir/netapp.cc.o.d"
+  "CMakeFiles/kite_core.dir/system.cc.o"
+  "CMakeFiles/kite_core.dir/system.cc.o.d"
+  "libkite_core.a"
+  "libkite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_hv.dir/domain.cc.o"
+  "CMakeFiles/kite_hv.dir/domain.cc.o.d"
+  "CMakeFiles/kite_hv.dir/grant_table.cc.o"
+  "CMakeFiles/kite_hv.dir/grant_table.cc.o.d"
+  "CMakeFiles/kite_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/kite_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/kite_hv.dir/xenbus.cc.o"
+  "CMakeFiles/kite_hv.dir/xenbus.cc.o.d"
+  "CMakeFiles/kite_hv.dir/xenstore.cc.o"
+  "CMakeFiles/kite_hv.dir/xenstore.cc.o.d"
+  "libkite_hv.a"
+  "libkite_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

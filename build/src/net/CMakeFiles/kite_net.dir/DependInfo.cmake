@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bridge.cc" "src/net/CMakeFiles/kite_net.dir/bridge.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/bridge.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/kite_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/nat.cc" "src/net/CMakeFiles/kite_net.dir/nat.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/nat.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/kite_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/net/CMakeFiles/kite_net.dir/stack.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/stack.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/kite_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/kite_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/kite_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

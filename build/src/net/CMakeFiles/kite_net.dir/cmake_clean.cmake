@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_net.dir/bridge.cc.o"
+  "CMakeFiles/kite_net.dir/bridge.cc.o.d"
+  "CMakeFiles/kite_net.dir/frame.cc.o"
+  "CMakeFiles/kite_net.dir/frame.cc.o.d"
+  "CMakeFiles/kite_net.dir/nat.cc.o"
+  "CMakeFiles/kite_net.dir/nat.cc.o.d"
+  "CMakeFiles/kite_net.dir/nic.cc.o"
+  "CMakeFiles/kite_net.dir/nic.cc.o.d"
+  "CMakeFiles/kite_net.dir/stack.cc.o"
+  "CMakeFiles/kite_net.dir/stack.cc.o.d"
+  "CMakeFiles/kite_net.dir/tcp.cc.o"
+  "CMakeFiles/kite_net.dir/tcp.cc.o.d"
+  "libkite_net.a"
+  "libkite_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkite_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_netdrv.dir/netback.cc.o"
+  "CMakeFiles/kite_netdrv.dir/netback.cc.o.d"
+  "CMakeFiles/kite_netdrv.dir/netfront.cc.o"
+  "CMakeFiles/kite_netdrv.dir/netfront.cc.o.d"
+  "libkite_netdrv.a"
+  "libkite_netdrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_netdrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

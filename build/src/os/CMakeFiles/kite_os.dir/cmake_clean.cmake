@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_os.dir/inventory.cc.o"
+  "CMakeFiles/kite_os.dir/inventory.cc.o.d"
+  "CMakeFiles/kite_os.dir/profile.cc.o"
+  "CMakeFiles/kite_os.dir/profile.cc.o.d"
+  "libkite_os.a"
+  "libkite_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

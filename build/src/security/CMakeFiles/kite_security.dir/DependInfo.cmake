@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/cve.cc" "src/security/CMakeFiles/kite_security.dir/cve.cc.o" "gcc" "src/security/CMakeFiles/kite_security.dir/cve.cc.o.d"
+  "/root/repo/src/security/rop.cc" "src/security/CMakeFiles/kite_security.dir/rop.cc.o" "gcc" "src/security/CMakeFiles/kite_security.dir/rop.cc.o.d"
+  "/root/repo/src/security/syscalls.cc" "src/security/CMakeFiles/kite_security.dir/syscalls.cc.o" "gcc" "src/security/CMakeFiles/kite_security.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/kite_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

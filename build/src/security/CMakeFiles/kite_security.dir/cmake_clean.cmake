@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_security.dir/cve.cc.o"
+  "CMakeFiles/kite_security.dir/cve.cc.o.d"
+  "CMakeFiles/kite_security.dir/rop.cc.o"
+  "CMakeFiles/kite_security.dir/rop.cc.o.d"
+  "CMakeFiles/kite_security.dir/syscalls.cc.o"
+  "CMakeFiles/kite_security.dir/syscalls.cc.o.d"
+  "libkite_security.a"
+  "libkite_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

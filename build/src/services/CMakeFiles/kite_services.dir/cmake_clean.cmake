@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_services.dir/dhcp.cc.o"
+  "CMakeFiles/kite_services.dir/dhcp.cc.o.d"
+  "libkite_services.a"
+  "libkite_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

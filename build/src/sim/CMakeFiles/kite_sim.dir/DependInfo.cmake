@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/kite_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/kite_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/kite_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/kite_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/wait.cc" "src/sim/CMakeFiles/kite_sim.dir/wait.cc.o" "gcc" "src/sim/CMakeFiles/kite_sim.dir/wait.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

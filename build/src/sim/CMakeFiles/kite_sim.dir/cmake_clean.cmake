@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_sim.dir/cpu.cc.o"
+  "CMakeFiles/kite_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/kite_sim.dir/executor.cc.o"
+  "CMakeFiles/kite_sim.dir/executor.cc.o.d"
+  "CMakeFiles/kite_sim.dir/wait.cc.o"
+  "CMakeFiles/kite_sim.dir/wait.cc.o.d"
+  "libkite_sim.a"
+  "libkite_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/filebench.cc" "src/workloads/CMakeFiles/kite_workloads.dir/filebench.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/filebench.cc.o.d"
+  "/root/repo/src/workloads/fs.cc" "src/workloads/CMakeFiles/kite_workloads.dir/fs.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/fs.cc.o.d"
+  "/root/repo/src/workloads/http.cc" "src/workloads/CMakeFiles/kite_workloads.dir/http.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/http.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/kite_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/mysql.cc" "src/workloads/CMakeFiles/kite_workloads.dir/mysql.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/mysql.cc.o.d"
+  "/root/repo/src/workloads/netbench.cc" "src/workloads/CMakeFiles/kite_workloads.dir/netbench.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/netbench.cc.o.d"
+  "/root/repo/src/workloads/redis.cc" "src/workloads/CMakeFiles/kite_workloads.dir/redis.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/redis.cc.o.d"
+  "/root/repo/src/workloads/rpc.cc" "src/workloads/CMakeFiles/kite_workloads.dir/rpc.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/rpc.cc.o.d"
+  "/root/repo/src/workloads/storagebench.cc" "src/workloads/CMakeFiles/kite_workloads.dir/storagebench.cc.o" "gcc" "src/workloads/CMakeFiles/kite_workloads.dir/storagebench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kite_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/blkdrv/CMakeFiles/kite_blkdrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdrv/CMakeFiles/kite_netdrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmk/CMakeFiles/kite_bmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/kite_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/kite_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/kite_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kite_workloads.dir/filebench.cc.o"
+  "CMakeFiles/kite_workloads.dir/filebench.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/fs.cc.o"
+  "CMakeFiles/kite_workloads.dir/fs.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/http.cc.o"
+  "CMakeFiles/kite_workloads.dir/http.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/memcached.cc.o"
+  "CMakeFiles/kite_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/mysql.cc.o"
+  "CMakeFiles/kite_workloads.dir/mysql.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/netbench.cc.o"
+  "CMakeFiles/kite_workloads.dir/netbench.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/redis.cc.o"
+  "CMakeFiles/kite_workloads.dir/redis.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/rpc.cc.o"
+  "CMakeFiles/kite_workloads.dir/rpc.cc.o.d"
+  "CMakeFiles/kite_workloads.dir/storagebench.cc.o"
+  "CMakeFiles/kite_workloads.dir/storagebench.cc.o.d"
+  "libkite_workloads.a"
+  "libkite_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kite_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

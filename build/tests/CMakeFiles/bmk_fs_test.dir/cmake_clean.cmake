@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmk_fs_test.dir/bmk_fs_test.cc.o"
+  "CMakeFiles/bmk_fs_test.dir/bmk_fs_test.cc.o.d"
+  "bmk_fs_test"
+  "bmk_fs_test.pdb"
+  "bmk_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmk_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

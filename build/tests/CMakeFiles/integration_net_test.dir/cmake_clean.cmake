@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_net_test.dir/integration_net_test.cc.o"
+  "CMakeFiles/integration_net_test.dir/integration_net_test.cc.o.d"
+  "integration_net_test"
+  "integration_net_test.pdb"
+  "integration_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_storage_test.dir/integration_storage_test.cc.o"
+  "CMakeFiles/integration_storage_test.dir/integration_storage_test.cc.o.d"
+  "integration_storage_test"
+  "integration_storage_test.pdb"
+  "integration_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netdrv_test.dir/netdrv_test.cc.o"
+  "CMakeFiles/netdrv_test.dir/netdrv_test.cc.o.d"
+  "netdrv_test"
+  "netdrv_test.pdb"
+  "netdrv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdrv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/kite_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/kite_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/kite_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdrv/CMakeFiles/kite_netdrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/blkdrv/CMakeFiles/kite_blkdrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kite_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/kite_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/kite_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmk/CMakeFiles/kite_bmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/kite_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
