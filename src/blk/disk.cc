@@ -60,6 +60,13 @@ void BlockDevice::TryStart() {
 
 void BlockDevice::Complete(DiskRequest request) {
   --active_;
+  if (faults_ != nullptr && faults_->ShouldFail(FaultSite::kDiskIo)) {
+    ++io_errors_;
+    auto done = std::move(request.done);
+    done(false, Buffer{});  // Media/controller error: no content effect.
+    TryStart();
+    return;
+  }
   Buffer data;
   switch (request.op) {
     case DiskOp::kRead:

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "src/base/bytes.h"
+#include "src/fault/fault.h"
 #include "src/hv/pci.h"
 #include "src/sim/executor.h"
 #include "src/sim/time.h"
@@ -52,6 +53,10 @@ class BlockDevice : public PciDevice {
 
   void Submit(DiskRequest request);
 
+  // Optional fault injection: completions roll FaultSite::kDiskIo; a trip
+  // completes the request with ok=false and no data/content effect.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   // Direct (out-of-band) access for tests and for pre-populating content.
   void WriteRaw(int64_t offset, std::span<const uint8_t> data);
   Buffer ReadRaw(int64_t offset, size_t length) const;
@@ -61,6 +66,7 @@ class BlockDevice : public PciDevice {
   uint64_t flushes_completed() const { return flushes_; }
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t io_errors() const { return io_errors_; }
   int queue_length() const { return static_cast<int>(queue_.size()); }
 
  private:
@@ -70,6 +76,7 @@ class BlockDevice : public PciDevice {
   Executor* executor_;
   DiskParams params_;
   bool store_data_;
+  FaultInjector* faults_ = nullptr;
 
   std::deque<DiskRequest> queue_;
   int active_ = 0;
@@ -83,6 +90,7 @@ class BlockDevice : public PciDevice {
   uint64_t flushes_ = 0;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t io_errors_ = 0;
 };
 
 }  // namespace kite

@@ -339,10 +339,11 @@ StorageBackendDriver::StorageBackendDriver(Domain* backend, BmkSched* sched,
 }
 
 StorageBackendDriver::~StorageBackendDriver() {
+  *alive_ = false;
   if (watch_ != 0) {
     hv_->store().RemoveWatch(watch_);
   }
-  for (WatchId id : fe_watch_ids_) {
+  for (const auto& [path, id] : fe_watches_) {
     hv_->store().RemoveWatch(id);
   }
 }
@@ -391,21 +392,34 @@ void StorageBackendDriver::Scan() {
                                                       disk_, key.first, key.second);
         inst->Advertise();
         instances_[key] = std::move(inst);
-        if (fe_watched_.insert(fe_path).second) {
-          fe_watch_ids_.push_back(backend_->StoreWatch(
+        if (fe_watches_.find(fe_path) == fe_watches_.end()) {
+          fe_watches_[fe_path] = backend_->StoreWatch(
               fe_path + "/state", "fe-state",
-              [this](const std::string&, const std::string&) { watch_wake_.Signal(); }));
+              [this](const std::string&, const std::string&) { watch_wake_.Signal(); });
         }
         continue;
       }
       BlkbackInstance* inst = it->second.get();
       if (!inst->connected() && bus.ReadState(fe_path) == XenbusState::kInitialised) {
         if (inst->Connect()) {
+          // Paired: drop the pre-publication frontend-state watch.
+          if (auto wit = fe_watches_.find(fe_path); wit != fe_watches_.end()) {
+            hv_->store().RemoveWatch(wit->second);
+            fe_watches_.erase(wit);
+          }
           if (on_new_vbd_) {
             on_new_vbd_(inst);
           }
         } else {
-          KITE_LOG(Warning) << "blkback: failed to connect " << fe_path;
+          // Transient by assumption (e.g. an injected grant-map failure):
+          // rescan shortly; the frontend watch alone won't fire again.
+          ++connect_retries_;
+          KITE_LOG(Warning) << "blkback: failed to connect " << fe_path << ", retrying";
+          hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+            if (*alive) {
+              watch_wake_.Signal();
+            }
+          });
         }
       }
     }

@@ -129,6 +129,9 @@ class StorageBackendDriver {
   BlkbackInstance* instance(DomId frontend_dom, int devid);
   void SetOnNewVbd(std::function<void(BlkbackInstance*)> fn) { on_new_vbd_ = std::move(fn); }
 
+  uint64_t connect_retries() const { return connect_retries_; }
+  int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
+
  private:
   Task WatchThread();
   void Scan();
@@ -144,8 +147,12 @@ class StorageBackendDriver {
   WatchId watch_ = 0;
   WakeFlag watch_wake_;
   std::map<std::pair<DomId, int>, std::unique_ptr<BlkbackInstance>> instances_;
-  std::set<std::string> fe_watched_;
-  std::vector<WatchId> fe_watch_ids_;
+  // Frontend state paths watched until their instance connects; removed on
+  // connect so the watch table stays bounded (mirrors netback).
+  std::map<std::string, WatchId> fe_watches_;
+  uint64_t connect_retries_ = 0;
+  // Outlives `this` so posted retries can detect destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace kite

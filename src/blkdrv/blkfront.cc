@@ -26,24 +26,42 @@ Blkfront::Blkfront(Domain* guest, DomId backend_dom, int devid,
   backend_path_ = BackendPath(backend_dom, "vbd", guest->id(), devid);
   XenbusClient bus(&hv_->store(), guest_->id());
   bus.SwitchState(frontend_path_, XenbusState::kInitialising);
-  backend_watch_ = guest_->StoreWatch(backend_path_ + "/state", "backend-state",
-                                      [this](const std::string&, const std::string&) {
-                                        OnBackendStateChange();
-                                      });
+  WatchBackendState();
+  // Watch our own backend-id link: rewritten by the toolstack when the
+  // device is handed to a replacement backend domain after a crash.
+  relink_watch_ = guest_->StoreWatch(frontend_path_ + "/backend-id", "relink",
+                                     [this](const std::string&, const std::string&) {
+                                       OnToolstackRelink();
+                                     });
 }
 
 Blkfront::~Blkfront() {
+  *alive_ = false;
   if (backend_watch_ != 0) {
     hv_->store().RemoveWatch(backend_watch_);
+  }
+  if (relink_watch_ != 0) {
+    hv_->store().RemoveWatch(relink_watch_);
   }
   if (port_ != kInvalidPort) {
     hv_->EventClose(guest_, port_);
   }
 }
 
+void Blkfront::WatchBackendState() {
+  backend_watch_ = guest_->StoreWatch(backend_path_ + "/state", "backend-state",
+                                      [this](const std::string&, const std::string&) {
+                                        OnBackendStateChange();
+                                      });
+}
+
 void Blkfront::OnBackendStateChange() {
   XenbusClient bus(&hv_->store(), guest_->id());
   const XenbusState state = bus.ReadState(backend_path_);
+  if (state == XenbusState::kInitWait || state == XenbusState::kInitialised ||
+      state == XenbusState::kConnected) {
+    backend_was_live_ = true;
+  }
   if (state == XenbusState::kInitWait && !published_) {
     PublishAndInitialise();
     return;
@@ -56,9 +74,98 @@ void Blkfront::OnBackendStateChange() {
     }
     PumpQueue();
   }
-  if (state == XenbusState::kClosing || state == XenbusState::kClosed) {
-    connected_ = false;
+  // Backend death: an explicit Closing/Closed transition, or its state node
+  // vanishing after it had been live (domain destruction).
+  const bool gone = state == XenbusState::kUnknown && backend_was_live_ &&
+                    !hv_->store().Exists(backend_path_ + "/state");
+  if (state == XenbusState::kClosing || state == XenbusState::kClosed || gone) {
+    HandleBackendDeath();
   }
+}
+
+void Blkfront::HandleBackendDeath() {
+  connected_ = false;
+  backend_was_live_ = false;
+  if (!published_) {
+    return;  // Nothing granted yet; relink alone will restart the handshake.
+  }
+  published_ = false;
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kClosed);
+  // Requeue every unacknowledged request at the FRONT of the chunk queue in
+  // original submission order (the in_flight_ map is keyed by monotonically
+  // increasing ids, so reverse iteration + push_front preserves order).
+  // Writes the backend acked are already durable on the physical disk, which
+  // survives the crash; requeued writes simply re-execute — idempotent — so
+  // no acknowledged write is ever lost and no unacked write vanishes.
+  for (auto it = in_flight_.rbegin(); it != in_flight_.rend(); ++it) {
+    InFlight& f = it->second;
+    Chunk chunk;
+    chunk.op = f.op;
+    chunk.op_offset = f.op_offset;
+    chunk.disk_offset = f.op->base_offset + static_cast<int64_t>(f.op_offset);
+    chunk.length = f.length;
+    chunk.is_flush = f.is_flush;
+    --f.op->outstanding;
+    ++f.op->chunks_pending;
+    ++requests_requeued_;
+    queue_.push_front(std::move(chunk));
+  }
+  in_flight_.clear();
+  // Reclaim every granted page (EndAccess succeeds because DestroyDomain
+  // force-dropped the dead backend's mappings), then drop the ring and pools;
+  // they are rebuilt against the replacement backend's feature set.
+  for (PoolPage& p : pool_) {
+    guest_->grant_table().EndAccess(p.gref);
+  }
+  for (PoolPage& p : indirect_pool_) {
+    guest_->grant_table().EndAccess(p.gref);
+  }
+  guest_->grant_table().EndAccess(ring_gref_);
+  ring_gref_ = kInvalidGrantRef;
+  pool_.clear();
+  indirect_pool_.clear();
+  free_pages_.clear();
+  free_indirect_.clear();
+  ring_.reset();
+  shared_.reset();
+  ring_page_.reset();
+  hv_->EventClose(guest_, port_);
+  port_ = kInvalidPort;
+  if (backend_watch_ != 0) {
+    hv_->store().RemoveWatch(backend_watch_);
+    backend_watch_ = 0;
+  }
+}
+
+void Blkfront::OnToolstackRelink() {
+  auto id = guest_->StoreReadInt(frontend_path_ + "/backend-id");
+  if (!id.has_value()) {
+    if (!hv_->store().Exists(frontend_path_ + "/backend-id")) {
+      return;  // No toolstack link yet; the watch fires again when written.
+    }
+    // The key exists but the read failed (fault injection): a missed relink
+    // would strand the guest, so retry until the write is visible.
+    hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+      if (*alive) {
+        OnToolstackRelink();
+      }
+    });
+    return;
+  }
+  if (static_cast<DomId>(*id) == backend_dom_) {
+    return;  // Registration fire, or a rewrite of the same link.
+  }
+  HandleBackendDeath();  // No-op if the death watch already cleaned up.
+  backend_dom_ = static_cast<DomId>(*id);
+  backend_path_ = BackendPath(backend_dom_, "vbd", guest_->id(), devid_);
+  ++recoveries_;
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kInitialising);
+  // The new watch fires once on registration: if the replacement backend is
+  // already advertising InitWait we publish immediately, otherwise when it
+  // gets there. Queued + requeued chunks drain once it reports Connected.
+  WatchBackendState();
 }
 
 void Blkfront::PublishAndInitialise() {
@@ -106,6 +213,8 @@ void Blkfront::PublishAndInitialise() {
 
   XenbusClient bus(&hv_->store(), guest_->id());
   bus.SwitchState(frontend_path_, XenbusState::kInitialised);
+  // Note: backend_watch_ stays as registered by the constructor / relink;
+  // it is the same backend directory that advertised InitWait.
 }
 
 void Blkfront::Read(int64_t offset, size_t length, Buffer* out, IoCallback cb) {
@@ -204,6 +313,7 @@ bool Blkfront::SubmitChunk(const Chunk& chunk) {
   inflight.op_offset = chunk.op_offset;
   inflight.length = chunk.length;
   inflight.is_read = chunk.op->is_read;
+  inflight.is_flush = chunk.is_flush;
 
   if (chunk.is_flush) {
     req.op = BlkOp::kFlush;

@@ -43,6 +43,7 @@ class Blkfront {
   int64_t capacity_bytes() const { return capacity_bytes_; }
   int devid() const { return devid_; }
   Domain* guest() const { return guest_; }
+  DomId backend_dom() const { return backend_dom_; }
   bool indirect_supported() const { return max_indirect_ > 0; }
   bool persistent_supported() const { return persistent_; }
 
@@ -50,6 +51,12 @@ class Blkfront {
   uint64_t indirect_requests() const { return indirect_requests_; }
   uint64_t ops_completed() const { return ops_completed_; }
   size_t queued_chunks() const { return queue_.size(); }
+  // Completed reconnects to a fresh backend after the old one died.
+  uint64_t recoveries() const { return recoveries_; }
+  // Unacknowledged ring requests requeued across a backend death. Unlike
+  // netfront, blkfront never drops: a write that was never acknowledged must
+  // eventually execute, or the caller would see success-after-timeout races.
+  uint64_t requests_requeued() const { return requests_requeued_; }
 
  private:
   struct PendingOp {
@@ -76,11 +83,15 @@ class Blkfront {
     size_t op_offset = 0;
     size_t length = 0;
     bool is_read = false;
+    bool is_flush = false;
     uint16_t indirect_page_id = 0;
     bool used_indirect = false;
   };
 
   void OnBackendStateChange();
+  void HandleBackendDeath();
+  void OnToolstackRelink();
+  void WatchBackendState();
   void PublishAndInitialise();
   void OnIrq();
   void EnqueueOp(std::shared_ptr<PendingOp> op, bool is_flush);
@@ -100,6 +111,10 @@ class Blkfront {
   std::string frontend_path_;
   std::string backend_path_;
   WatchId backend_watch_ = 0;
+  WatchId relink_watch_ = 0;
+  bool backend_was_live_ = false;
+  // Outlives `this` so posted retries can detect destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   // Negotiated backend features.
   int64_t capacity_bytes_ = 0;
@@ -133,6 +148,8 @@ class Blkfront {
   uint64_t requests_sent_ = 0;
   uint64_t indirect_requests_ = 0;
   uint64_t ops_completed_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t requests_requeued_ = 0;
 };
 
 }  // namespace kite

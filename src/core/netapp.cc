@@ -64,6 +64,7 @@ Task NetworkApp::MainLoop() {
       NetbackInstance* vif = pending_vifs_.front();
       pending_vifs_.pop_front();
       brconfig_.AddIf(bridge_.get(), vif);
+      vif->CompleteHotplug();
       ++vifs_added_;
       KITE_LOG(Info) << "network-app: added " << vif->ifname() << " to " << bridge_->name();
       // Explicitly yield so netback, the NIC driver, and the network stack

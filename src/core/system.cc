@@ -5,8 +5,10 @@
 
 namespace kite {
 
-KiteSystem::KiteSystem(Params params) : params_(params) {
+KiteSystem::KiteSystem(Params params)
+    : params_(params), faults_(params_.fault_seed) {
   hv_ = std::make_unique<Hypervisor>(&executor_, params_.hv_costs);
+  hv_->set_fault_injector(&faults_);
   gateway_ip_ = Ipv4Addr{params_.subnet_base.value + 1};
   client_ip_ = Ipv4Addr{params_.subnet_base.value + 2};
 }
@@ -32,8 +34,14 @@ void KiteSystem::BootDomain(Domain* dom, const OsProfile* os,
 }
 
 NetworkDomain* KiteSystem::CreateNetworkDomain(DriverDomainConfig config) {
+  return CreateNetworkDomainImpl(config, /*reuse_nic=*/nullptr);
+}
+
+NetworkDomain* KiteSystem::CreateNetworkDomainImpl(DriverDomainConfig config,
+                                                   std::unique_ptr<Nic> reuse_nic) {
   auto nd = std::make_unique<NetworkDomain>();
   nd->os_ = &DriverDomainProfile(config.os, /*storage=*/false);
+  nd->config_ = config;
   const int memory =
       config.memory_mb > 0 ? config.memory_mb
                            : (config.os == OsKind::kKiteRumprun ? 1024 : 2048);
@@ -44,13 +52,23 @@ NetworkDomain* KiteSystem::CreateNetworkDomain(DriverDomainConfig config) {
     nd->scheds_.push_back(std::make_unique<BmkSched>(&executor_, nd->domain_->vcpu(i)));
   }
 
-  // Physical NIC assigned via PCI passthrough (with IOMMU).
-  nd->nic_ = std::make_unique<Nic>(&executor_, "0000:03:00.0", "ixg0",
-                                   MacAddr::FromId(0x100000u + next_mac_id_++), params_.nic);
+  // Physical NIC assigned via PCI passthrough (with IOMMU). Across a
+  // driver-domain restart the same NIC is handed over, still cabled to the
+  // client, so the link (and any frames in flight on it) is preserved.
+  if (reuse_nic != nullptr) {
+    nd->nic_ = std::move(reuse_nic);
+  } else {
+    nd->nic_ = std::make_unique<Nic>(&executor_, "0000:03:00.0", "ixg0",
+                                     MacAddr::FromId(0x100000u + next_mac_id_++),
+                                     params_.nic);
+    nd->nic_->set_fault_injector(&faults_);
+  }
   hv_->AssignPci(nd->nic_.get(), nd->domain_, /*iommu=*/true);
 
   EnsureClient();
-  Nic::ConnectBackToBack(nd->nic_.get(), client_->nic_.get());
+  if (nd->nic_->peer() == nullptr) {
+    Nic::ConnectBackToBack(nd->nic_.get(), client_->nic_.get());
+  }
 
   NetworkDomain* raw = nd.get();
   network_domains_.push_back(std::move(nd));
@@ -73,8 +91,14 @@ void KiteSystem::StartNetworkDomainServices(NetworkDomain* nd, DriverDomainConfi
 }
 
 StorageDomain* KiteSystem::CreateStorageDomain(DriverDomainConfig config) {
+  return CreateStorageDomainImpl(config, /*reuse_disk=*/nullptr);
+}
+
+StorageDomain* KiteSystem::CreateStorageDomainImpl(DriverDomainConfig config,
+                                                   std::unique_ptr<BlockDevice> reuse_disk) {
   auto sd = std::make_unique<StorageDomain>();
   sd->os_ = &DriverDomainProfile(config.os, /*storage=*/true);
+  sd->config_ = config;
   const int memory =
       config.memory_mb > 0 ? config.memory_mb
                            : (config.os == OsKind::kKiteRumprun ? 1024 : 2048);
@@ -83,8 +107,15 @@ StorageDomain* KiteSystem::CreateStorageDomain(DriverDomainConfig config) {
       memory);
   sd->sched_ = std::make_unique<BmkSched>(&executor_, sd->domain_->vcpu(0));
 
-  sd->disk_ = std::make_unique<BlockDevice>(&executor_, "0000:04:00.0", params_.disk,
-                                            params_.disk_store_data);
+  // Across a restart the same physical disk is handed over, so every write
+  // acknowledged before the crash is still there afterwards.
+  if (reuse_disk != nullptr) {
+    sd->disk_ = std::move(reuse_disk);
+  } else {
+    sd->disk_ = std::make_unique<BlockDevice>(&executor_, "0000:04:00.0", params_.disk,
+                                              params_.disk_store_data);
+    sd->disk_->set_fault_injector(&faults_);
+  }
   hv_->AssignPci(sd->disk_.get(), sd->domain_, /*iommu=*/true);
 
   StorageDomain* raw = sd.get();
@@ -122,6 +153,7 @@ void KiteSystem::EnsureClient() {
   NicParams client_nic = params_.nic;
   client_->nic_ = std::make_unique<Nic>(&executor_, "client:0000:02:00.0", "enp2s0",
                                         MacAddr::FromId(0x200000u), client_nic);
+  client_->nic_->set_fault_injector(&faults_);
   client_->nic_->SetProcessingVcpu(client_->vcpu_.get());
   client_->stack_ = std::make_unique<EtherStack>(&executor_, client_->vcpu_.get(),
                                                  client_->nic_->netif());
@@ -179,11 +211,19 @@ bool KiteSystem::WaitUntil(const std::function<bool()>& pred, SimDuration timeou
   const SimTime deadline = executor_.Now() + timeout;
   while (!pred()) {
     if (executor_.Now() > deadline) {
+      KITE_LOG(Warning) << "WaitUntil timed out at t=" << executor_.Now().seconds()
+                        << "s with " << executor_.queue_size()
+                        << " event(s) still pending";
       return false;
     }
     if (!executor_.Step()) {
-      // Queue drained without the predicate holding.
-      return pred();
+      if (!pred()) {
+        KITE_LOG(Warning) << "WaitUntil ran the simulation dry at t="
+                          << executor_.Now().seconds()
+                          << "s without the predicate holding (0 events pending)";
+        return false;
+      }
+      return true;
     }
   }
   return true;
@@ -204,21 +244,102 @@ bool KiteSystem::WaitConnected(GuestVm* guest, SimDuration timeout) {
 }
 
 NetworkDomain* KiteSystem::RestartNetworkDomain(NetworkDomain* netdom) {
-  // Tear down: services first, then the VM itself.
-  OsKind os_kind = netdom->os_->kind;
+  const DomId old_id = netdom->domain_->id();
+  const DriverDomainConfig config = netdom->config_;
+
+  // Guests whose VIF pointed at the dead backend; relinked below once the
+  // replacement exists.
+  std::vector<GuestVm*> attached;
+  for (auto& g : guests_) {
+    if (g->netfront_ != nullptr && g->netfront_->backend_dom() == old_id) {
+      attached.push_back(g.get());
+    }
+  }
+
+  // Tear down: services first, then the VM itself. The physical NIC is
+  // detached and survives the domain (it stays cabled to the client).
   netdom->app_.reset();
   netdom->driver_.reset();
-  hv_->UnassignPci(netdom->nic_.get());
-  hv_->DestroyDomain(netdom->domain_->id());
+  std::unique_ptr<Nic> nic = std::move(netdom->nic_);
+  hv_->UnassignPci(nic.get());
+  hv_->DestroyDomain(old_id);
   for (auto it = network_domains_.begin(); it != network_domains_.end(); ++it) {
     if (it->get() == netdom) {
       network_domains_.erase(it);
       break;
     }
   }
-  DriverDomainConfig config;
-  config.os = os_kind;
-  return CreateNetworkDomain(config);
+
+  NetworkDomain* fresh = CreateNetworkDomainImpl(config, std::move(nic));
+  for (GuestVm* guest : attached) {
+    RelinkVif(guest, fresh);
+  }
+  return fresh;
+}
+
+StorageDomain* KiteSystem::RestartStorageDomain(StorageDomain* stordom) {
+  const DomId old_id = stordom->domain_->id();
+  const DriverDomainConfig config = stordom->config_;
+
+  std::vector<GuestVm*> attached;
+  for (auto& g : guests_) {
+    if (g->blkfront_ != nullptr && g->blkfront_->backend_dom() == old_id) {
+      attached.push_back(g.get());
+    }
+  }
+
+  stordom->app_.reset();
+  stordom->driver_.reset();
+  std::unique_ptr<BlockDevice> disk = std::move(stordom->disk_);
+  hv_->UnassignPci(disk.get());
+  hv_->DestroyDomain(old_id);
+  for (auto it = storage_domains_.begin(); it != storage_domains_.end(); ++it) {
+    if (it->get() == stordom) {
+      storage_domains_.erase(it);
+      break;
+    }
+  }
+
+  StorageDomain* fresh = CreateStorageDomainImpl(config, std::move(disk));
+  for (GuestVm* guest : attached) {
+    RelinkVbd(guest, fresh);
+  }
+  return fresh;
+}
+
+void KiteSystem::RelinkVif(GuestVm* guest, NetworkDomain* netdom) {
+  const int devid = guest->netfront_->devid();
+  const DomId gid = guest->domain_->id();
+  const DomId bid = netdom->domain_->id();
+  XenStore& store = hv_->store();
+
+  const std::string fe = FrontendPath(gid, "vif", devid);
+  const std::string be = BackendPath(bid, "vif", gid, devid);
+  store.Write(kDom0, be + "/frontend", fe);
+  store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/state", static_cast<int>(XenbusState::kInitialising));
+  store.SetPermission(kDom0, be, gid);
+  store.SetPermission(kDom0, fe, bid);
+  store.Write(kDom0, fe + "/backend", be);
+  // Written last: the frontend's relink watch keys on backend-id, and by
+  // then the rest of the toolstack state must already be in place.
+  store.WriteInt(kDom0, fe + "/backend-id", bid);
+}
+
+void KiteSystem::RelinkVbd(GuestVm* guest, StorageDomain* stordom) {
+  const int devid = guest->blkfront_->devid();
+  const DomId gid = guest->domain_->id();
+  const DomId bid = stordom->domain_->id();
+  XenStore& store = hv_->store();
+
+  const std::string fe = FrontendPath(gid, "vbd", devid);
+  const std::string be = BackendPath(bid, "vbd", gid, devid);
+  store.Write(kDom0, be + "/frontend", fe);
+  store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.SetPermission(kDom0, be, gid);
+  store.SetPermission(kDom0, fe, bid);
+  store.Write(kDom0, fe + "/backend", be);
+  store.WriteInt(kDom0, fe + "/backend-id", bid);
 }
 
 }  // namespace kite

@@ -16,6 +16,7 @@
 
 #include "src/blk/disk.h"
 #include "src/blkdrv/blkback.h"
+#include "src/fault/fault.h"
 #include "src/blkdrv/blkfront.h"
 #include "src/bmk/sched.h"
 #include "src/core/blkapp.h"
@@ -56,6 +57,7 @@ class NetworkDomain {
   friend class KiteSystem;
   Domain* domain_ = nullptr;
   const OsProfile* os_ = nullptr;
+  DriverDomainConfig config_;  // Kept so a restart reproduces the domain.
   std::vector<std::unique_ptr<BmkSched>> scheds_;  // One per vCPU.
   std::unique_ptr<Nic> nic_;
   std::unique_ptr<NetworkBackendDriver> driver_;
@@ -79,6 +81,7 @@ class StorageDomain {
   friend class KiteSystem;
   Domain* domain_ = nullptr;
   const OsProfile* os_ = nullptr;
+  DriverDomainConfig config_;  // Kept so a restart reproduces the domain.
   std::unique_ptr<BmkSched> sched_;
   std::unique_ptr<BlockDevice> disk_;
   std::unique_ptr<StorageBackendDriver> driver_;
@@ -131,6 +134,8 @@ class KiteSystem {
     // (used by the boot-time experiment and the restart example).
     bool instant_boot = true;
     Ipv4Addr subnet_base = Ipv4Addr::FromOctets(10, 0, 0, 0);
+    // Seed for the fault injector (all rates default to zero = no faults).
+    uint64_t fault_seed = 0xfa0170ULL;
   };
 
   KiteSystem() : KiteSystem(Params{}) {}
@@ -140,6 +145,9 @@ class KiteSystem {
   Executor& executor() { return executor_; }
   Hypervisor& hv() { return *hv_; }
   SimTime Now() const { return executor_.Now(); }
+  // Fault-injection knobs shared by the hypervisor, every NIC, and every
+  // disk. Set rates before (or during) a scenario to script failures.
+  FaultInjector& faults() { return faults_; }
 
   // --- Topology construction. ---
   NetworkDomain* CreateNetworkDomain(DriverDomainConfig config = DriverDomainConfig{});
@@ -169,9 +177,16 @@ class KiteSystem {
 
   // --- Driver-domain restart (experiment E1 / failure recovery). ---
   // Destroys the network domain's VM and boots a fresh one with the same
-  // configuration. Returns the new domain; measures boot via
+  // configuration, reusing the physical NIC. Every guest VIF attached to
+  // the dead domain is relinked to the new one: the frontends detect the
+  // backend death, tear down their rings, and reconnect automatically —
+  // no manual re-attach. Returns the new domain; measures boot via
   // boot_completed_at().
   NetworkDomain* RestartNetworkDomain(NetworkDomain* netdom);
+  // Same for a storage domain. The physical disk is reused, so all
+  // acknowledged writes survive the crash; blkfront requeues in-flight
+  // requests so unacknowledged writes are retried, not lost.
+  StorageDomain* RestartStorageDomain(StorageDomain* stordom);
 
   const Params& params() const { return params_; }
 
@@ -180,9 +195,23 @@ class KiteSystem {
   void StartNetworkDomainServices(NetworkDomain* nd, DriverDomainConfig config);
   void StartStorageDomainServices(StorageDomain* sd, DriverDomainConfig config);
   void EnsureClient();
+  // Shared by Create…Domain and Restart…Domain: when `reuse_nic`/`reuse_disk`
+  // is non-null the physical device is adopted instead of constructed (PCI
+  // passthrough hand-over across a driver-domain restart).
+  NetworkDomain* CreateNetworkDomainImpl(DriverDomainConfig config,
+                                         std::unique_ptr<Nic> reuse_nic);
+  StorageDomain* CreateStorageDomainImpl(DriverDomainConfig config,
+                                         std::unique_ptr<BlockDevice> reuse_disk);
+  // Re-points an existing guest device at a freshly booted driver domain by
+  // rewriting the toolstack xenstore keys (what `xl network-attach` leaves
+  // in place after a backend respawn). The frontend's relink watch does the
+  // rest.
+  void RelinkVif(GuestVm* guest, NetworkDomain* netdom);
+  void RelinkVbd(GuestVm* guest, StorageDomain* stordom);
 
   Params params_;
   Executor executor_;
+  FaultInjector faults_;
   std::unique_ptr<Hypervisor> hv_;
   std::vector<std::unique_ptr<NetworkDomain>> network_domains_;
   std::vector<std::unique_ptr<StorageDomain>> storage_domains_;

@@ -1,0 +1,74 @@
+#include "src/fault/fault.h"
+
+#include "src/base/log.h"
+
+namespace kite {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGrantMap:
+      return "grant-map";
+    case FaultSite::kEventNotify:
+      return "event-notify";
+    case FaultSite::kXenstoreRead:
+      return "xenstore-read";
+    case FaultSite::kDiskIo:
+      return "disk-io";
+    case FaultSite::kNicLoss:
+      return "nic-loss";
+    case FaultSite::kNicCorrupt:
+      return "nic-corrupt";
+    case FaultSite::kCount:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::set_rate(FaultSite site, double p) {
+  KITE_CHECK(p >= 0.0 && p <= 1.0) << "fault rate must be a probability";
+  rates_[static_cast<int>(site)] = p;
+}
+
+double FaultInjector::rate(FaultSite site) const {
+  return rates_[static_cast<int>(site)];
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  const int i = static_cast<int>(site);
+  if (rates_[i] <= 0.0) {
+    return false;  // No RNG consumption: fault-free runs stay byte-identical.
+  }
+  ++rolls_[i];
+  if (!rng_.NextBool(rates_[i])) {
+    return false;
+  }
+  ++trips_[i];
+  return true;
+}
+
+uint64_t FaultInjector::trips(FaultSite site) const {
+  return trips_[static_cast<int>(site)];
+}
+
+uint64_t FaultInjector::rolls(FaultSite site) const {
+  return rolls_[static_cast<int>(site)];
+}
+
+uint64_t FaultInjector::total_trips() const {
+  uint64_t n = 0;
+  for (uint64_t t : trips_) {
+    n += t;
+  }
+  return n;
+}
+
+void FaultInjector::ResetCounters() {
+  trips_.fill(0);
+  rolls_.fill(0);
+}
+
+void FaultInjector::Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+}  // namespace kite

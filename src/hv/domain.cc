@@ -24,16 +24,25 @@ bool Domain::StoreWriteInt(const std::string& path, int64_t value) {
 
 std::optional<std::string> Domain::StoreRead(const std::string& path) {
   hv_->ChargeXenstoreOp(this);
+  if (hv_->InjectFault(FaultSite::kXenstoreRead)) {
+    return std::nullopt;
+  }
   return hv_->store().Read(id_, path);
 }
 
 std::optional<int64_t> Domain::StoreReadInt(const std::string& path) {
   hv_->ChargeXenstoreOp(this);
+  if (hv_->InjectFault(FaultSite::kXenstoreRead)) {
+    return std::nullopt;
+  }
   return hv_->store().ReadInt(id_, path);
 }
 
 std::optional<std::vector<std::string>> Domain::StoreList(const std::string& path) {
   hv_->ChargeXenstoreOp(this);
+  if (hv_->InjectFault(FaultSite::kXenstoreRead)) {
+    return std::nullopt;
+  }
   return hv_->store().List(id_, path);
 }
 

@@ -47,6 +47,17 @@ GrantTable::Entry* GrantTable::Lookup(GrantRef ref) {
   return &entries_[ref];
 }
 
+int GrantTable::RevokeMappingsFor(DomId peer) {
+  int dropped = 0;
+  for (Entry& e : entries_) {
+    if (e.in_use && e.peer == peer && e.active_maps > 0) {
+      dropped += e.active_maps;
+      e.active_maps = 0;
+    }
+  }
+  return dropped;
+}
+
 int GrantTable::active_entry_count() const {
   int n = 0;
   for (const Entry& e : entries_) {
@@ -86,16 +97,21 @@ void MappedGrant::Unmap() {
   if (page_ == nullptr) {
     return;
   }
+  // A stale handle whose mapping was already force-dropped (the mapper
+  // domain was destroyed) has nothing to unmap: skip the hypercall hook —
+  // it charges the mapper's vCPU, which no longer exists.
+  bool was_mapped = false;
   if (table_ != nullptr) {
     GrantTable::Entry* e = table_->Lookup(ref_);
     if (e != nullptr && e->active_maps > 0) {
       --e->active_maps;
+      was_mapped = true;
     }
   }
-  if (on_unmap_ != nullptr) {
+  if (was_mapped && on_unmap_ != nullptr) {
     on_unmap_();
-    on_unmap_ = nullptr;
   }
+  on_unmap_ = nullptr;
   page_.reset();
   table_ = nullptr;
   ref_ = kInvalidGrantRef;

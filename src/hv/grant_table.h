@@ -46,6 +46,13 @@ class GrantTable {
   };
   Entry* Lookup(GrantRef ref);
 
+  // Force-drops every active mapping held by `peer` (domain destruction: the
+  // mapper is gone, so its mappings cannot be released gracefully). Entries
+  // stay granted — the owner revokes them with EndAccess, which now succeeds.
+  // Returns the number of mappings dropped. A stale MappedGrant unmapped
+  // later is harmless: Unmap only decrements while active_maps > 0.
+  int RevokeMappingsFor(DomId peer);
+
   DomId owner() const { return owner_; }
   int active_entry_count() const;
   int total_maps_outstanding() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/hv/xenbus.h"
 
 namespace kite {
 
@@ -39,22 +40,72 @@ void Hypervisor::DestroyDomain(DomId id) {
   if (dom == nullptr) {
     return;
   }
+  // Toolstack: walk every device this domain backed and step its state
+  // through Closing → Closed, so surviving frontends *observe* backend death
+  // instead of silently talking to a dangling ring. (The subtree removal
+  // below also fires these watchers, but the explicit state writes are what
+  // the xenbus protocol promises them.)
+  const std::string backend_root = dom->store_home() + "/backend";
+  if (auto types = store_.List(kDom0, backend_root); types.has_value()) {
+    for (const std::string& type : *types) {
+      const std::string type_dir = backend_root + "/" + type;
+      auto fdoms = store_.List(kDom0, type_dir);
+      if (!fdoms.has_value()) {
+        continue;
+      }
+      for (const std::string& fdom : *fdoms) {
+        auto devs = store_.List(kDom0, type_dir + "/" + fdom);
+        if (!devs.has_value()) {
+          continue;
+        }
+        for (const std::string& dev : *devs) {
+          const std::string state = type_dir + "/" + fdom + "/" + dev + "/state";
+          store_.WriteInt(kDom0, state, static_cast<int>(XenbusState::kClosing));
+          store_.WriteInt(kDom0, state, static_cast<int>(XenbusState::kClosed));
+        }
+      }
+    }
+  }
   // Close all event channels (notifying nothing; peers see silence).
   for (size_t p = 0; p < dom->ports_.size(); ++p) {
     if (dom->ports_[p].allocated) {
       EventClose(dom, static_cast<EvtPort>(p));
     }
   }
+  // Force-drop the mappings the dead domain held in every surviving grant
+  // table — the mapper is gone and will never unmap gracefully. Owners can
+  // then reclaim their pages with EndAccess.
+  for (const auto& d : domains_) {
+    if (d != nullptr && d->id() != id) {
+      forced_grant_revocations_ +=
+          static_cast<uint64_t>(d->grant_table().RevokeMappingsFor(id));
+    }
+  }
   // Release PCI devices.
   for (PciDevice* dev : pci_devices_) {
     if (dev->owner_ == dom) {
-      dev->owner_ = nullptr;
-      dev->irq_handler_ = nullptr;
+      UnassignPci(dev);
     }
   }
-  // Remove the domain's xenstore subtree.
-  store_.Remove(kDom0, dom->store_home());
+  // Drop the dead domain's watches so no in-flight xenstored event can call
+  // back into its (about to be freed) drivers.
+  store_.RemoveWatchesOwnedBy(id);
+  // Remove the domain's xenstore subtree, notifying watchers of every node.
+  store_.RemoveSubtree(kDom0, dom->store_home());
   domains_[id].reset();
+}
+
+int Hypervisor::open_port_count(DomId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= domains_.size() || domains_[id] == nullptr) {
+    return 0;
+  }
+  int n = 0;
+  for (const Domain::PortInfo& p : domains_[id]->ports_) {
+    if (p.allocated) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 int Hypervisor::live_domain_count() const {
@@ -135,6 +186,13 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
     // Event coalescing: an undelivered event absorbs further sends.
     return true;
   }
+  if (InjectFault(FaultSite::kEventNotify)) {
+    // The hypercall "succeeded" but the interrupt is lost. Deliberately does
+    // NOT set pending — that would absorb every later send and wedge the
+    // port forever instead of modelling one lost notification.
+    ++events_dropped_;
+    return true;
+  }
   pinfo->pending = true;
   DomId peer_id = peer->id();
   EvtPort peer_port = info->peer_port;
@@ -178,6 +236,9 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
                                  bool write_access, Vcpu* caller_vcpu) {
   Charge(mapper, costs_.grant_map, caller_vcpu);
   ++grant_maps_;
+  if (InjectFault(FaultSite::kGrantMap)) {
+    return MappedGrant{};
+  }
   Domain* owner_dom = domain(owner);
   if (owner_dom == nullptr) {
     return MappedGrant{};
@@ -258,8 +319,12 @@ bool Hypervisor::AssignPci(PciDevice* device, Domain* owner, bool iommu) {
 }
 
 void Hypervisor::UnassignPci(PciDevice* device) {
+  if (device->owner_ == nullptr) {
+    return;
+  }
   device->owner_ = nullptr;
   device->irq_handler_ = nullptr;
+  device->OnUnassigned();
 }
 
 void Hypervisor::DeliverPciIrq(PciDevice* device) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/hv/domain.h"
 #include "src/hv/pci.h"
 #include "src/hv/xenstore.h"
@@ -80,6 +81,16 @@ class Hypervisor {
   // --- Charged xenstore access (used by Domain wrappers). ---
   void ChargeXenstoreOp(Domain* caller);
 
+  // --- Fault injection. ---
+  // Optional; when set, grant maps, event sends and domain xenstore reads
+  // consult the injector. XenbusClient state reads bypass Domain wrappers on
+  // purpose and stay reliable — the reconnect protocol needs a ground truth.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+  bool InjectFault(FaultSite site) {
+    return faults_ != nullptr && faults_->ShouldFail(site);
+  }
+
   // --- Introspection for tests/benches. ---
   uint64_t hypercalls_issued() const { return hypercalls_; }
   uint64_t events_sent() const { return events_sent_; }
@@ -88,6 +99,12 @@ class Hypervisor {
   uint64_t grant_unmaps() const { return grant_unmaps_; }
   uint64_t grant_copies() const { return grant_copies_; }
   uint64_t grant_copy_bytes() const { return grant_copy_bytes_; }
+  // Event notifications accepted but dropped by fault injection.
+  uint64_t events_dropped() const { return events_dropped_; }
+  // Mappings force-dropped because the mapping domain was destroyed.
+  uint64_t forced_grant_revocations() const { return forced_grant_revocations_; }
+  // Allocated event-channel ports of one domain (leak accounting in tests).
+  int open_port_count(DomId id) const;
 
  private:
   void Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu = nullptr);
@@ -96,6 +113,7 @@ class Hypervisor {
   Executor* executor_;
   HvCosts costs_;
   XenStore store_;
+  FaultInjector* faults_ = nullptr;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<PciDevice*> pci_devices_;
 
@@ -106,6 +124,8 @@ class Hypervisor {
   uint64_t grant_unmaps_ = 0;
   uint64_t grant_copies_ = 0;
   uint64_t grant_copy_bytes_ = 0;
+  uint64_t events_dropped_ = 0;
+  uint64_t forced_grant_revocations_ = 0;
 };
 
 }  // namespace kite

@@ -50,6 +50,11 @@ class PciDevice {
   // Called by the hypervisor on assignment; overridable for device bring-up.
   virtual void OnAssigned(Domain* owner) {}
 
+  // Called by the hypervisor when the device is released (explicit unassign
+  // or owner destruction) so the model can drop references into the old
+  // owner — e.g. the vCPU that receive processing was charged to.
+  virtual void OnUnassigned() {}
+
  private:
   friend class Hypervisor;
 

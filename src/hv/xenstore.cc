@@ -98,6 +98,42 @@ bool XenStore::Remove(DomId caller, const std::string& path) {
   return true;
 }
 
+void XenStore::CollectPaths(const Node& node, const std::string& base,
+                            std::vector<std::string>* out) {
+  out->push_back(base);
+  for (const auto& [name, child] : node.children) {
+    CollectPaths(child, base + "/" + name, out);
+  }
+}
+
+bool XenStore::RemoveSubtree(DomId caller, const std::string& path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return false;  // Refuse to remove the root.
+  }
+  Node* parent = &root_;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = parent->children.find(parts[i]);
+    if (it == parent->children.end()) {
+      return false;
+    }
+    parent = &it->second;
+  }
+  auto it = parent->children.find(parts.back());
+  if (it == parent->children.end() || !CanWrite(caller, it->second)) {
+    return false;
+  }
+  std::vector<std::string> removed;
+  CollectPaths(it->second, path, &removed);
+  parent->children.erase(it);
+  // Deepest-first (reverse preorder) so leaf watchers hear before directory
+  // watchers, matching the order a sequence of single removes would produce.
+  for (auto rit = removed.rbegin(); rit != removed.rend(); ++rit) {
+    FireWatches(*rit);
+  }
+  return true;
+}
+
 bool XenStore::Exists(const std::string& path) const { return FindNode(path) != nullptr; }
 
 bool XenStore::SetPermission(DomId caller, const std::string& path, DomId peer) {
@@ -167,6 +203,29 @@ void XenStore::RemoveWatch(WatchId id) {
       return;
     }
   }
+}
+
+int XenStore::RemoveWatchesOwnedBy(DomId owner) {
+  int removed = 0;
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    if (it->owner == owner) {
+      it = watches_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+int XenStore::watch_count(DomId owner) const {
+  int n = 0;
+  for (const Watch& w : watches_) {
+    if (w.owner == owner) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 void XenStore::FireWatches(const std::string& path) {

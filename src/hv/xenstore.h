@@ -51,8 +51,15 @@ class XenStore {
   // Child names of path (not full paths), or nullopt if missing/forbidden.
   std::optional<std::vector<std::string>> List(DomId caller, const std::string& path) const;
 
-  // Recursive removal. Returns false if missing or forbidden.
+  // Recursive removal. Returns false if missing or forbidden. Fires watches
+  // only for the removed path itself.
   bool Remove(DomId caller, const std::string& path);
+
+  // Recursive removal that fires watches for *every* removed descendant path,
+  // not just the subtree root. Domain teardown uses this so that a frontend
+  // watching ".../state" under the dead domain's directory observes the
+  // deletion (plain Remove would only notify watchers of the directory root).
+  bool RemoveSubtree(DomId caller, const std::string& path);
 
   bool Exists(const std::string& path) const;
 
@@ -73,6 +80,11 @@ class XenStore {
                    WatchFn fn);
   void RemoveWatch(WatchId id);
 
+  // Drops every watch registered by `owner`; returns how many were removed.
+  // Called from domain teardown so a destroyed domain's driver callbacks can
+  // never fire into freed objects.
+  int RemoveWatchesOwnedBy(DomId owner);
+
   // Latency of one xenstored round trip (charged as event delivery delay on
   // watch callbacks; data ops are synchronous in simulation but cost-charged
   // by the Hypervisor wrapper).
@@ -80,6 +92,7 @@ class XenStore {
   SimDuration op_latency() const { return op_latency_; }
 
   int watch_count() const { return static_cast<int>(watches_.size()); }
+  int watch_count(DomId owner) const;
 
  private:
   struct Node {
@@ -95,6 +108,8 @@ class XenStore {
   bool CanWrite(DomId caller, const Node& node) const;
   void FireWatches(const std::string& path);
   void PostWatchEvent(WatchId id, const std::string& path);
+  static void CollectPaths(const Node& node, const std::string& base,
+                           std::vector<std::string>* out);
 
   struct Watch {
     WatchId id;

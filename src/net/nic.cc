@@ -31,6 +31,8 @@ void Nic::ConnectBackToBack(Nic* a, Nic* b) {
 
 void Nic::OnAssigned(Domain* owner) { vcpu_ = owner->vcpu(0); }
 
+void Nic::OnUnassigned() { vcpu_ = nullptr; }
+
 void Nic::Transmit(const EthernetFrame& frame) {
   if (peer_ == nullptr) {
     ++tx_dropped_;
@@ -60,6 +62,16 @@ void Nic::Transmit(const EthernetFrame& frame) {
 }
 
 void Nic::Arrive(EthernetFrame frame) {
+  if (faults_ != nullptr) {
+    if (faults_->ShouldFail(FaultSite::kNicLoss)) {
+      ++rx_lost_;  // Lost on the wire: the receive side never sees it.
+      return;
+    }
+    if (faults_->ShouldFail(FaultSite::kNicCorrupt)) {
+      ++rx_fcs_errors_;  // Bad FCS: hardware discards before the ring.
+      return;
+    }
+  }
   if (rx_queue_.size() >= params_.rx_queue_frames) {
     ++rx_dropped_;
     return;

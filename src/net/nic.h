@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 
+#include "src/fault/fault.h"
 #include "src/hv/pci.h"
 #include "src/net/netif.h"
 #include "src/sim/cpu.h"
@@ -53,11 +54,17 @@ class Nic : public PciDevice {
 
   // Connects two NICs back to back (full duplex).
   static void ConnectBackToBack(Nic* a, Nic* b);
+  Nic* peer() const { return peer_; }
 
   // For endpoints outside Xen (the client machine): the vCPU charged for
   // frame processing. For passthrough NICs this is set on domain assignment.
   void SetProcessingVcpu(Vcpu* vcpu) { vcpu_ = vcpu; }
   void OnAssigned(Domain* owner) override;
+  void OnUnassigned() override;
+
+  // Optional fault injection rolled on the receive side of the wire (frame
+  // loss, FCS corruption). Set on both link ends to fault both directions.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   // Wire-side: queues the frame for transmission at line rate.
   void Transmit(const EthernetFrame& frame);
@@ -65,6 +72,8 @@ class Nic : public PciDevice {
   uint64_t tx_dropped() const { return tx_dropped_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
   uint64_t rx_delivered() const { return rx_delivered_; }
+  uint64_t rx_lost() const { return rx_lost_; }          // Injected wire loss.
+  uint64_t rx_fcs_errors() const { return rx_fcs_errors_; }  // Injected corruption.
 
  private:
   friend class NicNetIf;
@@ -78,6 +87,7 @@ class Nic : public PciDevice {
   NicNetIf netif_;
   Nic* peer_ = nullptr;
   Vcpu* vcpu_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   SimTime tx_free_at_;
   size_t tx_inflight_ = 0;
@@ -87,6 +97,8 @@ class Nic : public PciDevice {
   uint64_t tx_dropped_ = 0;
   uint64_t rx_dropped_ = 0;
   uint64_t rx_delivered_ = 0;
+  uint64_t rx_lost_ = 0;
+  uint64_t rx_fcs_errors_ = 0;
 };
 
 }  // namespace kite

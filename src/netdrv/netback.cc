@@ -32,6 +32,11 @@ NetbackInstance::~NetbackInstance() {
   }
 }
 
+void NetbackInstance::CompleteHotplug() {
+  XenbusClient bus(&hv_->store(), backend_->id());
+  bus.SwitchState(backend_path_, XenbusState::kConnected);
+}
+
 bool NetbackInstance::Connect() {
   auto tx_ref = backend_->StoreReadInt(frontend_path_ + "/tx-ring-ref");
   auto rx_ref = backend_->StoreReadInt(frontend_path_ + "/rx-ring-ref");
@@ -249,10 +254,11 @@ NetworkBackendDriver::NetworkBackendDriver(Domain* backend, std::vector<BmkSched
 }
 
 NetworkBackendDriver::~NetworkBackendDriver() {
+  *alive_ = false;
   if (watch_ != 0) {
     hv_->store().RemoveWatch(watch_);
   }
-  for (WatchId id : fe_watch_ids_) {
+  for (const auto& [path, id] : fe_watches_) {
     hv_->store().RemoveWatch(id);
   }
 }
@@ -299,10 +305,10 @@ void NetworkBackendDriver::ScanForFrontends() {
       if (bus.ReadState(fe_path) != XenbusState::kInitialised) {
         // Not published yet: watch the frontend's state so the scan reruns
         // when it advances (avoids a pairing race).
-        if (fe_watched_.insert(fe_path).second) {
-          fe_watch_ids_.push_back(backend_->StoreWatch(
+        if (fe_watches_.find(fe_path) == fe_watches_.end()) {
+          fe_watches_[fe_path] = backend_->StoreWatch(
               fe_path + "/state", "fe-state",
-              [this](const std::string&, const std::string&) { watch_wake_.Signal(); }));
+              [this](const std::string&, const std::string&) { watch_wake_.Signal(); });
         }
         continue;
       }
@@ -316,15 +322,34 @@ void NetworkBackendDriver::ScanForFrontends() {
                                               static_cast<int>(devid));
       bus.SwitchState(be_path, XenbusState::kInitWait);
       if (!inst->Connect()) {
-        KITE_LOG(Warning) << "netback: failed to connect " << fe_path;
-        bus.SwitchState(be_path, XenbusState::kClosed);
+        // Transient by assumption (e.g. an injected grant-map failure): keep
+        // the backend in InitWait and rescan shortly instead of declaring
+        // the device dead with kClosed.
+        ++connect_retries_;
+        KITE_LOG(Warning) << "netback: failed to connect " << fe_path << ", retrying";
+        hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+          if (*alive) {
+            watch_wake_.Signal();
+          }
+        });
         continue;
       }
-      bus.SwitchState(be_path, XenbusState::kConnected);
       NetbackInstance* raw = inst.get();
       instances_[{static_cast<DomId>(fdom), static_cast<int>(devid)}] = std::move(inst);
+      // Paired: the pre-publication frontend-state watch has served its
+      // purpose; dropping it here is what keeps the watch table bounded.
+      if (auto wit = fe_watches_.find(fe_path); wit != fe_watches_.end()) {
+        hv_->store().RemoveWatch(wit->second);
+        fe_watches_.erase(wit);
+      }
+      // Hotplug gates the Connected switch: with an application attached the
+      // vif must be bridged first (the app calls CompleteHotplug after
+      // AddIf), otherwise the frontend could start transmitting into a
+      // bridge that doesn't forward for it yet.
       if (on_new_vif_) {
         on_new_vif_(raw);
+      } else {
+        raw->CompleteHotplug();
       }
     }
   }

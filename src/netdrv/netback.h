@@ -61,6 +61,13 @@ class NetbackInstance : public NetIf {
   // NetIf: bridge → guest direction (enqueue for soft_start).
   void Output(const EthernetFrame& frame) override;
 
+  // Advertises Connected in xenstore. As on real Xen, where the hotplug
+  // script must bridge the vif before the state switch, the network
+  // application calls this after AddIf; the frontend therefore never sees
+  // Connected while its traffic would still bypass the bridge. Without an
+  // application the driver calls it at pairing time.
+  void CompleteHotplug();
+
   DomId frontend_dom() const { return frontend_dom_; }
   int devid() const { return devid_; }
   bool connected() const { return connected_; }
@@ -127,6 +134,10 @@ class NetworkBackendDriver {
   NetbackInstance* instance(DomId frontend_dom, int devid);
 
   uint64_t scans() const { return scans_; }
+  uint64_t connect_retries() const { return connect_retries_; }
+  // Frontend-state watches currently held while waiting for publication
+  // (leak accounting: must drop back to zero once everything is paired).
+  int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
 
  private:
   Task WatchThread();
@@ -143,10 +154,14 @@ class NetworkBackendDriver {
   WatchId watch_ = 0;
   WakeFlag watch_wake_;
   std::map<std::pair<DomId, int>, std::unique_ptr<NetbackInstance>> instances_;
-  // Frontend state paths we watch while waiting for them to publish.
-  std::set<std::string> fe_watched_;
-  std::vector<WatchId> fe_watch_ids_;
+  // Frontend state paths we watch while waiting for them to publish; each
+  // watch is removed as soon as its frontend pairs (they used to accumulate
+  // forever).
+  std::map<std::string, WatchId> fe_watches_;
   uint64_t scans_ = 0;
+  uint64_t connect_retries_ = 0;
+  // Outlives `this` so posted retries can detect destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace kite

@@ -16,11 +16,22 @@ Netfront::Netfront(Domain* guest, DomId backend_dom, int devid, MacAddr mac,
   frontend_path_ = FrontendPath(guest->id(), "vif", devid);
   backend_path_ = BackendPath(backend_dom, "vif", guest->id(), devid);
   PublishAndInitialise();
+  // Watch our own backend-id link: the toolstack rewrites it when it hands
+  // this device to a replacement backend domain after a crash. The
+  // registration fire reads the current id and is a no-op.
+  relink_watch_ = guest_->StoreWatch(frontend_path_ + "/backend-id", "relink",
+                                     [this](const std::string&, const std::string&) {
+                                       OnToolstackRelink();
+                                     });
 }
 
 Netfront::~Netfront() {
+  *alive_ = false;
   if (backend_watch_ != 0) {
     hv_->store().RemoveWatch(backend_watch_);
+  }
+  if (relink_watch_ != 0) {
+    hv_->store().RemoveWatch(relink_watch_);
   }
 }
 
@@ -74,11 +85,16 @@ void Netfront::PublishAndInitialise() {
                                       [this](const std::string&, const std::string&) {
                                         OnBackendStateChange();
                                       });
+  published_ = true;
 }
 
 void Netfront::OnBackendStateChange() {
   XenbusClient bus(&hv_->store(), guest_->id());
   XenbusState state = bus.ReadState(backend_path_);
+  if (state == XenbusState::kInitWait || state == XenbusState::kInitialised ||
+      state == XenbusState::kConnected) {
+    backend_was_live_ = true;
+  }
   if (state == XenbusState::kConnected && !connected_) {
     connected_ = true;
     bus.SwitchState(frontend_path_, XenbusState::kConnected);
@@ -87,10 +103,86 @@ void Netfront::OnBackendStateChange() {
       on_connected_();
     }
   }
-  if (state == XenbusState::kClosing || state == XenbusState::kClosed) {
-    connected_ = false;
-    SetUp(false);
+  // Backend death: an explicit Closing/Closed transition, or its state node
+  // vanishing after it had been live (domain destruction removes the
+  // subtree; the watch fires but the read sees nothing).
+  const bool gone = state == XenbusState::kUnknown && backend_was_live_ &&
+                    !hv_->store().Exists(backend_path_ + "/state");
+  if (state == XenbusState::kClosing || state == XenbusState::kClosed || gone) {
+    HandleBackendDeath();
   }
+}
+
+void Netfront::HandleBackendDeath() {
+  if (!published_) {
+    return;
+  }
+  published_ = false;
+  connected_ = false;
+  backend_was_live_ = false;
+  SetUp(false);
+  XenbusClient bus(&hv_->store(), guest_->id());
+  bus.SwitchState(frontend_path_, XenbusState::kClosed);
+  // In-flight tx frames die with the backend — acceptable for a NIC (the
+  // wire can always lose frames; transport protocols retransmit).
+  for (const Slot& slot : tx_slots_) {
+    if (slot.in_use) {
+      ++recovery_drops_;
+    }
+  }
+  // Reclaim every granted page. EndAccess succeeds because DestroyDomain
+  // force-dropped the dead backend's mappings.
+  for (Slot& slot : tx_slots_) {
+    guest_->grant_table().EndAccess(slot.gref);
+  }
+  for (Slot& slot : rx_slots_) {
+    guest_->grant_table().EndAccess(slot.gref);
+  }
+  guest_->grant_table().EndAccess(tx_ring_gref_);
+  guest_->grant_table().EndAccess(rx_ring_gref_);
+  tx_ring_gref_ = kInvalidGrantRef;
+  rx_ring_gref_ = kInvalidGrantRef;
+  tx_slots_.clear();
+  rx_slots_.clear();
+  tx_free_ids_.clear();
+  rx_free_ids_.clear();
+  tx_ring_.reset();
+  rx_ring_.reset();
+  tx_shared_.reset();
+  rx_shared_.reset();
+  tx_ring_page_.reset();
+  rx_ring_page_.reset();
+  hv_->EventClose(guest_, port_);
+  port_ = kInvalidPort;
+  if (backend_watch_ != 0) {
+    hv_->store().RemoveWatch(backend_watch_);
+    backend_watch_ = 0;
+  }
+}
+
+void Netfront::OnToolstackRelink() {
+  auto id = guest_->StoreReadInt(frontend_path_ + "/backend-id");
+  if (!id.has_value()) {
+    if (!hv_->store().Exists(frontend_path_ + "/backend-id")) {
+      return;  // No toolstack link yet; the watch fires again when written.
+    }
+    // The key exists but the read failed (fault injection): a missed relink
+    // would strand the guest, so retry until the write is visible.
+    hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+      if (*alive) {
+        OnToolstackRelink();
+      }
+    });
+    return;
+  }
+  if (static_cast<DomId>(*id) == backend_dom_) {
+    return;  // Registration fire, or a rewrite of the same link.
+  }
+  HandleBackendDeath();  // No-op if the death watch already cleaned up.
+  backend_dom_ = static_cast<DomId>(*id);
+  backend_path_ = BackendPath(backend_dom_, "vif", guest_->id(), devid_);
+  ++recoveries_;
+  PublishAndInitialise();
 }
 
 void Netfront::PostRxBuffers() {

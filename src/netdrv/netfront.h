@@ -34,9 +34,14 @@ class Netfront : public NetIf {
   bool connected() const { return connected_; }
   int devid() const { return devid_; }
   Domain* guest() const { return guest_; }
+  DomId backend_dom() const { return backend_dom_; }
 
   uint64_t tx_dropped() const { return tx_dropped_; }
   uint64_t rx_errors() const { return rx_errors_; }
+  // Completed reconnects to a fresh backend after the old one died.
+  uint64_t recoveries() const { return recoveries_; }
+  // In-flight tx frames discarded on backend death (net drops; TCP retransmits).
+  uint64_t recovery_drops() const { return recovery_drops_; }
 
   // Per-frame guest-side processing cost (serialize + driver work).
   void set_frame_cost(SimDuration d) { frame_cost_ = d; }
@@ -44,6 +49,11 @@ class Netfront : public NetIf {
  private:
   void PublishAndInitialise();
   void OnBackendStateChange();
+  // Reconnect machinery: releases every resource tied to the dead backend
+  // (idempotent), and re-runs the handshake when the toolstack points
+  // frontend/backend-id at a fresh one.
+  void HandleBackendDeath();
+  void OnToolstackRelink();
   void OnIrq();
   void ProcessTxResponses();
   void ProcessRxResponses();
@@ -59,6 +69,13 @@ class Netfront : public NetIf {
   std::string frontend_path_;
   std::string backend_path_;
   WatchId backend_watch_ = 0;
+  WatchId relink_watch_ = 0;
+  bool published_ = false;
+  // Set once the backend shows signs of life; distinguishes "backend died"
+  // from "backend not there yet" when the state node is missing.
+  bool backend_was_live_ = false;
+  // Outlives `this` so posted retries can detect destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   // Rings (frontend-allocated; shared via ring-page grants).
   PageRef tx_ring_page_;
@@ -86,6 +103,8 @@ class Netfront : public NetIf {
 
   uint64_t tx_dropped_ = 0;
   uint64_t rx_errors_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t recovery_drops_ = 0;
 };
 
 }  // namespace kite

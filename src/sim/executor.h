@@ -48,6 +48,8 @@ class Executor {
   // Number of events executed since construction (for sanity checks).
   uint64_t steps_executed() const { return steps_; }
   bool idle() const { return queue_.empty(); }
+  // Pending events (diagnostics, e.g. "why did WaitUntil time out?").
+  size_t queue_size() const { return queue_.size(); }
 
  private:
   struct Event {
