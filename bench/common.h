@@ -19,11 +19,28 @@ namespace kite {
 
 inline const Ipv4Addr kGuestIp = Ipv4Addr::FromOctets(10, 0, 0, 10);
 
+// Every bench run ends by dumping the system's metric registry: the same
+// counters the drivers use for their own bookkeeping double as a consistency
+// report (ring traffic, hypercall counts, drops, rejected requests).
+inline void PrintMetrics(KiteSystem* sys) {
+  std::printf("\n---- metrics ----------------------------------------------------\n");
+  std::printf("%s", sys->FormatMetrics().c_str());
+}
+
 // A network-domain topology: client machine ↔ driver domain ↔ guest.
 struct NetTopology {
   std::unique_ptr<KiteSystem> sys;
   NetworkDomain* netdom = nullptr;
   GuestVm* guest = nullptr;
+
+  NetTopology() = default;
+  NetTopology(NetTopology&&) = default;
+  NetTopology& operator=(NetTopology&&) = default;
+  ~NetTopology() {
+    if (sys != nullptr) {  // Not moved-from.
+      PrintMetrics(sys.get());
+    }
+  }
 
   EtherStack* client_stack() const { return sys->client()->stack(); }
   EtherStack* guest_stack() const { return guest->stack(); }
@@ -55,6 +72,15 @@ struct StorTopology {
   StorageDomain* stordom = nullptr;
   GuestVm* guest = nullptr;
   std::unique_ptr<SimpleFs> fs;
+
+  StorTopology() = default;
+  StorTopology(StorTopology&&) = default;
+  StorTopology& operator=(StorTopology&&) = default;
+  ~StorTopology() {
+    if (sys != nullptr) {  // Not moved-from.
+      PrintMetrics(sys.get());
+    }
+  }
 };
 
 inline StorTopology MakeStorTopology(OsKind os, int64_t disk_bytes = 8LL << 30,

@@ -18,6 +18,9 @@ int main() {
 
   // 1. The machine: hypervisor + Dom0 + a directly-attached client host.
   KiteSystem sys;
+  // Record every hypercall, event-channel delivery, and ring push for the
+  // trace viewer (off by default; one branch per event when disabled).
+  sys.EnableTracing();
 
   // 2. A Kite (rumprun) network driver domain owning the 10GbE NIC.
   NetworkDomain* netdom = sys.CreateNetworkDomain();
@@ -49,5 +52,15 @@ int main() {
               static_cast<unsigned long long>(sys.hv().hypercalls_issued()),
               static_cast<unsigned long long>(sys.hv().events_sent()),
               static_cast<unsigned long long>(sys.hv().grant_copies()));
+
+  // 5. Observability: the full metric registry, and the simulator trace as
+  // Chrome trace_event JSON — open quickstart_trace.json in Perfetto
+  // (https://ui.perfetto.dev) or chrome://tracing to see each domain's
+  // hypercalls and events on the simulated timeline.
+  std::printf("\nmetrics:\n%s", sys.FormatMetrics().c_str());
+  const char* trace_path = "quickstart_trace.json";
+  if (sys.DumpTrace(trace_path)) {
+    std::printf("\nwrote %zu trace events to %s\n", sys.tracer().size(), trace_path);
+  }
   return 0;
 }

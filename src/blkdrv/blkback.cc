@@ -23,6 +23,14 @@ BlkbackInstance::BlkbackInstance(Domain* backend, BmkSched* sched,
       wake_(sched->executor()) {
   backend_path_ = BackendPath(backend->id(), "vbd", frontend_dom, devid);
   frontend_path_ = FrontendPath(frontend_dom, "vbd", devid);
+  MetricRegistry* reg = hv_->metrics();
+  const std::string dev = StrFormat("vbd%d.%d", frontend_dom_, devid_);
+  requests_handled_ = reg->counter(backend->name(), dev, "requests_handled");
+  device_ops_ = reg->counter(backend->name(), dev, "device_ops");
+  segments_handled_ = reg->counter(backend->name(), dev, "segments_handled");
+  persistent_hits_ = reg->counter(backend->name(), dev, "persistent_hits");
+  indirect_requests_ = reg->counter(backend->name(), dev, "indirect_requests");
+  bad_requests_ = reg->counter(backend->name(), dev, "bad_request");
 }
 
 BlkbackInstance::~BlkbackInstance() {
@@ -74,6 +82,7 @@ bool BlkbackInstance::Connect() {
   hv_->EventSetHandler(backend_, port_, [this] { wake_.Signal(); });
 
   last_active_ = sched_->executor()->Now();
+  threads_running_ = 1;
   sched_->Spawn(StrFormat("blkback.%d.%d", frontend_dom_, devid_),
                 [this] { return RequestThread(); });
   connected_ = true;
@@ -82,13 +91,33 @@ bool BlkbackInstance::Connect() {
   return true;
 }
 
+void BlkbackInstance::BeginShutdown() {
+  if (stopping_) {
+    return;
+  }
+  stopping_ = true;
+  connected_ = false;
+  if (port_ != kInvalidPort) {
+    hv_->EventClose(backend_, port_);
+    port_ = kInvalidPort;
+  }
+  // The request thread observes stopping_ at its next resumption and exits.
+  wake_.Signal();
+}
+
+void BlkbackInstance::ThreadExited() {
+  if (--threads_running_ == 0 && on_drained_) {
+    on_drained_();
+  }
+}
+
 Page* BlkbackInstance::ResolvePage(GrantRef gref, bool write_access,
                                    MappedGrant* transient_out) {
   const bool use_persistent = params_.persistent_grants && frontend_persistent_;
   if (use_persistent) {
     auto it = persistent_.find(gref);
     if (it != persistent_.end()) {
-      ++persistent_hits_;
+      persistent_hits_->Inc();
       return it->second.page();
     }
   }
@@ -108,8 +137,11 @@ Page* BlkbackInstance::ResolvePage(GrantRef gref, bool write_access,
 }
 
 Task BlkbackInstance::RequestThread() {
-  for (;;) {
+  while (!stopping_) {
     co_await wake_.Wait();
+    if (stopping_) {
+      break;
+    }
     SimDuration latency = costs_->blkback_pass_latency;
     const SimTime now = sched_->executor()->Now();
     if (now - last_active_ > costs_->cold_threshold) {
@@ -118,17 +150,23 @@ Task BlkbackInstance::RequestThread() {
     last_active_ = now;
     if (latency > SimDuration(0)) {
       co_await sched_->Sleep(latency);
+      if (stopping_) {
+        break;
+      }
     }
     for (;;) {
       int batch = 0;
       std::vector<ResolvedSeg> run;
       BlkOp run_op = BlkOp::kRead;
-      while (ring_->HasUnconsumedRequests()) {
+      while (!stopping_ && ring_->HasUnconsumedRequests()) {
         BlkRequest req = ring_->ConsumeRequest();
         const SimDuration req_cost =
             costs_->blkback_per_request +
             costs_->syscall_cost * costs_->syscalls_per_block_request;
         co_await sched_->Run(req_cost);
+        if (stopping_) {
+          break;
+        }
         ProcessRequest(req, &run, &run_op);
         if (++batch >= params_.ring_batch_limit) {
           FlushRun(&run, run_op);
@@ -137,17 +175,38 @@ Task BlkbackInstance::RequestThread() {
         }
       }
       FlushRun(&run, run_op);
-      if (!ring_->FinalCheckForRequests()) {
+      if (stopping_ || !ring_->FinalCheckForRequests()) {
         break;
       }
     }
     last_active_ = sched_->executor()->Now();
   }
+  ThreadExited();
+}
+
+bool BlkbackInstance::ValidateRequest(const BlkRequest& req,
+                                      const std::vector<BlkSegment>& segments) {
+  // All of these fields are guest controlled; reject before any page or disk
+  // access. The sector-number bound also keeps the int64 byte-offset
+  // arithmetic below from overflowing.
+  const uint64_t capacity_sectors =
+      static_cast<uint64_t>(disk_->capacity_bytes()) / kSectorSize;
+  if (req.sector_number > capacity_sectors) {
+    return false;
+  }
+  for (const BlkSegment& seg : segments) {
+    // Inverted ranges would underflow seg.bytes(); sectors past the page end
+    // would read or write beyond the granted page.
+    if (seg.first_sect > seg.last_sect || seg.last_sect >= kSectorsPerPage) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<ResolvedSeg>* run,
                                      BlkOp* run_op) {
-  ++requests_handled_;
+  requests_handled_->Inc();
   auto state = std::make_shared<ReqState>();
   state->id = req.id;
 
@@ -156,13 +215,16 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
   std::vector<BlkSegment> segments;
   if (req.op == BlkOp::kIndirect) {
     if (!params_.indirect_segments) {
+      // Indirect was never advertised; a frontend sending it anyway is
+      // misbehaving.
+      bad_requests_->Inc();
       state->op = req.indirect_op;
       state->parts_outstanding = 0;
       state->ok = false;
       SendResponse(state);
       return;
     }
-    ++indirect_requests_;
+    indirect_requests_->Inc();
     op = req.indirect_op;
     // Map the indirect descriptor page and parse up to 512 segments per page
     // (paper §4.4 "Indirect Segment").
@@ -172,6 +234,10 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
     if (seg_page == nullptr ||
         req.nr_indirect_segments > static_cast<uint16_t>(params_.max_indirect) ||
         req.nr_indirect_segments > seg_page->size()) {
+      if (seg_page != nullptr) {
+        // The descriptor mapped fine but the count is impossible.
+        bad_requests_->Inc();
+      }
       state->op = op;
       state->ok = false;
       SendResponse(state);
@@ -194,19 +260,34 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
         SendResponse(state);
       }
     };
-    ++device_ops_;
+    device_ops_->Inc();
     disk_->Submit(std::move(flush));
     return;
   } else {
+    // nr_segments is a raw uint8_t off the ring; reading past the 11-slot
+    // embedded array would be out of bounds.
+    if (req.nr_segments > kBlkMaxDirectSegments) {
+      bad_requests_->Inc();
+      state->op = req.op;
+      state->ok = false;
+      SendResponse(state);
+      return;
+    }
     segments.assign(req.segments.begin(), req.segments.begin() + req.nr_segments);
   }
   state->op = op;
+  if (!ValidateRequest(req, segments)) {
+    bad_requests_->Inc();
+    state->ok = false;
+    SendResponse(state);
+    return;
+  }
 
   // Resolve each segment to a mapped page and append to the current run,
   // flushing whenever contiguity breaks (batching, paper §3.3).
   int64_t disk_offset = static_cast<int64_t>(req.sector_number) * kSectorSize;
   for (const BlkSegment& seg : segments) {
-    ++segments_handled_;
+    segments_handled_->Inc();
     backend_->vcpu(0)->Charge(costs_->blkback_per_segment);
     ResolvedSeg resolved;
     resolved.req = state;
@@ -269,7 +350,7 @@ void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
                       s.page->data.begin() + s.page_offset + s.length);
     }
   }
-  ++device_ops_;
+  device_ops_->Inc();
   // NetBSD's buffer callback (paper §4.4 "Response"): the device driver
   // invokes this on completion; we respond and release mappings there.
   // (shared_ptr because std::function requires copyable callables.)
@@ -313,7 +394,8 @@ void BlkbackInstance::SendResponse(const std::shared_ptr<ReqState>& req) {
   rsp.op = req->op;
   rsp.status = req->ok ? BlkStatus::kOkay : BlkStatus::kError;
   ring_->ProduceResponse(rsp);
-  if (ring_->PushResponses()) {
+  // Late disk completions can land after BeginShutdown closed the port.
+  if (ring_->PushResponses() && port_ != kInvalidPort) {
     hv_->EventSend(backend_, port_);
   }
 }
@@ -330,6 +412,9 @@ StorageBackendDriver::StorageBackendDriver(Domain* backend, BmkSched* sched,
       disk_(disk),
       params_(params),
       watch_wake_(sched->executor()) {
+  MetricRegistry* reg = hv_->metrics();
+  connect_retries_ = reg->counter(backend->name(), "vbd-driver", "connect_retries");
+  instances_reaped_ = reg->counter(backend->name(), "vbd-driver", "instances_reaped");
   const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend->id());
   watch_ = backend_->StoreWatch(root, "vbd-backend",
                                 [this](const std::string&, const std::string&) {
@@ -344,6 +429,9 @@ StorageBackendDriver::~StorageBackendDriver() {
     hv_->store().RemoveWatch(watch_);
   }
   for (const auto& [path, id] : fe_watches_) {
+    hv_->store().RemoveWatch(id);
+  }
+  for (const auto& [key, id] : paired_watches_) {
     hv_->store().RemoveWatch(id);
   }
 }
@@ -361,7 +449,62 @@ Task StorageBackendDriver::WatchThread() {
   }
 }
 
+void StorageBackendDriver::SweepDying() {
+  std::erase_if(dying_, [](const std::unique_ptr<BlkbackInstance>& inst) {
+    return inst->drained();
+  });
+}
+
+void StorageBackendDriver::ReapDeadInstances() {
+  XenbusClient bus(&hv_->store(), backend_->id());
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    const auto key = it->first;
+    const std::string fe_path = FrontendPath(key.first, "vbd", key.second);
+    const XenbusState state = bus.ReadState(fe_path);
+    const bool closed =
+        state == XenbusState::kClosing || state == XenbusState::kClosed;
+    // Unlike netback, instances exist from toolstack attach onward — before
+    // the frontend ever publishes. A missing state node therefore only means
+    // death once the frontend's domain itself is gone.
+    const bool vanished =
+        state == XenbusState::kUnknown && hv_->domain(key.first) == nullptr;
+    if (!closed && !vanished) {
+      ++it;
+      continue;
+    }
+    if (auto wit = paired_watches_.find(key); wit != paired_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      paired_watches_.erase(wit);
+    }
+    if (auto wit = fe_watches_.find(fe_path); wit != fe_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      fe_watches_.erase(wit);
+    }
+    std::unique_ptr<BlkbackInstance> inst = std::move(it->second);
+    it = instances_.erase(it);
+    if (on_vbd_gone_) {
+      on_vbd_gone_(inst.get());
+    }
+    hv_->store().RemoveSubtree(
+        kDom0, BackendPath(backend_->id(), "vbd", key.first, key.second));
+    // The request thread's frames may be parked in the shared scheduler;
+    // keep the instance alive until they exit.
+    inst->set_on_drained([this, alive = alive_] {
+      if (*alive) {
+        watch_wake_.Signal();
+      }
+    });
+    inst->BeginShutdown();
+    if (!inst->drained()) {
+      dying_.push_back(std::move(inst));
+    }
+    instances_reaped_->Inc();
+  }
+}
+
 void StorageBackendDriver::Scan() {
+  SweepDying();
+  ReapDeadInstances();
   const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend_->id());
   auto fdoms = backend_->StoreList(root);
   if (!fdoms.has_value()) {
@@ -407,13 +550,18 @@ void StorageBackendDriver::Scan() {
             hv_->store().RemoveWatch(wit->second);
             fe_watches_.erase(wit);
           }
+          // Watch for the frontend dying: Closing/Closed, or the node
+          // vanishing when the guest domain is destroyed.
+          paired_watches_[key] = backend_->StoreWatch(
+              fe_path + "/state", "fe-gone",
+              [this](const std::string&, const std::string&) { watch_wake_.Signal(); });
           if (on_new_vbd_) {
             on_new_vbd_(inst);
           }
         } else {
           // Transient by assumption (e.g. an injected grant-map failure):
           // rescan shortly; the frontend watch alone won't fire again.
-          ++connect_retries_;
+          connect_retries_->Inc();
           KITE_LOG(Warning) << "blkback: failed to connect " << fe_path << ", retrying";
           hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
             if (*alive) {

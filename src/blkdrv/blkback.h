@@ -49,15 +49,26 @@ class BlkbackInstance {
   // Phase 2: after the frontend publishes, map the ring and connect.
   bool Connect();
 
+  // Frontend death: stop the request thread (it exits at its next
+  // resumption), close the port, and refuse further work. The instance must
+  // stay allocated until drained().
+  void BeginShutdown();
+  bool drained() const { return threads_running_ == 0; }
+  void set_on_drained(std::function<void()> fn) { on_drained_ = std::move(fn); }
+
   bool connected() const { return connected_; }
   DomId frontend_dom() const { return frontend_dom_; }
   int devid() const { return devid_; }
 
-  uint64_t requests_handled() const { return requests_handled_; }
-  uint64_t device_ops() const { return device_ops_; }
-  uint64_t segments_handled() const { return segments_handled_; }
-  uint64_t persistent_hits() const { return persistent_hits_; }
-  uint64_t indirect_requests() const { return indirect_requests_; }
+  uint64_t requests_handled() const { return requests_handled_->value(); }
+  uint64_t device_ops() const { return device_ops_->value(); }
+  uint64_t segments_handled() const { return segments_handled_->value(); }
+  uint64_t persistent_hits() const { return persistent_hits_->value(); }
+  uint64_t indirect_requests() const { return indirect_requests_->value(); }
+  // Ring requests rejected before touching the disk or guest pages:
+  // impossible segment counts, inverted or out-of-page sector ranges,
+  // out-of-capacity offsets (malformed or malicious ring input).
+  uint64_t bad_requests() const { return bad_requests_->value(); }
   size_t persistent_cache_size() const { return persistent_.size(); }
 
  private:
@@ -79,6 +90,9 @@ class BlkbackInstance {
   };
 
   Task RequestThread();
+  void ThreadExited();
+  // Validates guest-controlled geometry before any page or disk access.
+  bool ValidateRequest(const BlkRequest& req, const std::vector<BlkSegment>& segments);
   void ProcessRequest(const BlkRequest& req, std::vector<ResolvedSeg>* run,
                       BlkOp* run_op);
   void FlushRun(std::vector<ResolvedSeg>* run, BlkOp op);
@@ -95,6 +109,10 @@ class BlkbackInstance {
   DomId frontend_dom_;
   int devid_;
   bool connected_ = false;
+  // Shutdown protocol: checked by the request thread after every co_await.
+  bool stopping_ = false;
+  int threads_running_ = 0;
+  std::function<void()> on_drained_;
 
   std::string backend_path_;
   std::string frontend_path_;
@@ -112,11 +130,13 @@ class BlkbackInstance {
 
   std::map<GrantRef, MappedGrant> persistent_;
 
-  uint64_t requests_handled_ = 0;
-  uint64_t device_ops_ = 0;
-  uint64_t segments_handled_ = 0;
-  uint64_t persistent_hits_ = 0;
-  uint64_t indirect_requests_ = 0;
+  // Registry-backed under (backend domain, vbdX.Y, <name>).
+  Counter* requests_handled_;
+  Counter* device_ops_;
+  Counter* segments_handled_;
+  Counter* persistent_hits_;
+  Counter* indirect_requests_;
+  Counter* bad_requests_;
 };
 
 class StorageBackendDriver {
@@ -126,15 +146,26 @@ class StorageBackendDriver {
   ~StorageBackendDriver();
 
   int instance_count() const { return static_cast<int>(instances_.size()); }
+  // Reaped instances still draining their request thread.
+  int dying_instance_count() const { return static_cast<int>(dying_.size()); }
   BlkbackInstance* instance(DomId frontend_dom, int devid);
   void SetOnNewVbd(std::function<void(BlkbackInstance*)> fn) { on_new_vbd_ = std::move(fn); }
+  // Called when a vbd's frontend died and the instance is being reaped.
+  void SetOnVbdGone(std::function<void(BlkbackInstance*)> fn) { on_vbd_gone_ = std::move(fn); }
 
-  uint64_t connect_retries() const { return connect_retries_; }
+  uint64_t connect_retries() const { return connect_retries_->value(); }
+  uint64_t instances_reaped() const { return instances_reaped_->value(); }
   int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
+  // Frontend-death watches held for paired instances (one per connected vbd).
+  int paired_fe_watch_count() const { return static_cast<int>(paired_watches_.size()); }
 
  private:
   Task WatchThread();
   void Scan();
+  // Tears down instances whose frontend closed or whose frontend domain was
+  // destroyed.
+  void ReapDeadInstances();
+  void SweepDying();
 
   Domain* backend_;
   Hypervisor* hv_;
@@ -143,6 +174,7 @@ class StorageBackendDriver {
   BlockDevice* disk_;
   BlkbackParams params_;
   std::function<void(BlkbackInstance*)> on_new_vbd_;
+  std::function<void(BlkbackInstance*)> on_vbd_gone_;
 
   WatchId watch_ = 0;
   WakeFlag watch_wake_;
@@ -150,7 +182,13 @@ class StorageBackendDriver {
   // Frontend state paths watched until their instance connects; removed on
   // connect so the watch table stays bounded (mirrors netback).
   std::map<std::string, WatchId> fe_watches_;
-  uint64_t connect_retries_ = 0;
+  // Post-pairing frontend-death watches, one per connected instance (kept
+  // apart from fe_watches_, whose emptiness tests assert after pairing).
+  std::map<std::pair<DomId, int>, WatchId> paired_watches_;
+  // Reaped but not yet drained; swept on scan wakeups.
+  std::vector<std::unique_ptr<BlkbackInstance>> dying_;
+  Counter* connect_retries_;
+  Counter* instances_reaped_;
   // Outlives `this` so posted retries can detect destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

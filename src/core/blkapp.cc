@@ -15,6 +15,14 @@ BlockStatusApp::BlockStatusApp(BmkSched* sched, StorageBackendDriver* driver,
     pending_.push_back(vbd);
     vbd_wake_.Signal();
   });
+  // Drop reaped instances from the status view and the hotplug queue — the
+  // pointer is about to go away.
+  driver_->SetOnVbdGone([this](BlkbackInstance* vbd) {
+    std::erase(pending_, vbd);
+    std::erase_if(status_, [vbd](const VbdStatus& s) {
+      return s.frontend_dom == vbd->frontend_dom() && s.devid == vbd->devid();
+    });
+  });
   sched_->Spawn("block-status-app", [this] { return MainLoop(); });
 }
 

@@ -54,6 +54,12 @@ NetworkApp::NetworkApp(BmkSched* sched, NetworkBackendDriver* driver, NetIf* phy
     pending_vifs_.push_back(vif);
     vif_wake_.Signal();
   });
+  // A reaped VIF must leave the bridge before its pointer dies; it may also
+  // still be sitting in the hotplug queue if the guest died mid-pairing.
+  driver_->SetOnVifGone([this](NetbackInstance* vif) {
+    bridge_->RemoveIf(vif);
+    std::erase(pending_vifs_, vif);
+  });
   sched_->Spawn("network-app", [this] { return MainLoop(); });
 }
 

@@ -6,8 +6,8 @@
 namespace kite {
 
 KiteSystem::KiteSystem(Params params)
-    : params_(params), faults_(params_.fault_seed) {
-  hv_ = std::make_unique<Hypervisor>(&executor_, params_.hv_costs);
+    : params_(params), faults_(params_.fault_seed, &metrics_) {
+  hv_ = std::make_unique<Hypervisor>(&executor_, params_.hv_costs, &metrics_, &tracer_);
   hv_->set_fault_injector(&faults_);
   gateway_ip_ = Ipv4Addr{params_.subnet_base.value + 1};
   client_ip_ = Ipv4Addr{params_.subnet_base.value + 2};
@@ -142,6 +142,24 @@ GuestVm* KiteSystem::CreateGuest(const std::string& name, int vcpus, int memory_
   GuestVm* raw = guest.get();
   guests_.push_back(std::move(guest));
   return raw;
+}
+
+void KiteSystem::DestroyGuest(GuestVm* guest) {
+  const DomId gid = guest->domain_->id();
+  // Frontend objects first (they hold watches and the Domain pointer), then
+  // the domain itself. DestroyDomain removes the guest's xenstore subtree,
+  // which fires the backends' frontend-death watches; the drivers reap the
+  // orphaned instances on their next scan.
+  guest->stack_.reset();
+  guest->netfront_.reset();
+  guest->blkfront_.reset();
+  hv_->DestroyDomain(gid);
+  for (auto it = guests_.begin(); it != guests_.end(); ++it) {
+    if (it->get() == guest) {
+      guests_.erase(it);
+      break;
+    }
+  }
 }
 
 void KiteSystem::EnsureClient() {

@@ -27,6 +27,8 @@
 #include "src/net/tcp.h"
 #include "src/netdrv/netback.h"
 #include "src/netdrv/netfront.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/profile.h"
 
 namespace kite {
@@ -149,10 +151,28 @@ class KiteSystem {
   // disk. Set rates before (or during) a scenario to script failures.
   FaultInjector& faults() { return faults_; }
 
+  // --- Observability (src/obs). ---
+  // The single registry every component in this system reports into.
+  MetricRegistry& metric_registry() { return metrics_; }
+  // Snapshot of every metric, in deterministic key order.
+  std::vector<MetricRegistry::Sample> metrics() { return metrics_.Snapshot(); }
+  std::string FormatMetrics(bool skip_zero = true) { return metrics_.FormatTable(skip_zero); }
+  EventTracer& tracer() { return tracer_; }
+  // Tracing is compiled in but off by default; when off the per-event cost
+  // is a single branch.
+  void EnableTracing(bool on = true) { tracer_.set_enabled(on); }
+  // Writes the recorded events as Chrome trace_event JSON (load in Perfetto
+  // or chrome://tracing). Returns false if the file could not be written.
+  bool DumpTrace(const std::string& path) { return tracer_.DumpTrace(path); }
+
   // --- Topology construction. ---
   NetworkDomain* CreateNetworkDomain(DriverDomainConfig config = DriverDomainConfig{});
   StorageDomain* CreateStorageDomain(DriverDomainConfig config = DriverDomainConfig{});
   GuestVm* CreateGuest(const std::string& name, int vcpus = 22, int memory_mb = 5120);
+  // Destroys a guest VM (`xl destroy`): tears down its frontends, destroys
+  // the domain, and lets the backend drivers reap the paired instances on
+  // their next scan. The pointer is invalid afterwards.
+  void DestroyGuest(GuestVm* guest);
 
   // Toolstack operations (what `xl` does in the artifact, §A.4).
   // Attaches a VIF: creates xenstore device directories, instantiates
@@ -211,6 +231,9 @@ class KiteSystem {
 
   Params params_;
   Executor executor_;
+  // Declared before faults_/hv_: both register their counters here.
+  MetricRegistry metrics_;
+  EventTracer tracer_;
   FaultInjector faults_;
   std::unique_ptr<Hypervisor> hv_;
   std::vector<std::unique_ptr<NetworkDomain>> network_domains_;

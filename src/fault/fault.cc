@@ -24,7 +24,17 @@ const char* FaultSiteName(FaultSite site) {
   return "?";
 }
 
-FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+FaultInjector::FaultInjector(uint64_t seed, MetricRegistry* registry) : rng_(seed) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  for (int i = 0; i < kSites; ++i) {
+    const char* site = FaultSiteName(static_cast<FaultSite>(i));
+    trips_[i] = registry->counter("fault", site, "trips");
+    rolls_[i] = registry->counter("fault", site, "rolls");
+  }
+}
 
 void FaultInjector::set_rate(FaultSite site, double p) {
   KITE_CHECK(p >= 0.0 && p <= 1.0) << "fault rate must be a probability";
@@ -40,33 +50,35 @@ bool FaultInjector::ShouldFail(FaultSite site) {
   if (rates_[i] <= 0.0) {
     return false;  // No RNG consumption: fault-free runs stay byte-identical.
   }
-  ++rolls_[i];
+  rolls_[i]->Inc();
   if (!rng_.NextBool(rates_[i])) {
     return false;
   }
-  ++trips_[i];
+  trips_[i]->Inc();
   return true;
 }
 
 uint64_t FaultInjector::trips(FaultSite site) const {
-  return trips_[static_cast<int>(site)];
+  return trips_[static_cast<int>(site)]->value();
 }
 
 uint64_t FaultInjector::rolls(FaultSite site) const {
-  return rolls_[static_cast<int>(site)];
+  return rolls_[static_cast<int>(site)]->value();
 }
 
 uint64_t FaultInjector::total_trips() const {
   uint64_t n = 0;
-  for (uint64_t t : trips_) {
-    n += t;
+  for (Counter* t : trips_) {
+    n += t->value();
   }
   return n;
 }
 
 void FaultInjector::ResetCounters() {
-  trips_.fill(0);
-  rolls_.fill(0);
+  for (int i = 0; i < kSites; ++i) {
+    trips_[i]->Set(0);
+    rolls_[i]->Set(0);
+  }
 }
 
 void FaultInjector::Reseed(uint64_t seed) { rng_ = Rng(seed); }

@@ -17,8 +17,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "src/base/rng.h"
+#include "src/obs/metrics.h"
 
 namespace kite {
 
@@ -36,7 +38,10 @@ const char* FaultSiteName(FaultSite site);
 
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed = 0xfa0170ULL /* "fault" */);
+  // Trip/roll counters live in `registry` under ("fault", <site>, ...); when
+  // none is supplied (standalone tests) the injector owns a private one.
+  explicit FaultInjector(uint64_t seed = 0xfa0170ULL /* "fault" */,
+                         MetricRegistry* registry = nullptr);
 
   // Probability in [0, 1] that an operation at `site` fails. Zero (the
   // default for every site) short-circuits without consuming randomness, so
@@ -63,8 +68,11 @@ class FaultInjector {
 
   Rng rng_;
   std::array<double, kSites> rates_{};
-  std::array<uint64_t, kSites> trips_{};
-  std::array<uint64_t, kSites> rolls_{};
+  // Registry-backed counters (one pointer-chase per roll, same cost as the
+  // plain uint64_t members they replaced).
+  std::unique_ptr<MetricRegistry> owned_registry_;
+  std::array<Counter*, kSites> trips_{};
+  std::array<Counter*, kSites> rolls_{};
 };
 
 }  // namespace kite

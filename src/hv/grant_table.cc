@@ -82,10 +82,12 @@ MappedGrant& MappedGrant::operator=(MappedGrant&& other) noexcept {
   if (this != &other) {
     Unmap();
     table_ = other.table_;
+    table_alive_ = std::move(other.table_alive_);
     ref_ = other.ref_;
     page_ = std::move(other.page_);
     on_unmap_ = std::move(other.on_unmap_);
     other.table_ = nullptr;
+    other.table_alive_.reset();
     other.ref_ = kInvalidGrantRef;
     other.page_.reset();
     other.on_unmap_ = nullptr;
@@ -99,9 +101,11 @@ void MappedGrant::Unmap() {
   }
   // A stale handle whose mapping was already force-dropped (the mapper
   // domain was destroyed) has nothing to unmap: skip the hypercall hook —
-  // it charges the mapper's vCPU, which no longer exists.
+  // it charges the mapper's vCPU, which no longer exists. The alive token
+  // covers the reverse direction: the *owner* domain died and took the table
+  // with it, leaving `table_` dangling.
   bool was_mapped = false;
-  if (table_ != nullptr) {
+  if (table_ != nullptr && table_alive_ != nullptr && *table_alive_) {
     GrantTable::Entry* e = table_->Lookup(ref_);
     if (e != nullptr && e->active_maps > 0) {
       --e->active_maps;

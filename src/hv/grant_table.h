@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,9 @@ inline constexpr GrantRef kInvalidGrantRef = 0xffffffffu;
 class GrantTable {
  public:
   explicit GrantTable(DomId owner) : owner_(owner) {}
+  ~GrantTable() { *alive_ = false; }
+  GrantTable(const GrantTable&) = delete;
+  GrantTable& operator=(const GrantTable&) = delete;
 
   // Grants `peer` access to `page`. Returns the new grant reference.
   GrantRef GrantAccess(DomId peer, PageRef page, bool readonly);
@@ -57,10 +61,16 @@ class GrantTable {
   int active_entry_count() const;
   int total_maps_outstanding() const;
 
+  // Liveness token captured by MappedGrant handles: when the owning domain
+  // (and with it this table) is destroyed while a backend still holds a
+  // mapping, the handle's Unmap must not touch the freed table.
+  std::shared_ptr<const bool> alive_token() const { return alive_; }
+
  private:
   DomId owner_;
   std::vector<Entry> entries_;
   std::vector<GrantRef> free_list_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 // RAII handle for a mapped grant held by a peer domain. Move-only. The
@@ -71,7 +81,11 @@ class MappedGrant {
   MappedGrant() = default;
   MappedGrant(GrantTable* table, GrantRef ref, PageRef page,
               std::function<void()> on_unmap = nullptr)
-      : table_(table), ref_(ref), page_(std::move(page)), on_unmap_(std::move(on_unmap)) {}
+      : table_(table),
+        table_alive_(table != nullptr ? table->alive_token() : nullptr),
+        ref_(ref),
+        page_(std::move(page)),
+        on_unmap_(std::move(on_unmap)) {}
   ~MappedGrant() { Unmap(); }
 
   MappedGrant(MappedGrant&& other) noexcept { *this = std::move(other); }
@@ -88,6 +102,7 @@ class MappedGrant {
 
  private:
   GrantTable* table_ = nullptr;
+  std::shared_ptr<const bool> table_alive_;
   GrantRef ref_ = kInvalidGrantRef;
   PageRef page_;
   std::function<void()> on_unmap_;

@@ -7,8 +7,24 @@
 
 namespace kite {
 
-Hypervisor::Hypervisor(Executor* executor, HvCosts costs)
-    : executor_(executor), costs_(costs), store_(executor) {
+Hypervisor::Hypervisor(Executor* executor, HvCosts costs, MetricRegistry* metrics,
+                       EventTracer* tracer)
+    : executor_(executor), costs_(costs), store_(executor), tracer_(tracer) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  hypercalls_ = metrics_->counter("hv", "hypercall", "issued");
+  events_sent_ = metrics_->counter("hv", "evtchn", "sent");
+  events_delivered_ = metrics_->counter("hv", "evtchn", "delivered");
+  events_dropped_ = metrics_->counter("hv", "evtchn", "dropped");
+  grant_maps_ = metrics_->counter("hv", "grant", "maps");
+  grant_unmaps_ = metrics_->counter("hv", "grant", "unmaps");
+  grant_copies_ = metrics_->counter("hv", "grant", "copies");
+  grant_copy_bytes_ = metrics_->counter("hv", "grant", "copy_bytes");
+  grant_copy_rejects_ = metrics_->counter("hv", "grant", "copy_rejects");
+  forced_grant_revocations_ = metrics_->counter("hv", "grant", "forced_revocations");
   store_.set_op_latency(costs_.xenstore_op);
   // Dom0: the privileged administrative VM (runs xenstored).
   domains_.push_back(std::make_unique<Domain>(this, 0, "Domain-0", 1, 8192));
@@ -24,6 +40,10 @@ Domain* Hypervisor::CreateDomain(const std::string& name, int vcpus, int memory_
   // Dom0 provisions the new domain's xenstore home.
   store_.Write(kDom0, dom->store_home() + "/name", name);
   store_.SetPermission(kDom0, dom->store_home(), id);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->SetProcessName(id, name);
+    tracer_->Instant(id, 0, "lifecycle", "domain_create", executor_->Now());
+  }
   return dom;
 }
 
@@ -77,8 +97,8 @@ void Hypervisor::DestroyDomain(DomId id) {
   // then reclaim their pages with EndAccess.
   for (const auto& d : domains_) {
     if (d != nullptr && d->id() != id) {
-      forced_grant_revocations_ +=
-          static_cast<uint64_t>(d->grant_table().RevokeMappingsFor(id));
+      forced_grant_revocations_->Add(
+          static_cast<uint64_t>(d->grant_table().RevokeMappingsFor(id)));
     }
   }
   // Release PCI devices.
@@ -92,6 +112,9 @@ void Hypervisor::DestroyDomain(DomId id) {
   store_.RemoveWatchesOwnedBy(id);
   // Remove the domain's xenstore subtree, notifying watchers of every node.
   store_.RemoveSubtree(kDom0, dom->store_home());
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(id, 0, "lifecycle", "domain_destroy", executor_->Now());
+  }
   domains_[id].reset();
 }
 
@@ -118,8 +141,11 @@ int Hypervisor::live_domain_count() const {
   return n;
 }
 
-void Hypervisor::Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu) {
-  ++hypercalls_;
+void Hypervisor::Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu, const char* op) {
+  hypercalls_->Inc();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Complete(dom->id(), 0, "hypercall", op, executor_->Now(), cost);
+  }
   (caller_vcpu != nullptr ? caller_vcpu : dom->vcpu(0))->Charge(cost);
 }
 
@@ -132,7 +158,7 @@ Domain::PortInfo* Hypervisor::PortOf(Domain* dom, EvtPort port) {
 }
 
 EvtPort Hypervisor::EventAllocUnbound(Domain* caller, DomId remote) {
-  Charge(caller, costs_.hypercall);
+  Charge(caller, costs_.hypercall, nullptr, "evtchn_alloc_unbound");
   EvtPort port = static_cast<EvtPort>(caller->ports_.size());
   caller->ports_.emplace_back();
   Domain::PortInfo& info = caller->ports_.back();
@@ -143,7 +169,7 @@ EvtPort Hypervisor::EventAllocUnbound(Domain* caller, DomId remote) {
 
 EvtPort Hypervisor::EventBindInterdomain(Domain* caller, DomId remote_dom,
                                          EvtPort remote_port) {
-  Charge(caller, costs_.hypercall);
+  Charge(caller, costs_.hypercall, nullptr, "evtchn_bind_interdomain");
   Domain* remote = domain(remote_dom);
   Domain::PortInfo* rinfo = PortOf(remote, remote_port);
   if (rinfo == nullptr || rinfo->unbound_for != caller->id() ||
@@ -172,8 +198,8 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   if (info == nullptr || info->peer_port == kInvalidPort) {
     return false;
   }
-  Charge(caller, costs_.event_send, caller_vcpu);
-  ++events_sent_;
+  Charge(caller, costs_.event_send, caller_vcpu, "evtchn_send");
+  events_sent_->Inc();
   Domain* peer = domain(info->peer_dom);
   if (peer == nullptr) {
     return false;
@@ -184,13 +210,21 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   }
   if (pinfo->pending) {
     // Event coalescing: an undelivered event absorbs further sends.
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(caller->id(), 0, "evtchn", "evt_coalesced", executor_->Now(),
+                       "port", port);
+    }
     return true;
   }
   if (InjectFault(FaultSite::kEventNotify)) {
     // The hypercall "succeeded" but the interrupt is lost. Deliberately does
     // NOT set pending — that would absorb every later send and wedge the
     // port forever instead of modelling one lost notification.
-    ++events_dropped_;
+    events_dropped_->Inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(caller->id(), 0, "evtchn", "evt_dropped", executor_->Now(),
+                       "port", port);
+    }
     return true;
   }
   pinfo->pending = true;
@@ -203,7 +237,11 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
       return;  // Domain or port vanished in flight.
     }
     pi->pending = false;
-    ++events_delivered_;
+    events_delivered_->Inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(peer_id, 0, "evtchn", "evt_deliver", executor_->Now(), "port",
+                       peer_port);
+    }
     d->vcpu(0)->Charge(costs_.irq_dispatch);
     if (pi->handler) {
       pi->handler();
@@ -234,8 +272,8 @@ void Hypervisor::EventClose(Domain* dom, EvtPort port) {
 
 MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
                                  bool write_access, Vcpu* caller_vcpu) {
-  Charge(mapper, costs_.grant_map, caller_vcpu);
-  ++grant_maps_;
+  Charge(mapper, costs_.grant_map, caller_vcpu, "gnttab_map");
+  grant_maps_->Inc();
   if (InjectFault(FaultSite::kGrantMap)) {
     return MappedGrant{};
   }
@@ -250,9 +288,14 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
   ++e->active_maps;
   Vcpu* mapper_vcpu = caller_vcpu != nullptr ? caller_vcpu : mapper->vcpu(0);
   SimDuration unmap_cost = costs_.grant_unmap;
-  auto on_unmap = [this, mapper_vcpu, unmap_cost] {
-    ++grant_unmaps_;
-    ++hypercalls_;
+  DomId mapper_id = mapper->id();
+  auto on_unmap = [this, mapper_vcpu, mapper_id, unmap_cost] {
+    grant_unmaps_->Inc();
+    hypercalls_->Inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Complete(mapper_id, 0, "hypercall", "gnttab_unmap", executor_->Now(),
+                        unmap_cost);
+    }
     mapper_vcpu->Charge(unmap_cost);
   };
   return MappedGrant(&owner_dom->grant_table(), ref, e->page, on_unmap);
@@ -263,8 +306,14 @@ bool Hypervisor::GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, s
   Charge(caller,
          costs_.grant_copy_base +
              Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * src.size())),
-         caller_vcpu);
-  ++grant_copies_;
+         caller_vcpu, "gnttab_copy");
+  grant_copies_->Inc();
+  // Bounds first (overflow-proof form), before any owner-page access: the
+  // hypervisor is the last line of defense against malformed ring fields.
+  if (offset > kPageSize || src.size() > kPageSize - offset) {
+    grant_copy_rejects_->Inc();
+    return false;
+  }
   Domain* owner_dom = domain(owner);
   if (owner_dom == nullptr) {
     return false;
@@ -273,11 +322,8 @@ bool Hypervisor::GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, s
   if (e == nullptr || e->peer != caller->id() || e->readonly) {
     return false;
   }
-  if (offset + src.size() > kPageSize) {
-    return false;
-  }
   std::copy(src.begin(), src.end(), e->page->data.begin() + offset);
-  grant_copy_bytes_ += src.size();
+  grant_copy_bytes_->Add(src.size());
   return true;
 }
 
@@ -287,8 +333,12 @@ bool Hypervisor::GrantCopyFromGranted(Domain* caller, DomId owner, GrantRef ref,
   Charge(caller,
          costs_.grant_copy_base +
              Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * dst.size())),
-         caller_vcpu);
-  ++grant_copies_;
+         caller_vcpu, "gnttab_copy");
+  grant_copies_->Inc();
+  if (offset > kPageSize || dst.size() > kPageSize - offset) {
+    grant_copy_rejects_->Inc();
+    return false;
+  }
   Domain* owner_dom = domain(owner);
   if (owner_dom == nullptr) {
     return false;
@@ -297,11 +347,8 @@ bool Hypervisor::GrantCopyFromGranted(Domain* caller, DomId owner, GrantRef ref,
   if (e == nullptr || e->peer != caller->id()) {
     return false;
   }
-  if (offset + dst.size() > kPageSize) {
-    return false;
-  }
   std::copy_n(e->page->data.begin() + offset, dst.size(), dst.begin());
-  grant_copy_bytes_ += dst.size();
+  grant_copy_bytes_->Add(dst.size());
   return true;
 }
 
@@ -339,7 +386,7 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
       return;
     }
     d->vcpu(0)->Charge(costs_.irq_dispatch);
-    ++events_delivered_;
+    events_delivered_->Inc();
     if (device->irq_handler_) {
       device->irq_handler_();
     }
@@ -347,8 +394,7 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
 }
 
 void Hypervisor::ChargeXenstoreOp(Domain* caller) {
-  ++hypercalls_;
-  caller->vcpu(0)->Charge(costs_.xenstore_op);
+  Charge(caller, costs_.xenstore_op, nullptr, "xenstore_op");
 }
 
 // --- PciDevice methods that need the hypervisor (defined here to keep pci.h

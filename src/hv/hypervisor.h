@@ -15,6 +15,8 @@
 #include "src/hv/domain.h"
 #include "src/hv/pci.h"
 #include "src/hv/xenstore.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/executor.h"
 
 namespace kite {
@@ -37,12 +39,22 @@ struct HvCosts {
 
 class Hypervisor {
  public:
-  explicit Hypervisor(Executor* executor, HvCosts costs = HvCosts{});
+  // `metrics` hosts the hypervisor's counters under ("hv", <device>, <name>);
+  // when null (standalone hv tests) the hypervisor owns a private registry.
+  // `tracer` is optional and may also be attached later via set_tracer.
+  explicit Hypervisor(Executor* executor, HvCosts costs = HvCosts{},
+                      MetricRegistry* metrics = nullptr, EventTracer* tracer = nullptr);
   ~Hypervisor();
 
   Executor* executor() const { return executor_; }
   const HvCosts& costs() const { return costs_; }
   XenStore& store() { return store_; }
+
+  // The registry hosting hypervisor metrics; device drivers reach the
+  // system-wide registry through this.
+  MetricRegistry* metrics() const { return metrics_; }
+  EventTracer* tracer() const { return tracer_; }
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
 
   // --- Domains. ---
   // Dom0 is created by the constructor with id 0.
@@ -91,41 +103,50 @@ class Hypervisor {
     return faults_ != nullptr && faults_->ShouldFail(site);
   }
 
-  // --- Introspection for tests/benches. ---
-  uint64_t hypercalls_issued() const { return hypercalls_; }
-  uint64_t events_sent() const { return events_sent_; }
-  uint64_t events_delivered() const { return events_delivered_; }
-  uint64_t grant_maps() const { return grant_maps_; }
-  uint64_t grant_unmaps() const { return grant_unmaps_; }
-  uint64_t grant_copies() const { return grant_copies_; }
-  uint64_t grant_copy_bytes() const { return grant_copy_bytes_; }
+  // --- Introspection for tests/benches (registry-backed). ---
+  uint64_t hypercalls_issued() const { return hypercalls_->value(); }
+  uint64_t events_sent() const { return events_sent_->value(); }
+  uint64_t events_delivered() const { return events_delivered_->value(); }
+  uint64_t grant_maps() const { return grant_maps_->value(); }
+  uint64_t grant_unmaps() const { return grant_unmaps_->value(); }
+  uint64_t grant_copies() const { return grant_copies_->value(); }
+  uint64_t grant_copy_bytes() const { return grant_copy_bytes_->value(); }
+  // Grant copies refused because offset/size fell outside the granted page
+  // (the hypervisor is the last line of defense against malformed rings).
+  uint64_t grant_copy_rejects() const { return grant_copy_rejects_->value(); }
   // Event notifications accepted but dropped by fault injection.
-  uint64_t events_dropped() const { return events_dropped_; }
+  uint64_t events_dropped() const { return events_dropped_->value(); }
   // Mappings force-dropped because the mapping domain was destroyed.
-  uint64_t forced_grant_revocations() const { return forced_grant_revocations_; }
+  uint64_t forced_grant_revocations() const { return forced_grant_revocations_->value(); }
   // Allocated event-channel ports of one domain (leak accounting in tests).
   int open_port_count(DomId id) const;
 
  private:
-  void Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu = nullptr);
+  void Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu, const char* op);
   Domain::PortInfo* PortOf(Domain* dom, EvtPort port);
 
   Executor* executor_;
   HvCosts costs_;
   XenStore store_;
   FaultInjector* faults_ = nullptr;
+  // Falls back to an owned registry when the caller does not supply one, so
+  // counter handles below are always valid.
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  MetricRegistry* metrics_ = nullptr;
+  EventTracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<PciDevice*> pci_devices_;
 
-  uint64_t hypercalls_ = 0;
-  uint64_t events_sent_ = 0;
-  uint64_t events_delivered_ = 0;
-  uint64_t grant_maps_ = 0;
-  uint64_t grant_unmaps_ = 0;
-  uint64_t grant_copies_ = 0;
-  uint64_t grant_copy_bytes_ = 0;
-  uint64_t events_dropped_ = 0;
-  uint64_t forced_grant_revocations_ = 0;
+  Counter* hypercalls_;
+  Counter* events_sent_;
+  Counter* events_delivered_;
+  Counter* events_dropped_;
+  Counter* grant_maps_;
+  Counter* grant_unmaps_;
+  Counter* grant_copies_;
+  Counter* grant_copy_bytes_;
+  Counter* grant_copy_rejects_;
+  Counter* forced_grant_revocations_;
 };
 
 }  // namespace kite

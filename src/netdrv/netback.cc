@@ -24,6 +24,12 @@ NetbackInstance::NetbackInstance(Domain* backend, BmkSched* sched,
       rx_wake_(sched->executor()) {
   backend_path_ = BackendPath(backend->id(), "vif", frontend_dom, devid);
   frontend_path_ = FrontendPath(frontend_dom, "vif", devid);
+  MetricRegistry* reg = hv_->metrics();
+  guest_tx_frames_ = reg->counter(backend->name(), ifname(), "guest_tx_frames");
+  guest_rx_frames_ = reg->counter(backend->name(), ifname(), "guest_rx_frames");
+  rx_queue_drops_ = reg->counter(backend->name(), ifname(), "rx_queue_drops");
+  tx_bad_requests_ = reg->counter(backend->name(), ifname(), "tx_bad_request");
+  rx_copy_fails_ = reg->counter(backend->name(), ifname(), "rx_copy_fail");
 }
 
 NetbackInstance::~NetbackInstance() {
@@ -76,11 +82,39 @@ bool NetbackInstance::Connect() {
   });
 
   pusher_last_active_ = soft_start_last_active_ = sched_->executor()->Now();
+  threads_running_ = 2;
   sched_->Spawn(ifname() + "-pusher", [this] { return PusherThread(); });
   sched_->Spawn(ifname() + "-soft_start", [this] { return SoftStartThread(); });
   connected_ = true;
   SetUp(true);
   return true;
+}
+
+void NetbackInstance::BeginShutdown() {
+  if (stopping_) {
+    return;
+  }
+  stopping_ = true;
+  connected_ = false;
+  SetUp(false);
+  rx_pending_.clear();
+  // Close the port now: the dead frontend can't notify us, and we must not
+  // notify into its recycled port number.
+  if (port_ != kInvalidPort) {
+    hv_->EventClose(backend_, port_);
+    port_ = kInvalidPort;
+  }
+  // Wake both threads so they observe stopping_ and exit. Threads parked in
+  // Run/Sleep exit at their next timer resumption instead.
+  tx_wake_.Signal();
+  rx_wake_.Signal();
+}
+
+void NetbackInstance::ThreadExited() {
+  --threads_running_;
+  if (threads_running_ == 0 && on_drained_) {
+    on_drained_();
+  }
 }
 
 SimDuration NetbackInstance::WakeLatency(SimTime* last_active) const {
@@ -95,18 +129,34 @@ SimDuration NetbackInstance::WakeLatency(SimTime* last_active) const {
 }
 
 void NetbackInstance::PushTxResponses() {
-  if (tx_ring_->PushResponses()) {
+  const bool notify = tx_ring_->PushResponses();
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->Instant(backend_->id(), frontend_dom_, "ring", "tx_push",
+               sched_->executor()->Now(), "notify", notify ? 1 : 0);
+  }
+  if (notify && port_ != kInvalidPort) {
     hv_->EventSend(backend_, port_, sched_->vcpu());
   }
 }
 
 void NetbackInstance::PushRxResponses() {
-  if (rx_ring_->PushResponses()) {
+  const bool notify = rx_ring_->PushResponses();
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->Instant(backend_->id(), frontend_dom_, "ring", "rx_push",
+               sched_->executor()->Now(), "notify", notify ? 1 : 0);
+  }
+  if (notify && port_ != kInvalidPort) {
     hv_->EventSend(backend_, port_, sched_->vcpu());
   }
 }
 
 bool NetbackInstance::CopyFromGuest(GrantRef gref, uint16_t offset, std::span<uint8_t> out) {
+  // offset/size are guest-controlled ring fields: validate against the page
+  // in *both* modes (the hypervisor rejects too, but the map path used to
+  // read out of bounds directly).
+  if (offset > kPageSize || out.size() > kPageSize - offset) {
+    return false;
+  }
   if (params_.use_hv_copy) {
     return hv_->GrantCopyFromGranted(backend_, frontend_dom_, gref, offset, out,
                                      sched_->vcpu());
@@ -121,6 +171,9 @@ bool NetbackInstance::CopyFromGuest(GrantRef gref, uint16_t offset, std::span<ui
 }
 
 bool NetbackInstance::CopyToGuest(GrantRef gref, std::span<const uint8_t> data) {
+  if (data.size() > kPageSize) {
+    return false;
+  }
   if (params_.use_hv_copy) {
     return hv_->GrantCopyToGranted(backend_, frontend_dom_, gref, 0, data,
                                    sched_->vcpu());
@@ -137,19 +190,35 @@ bool NetbackInstance::CopyToGuest(GrantRef gref, std::span<const uint8_t> data) 
 Task NetbackInstance::PusherThread() {
   const SimDuration per_packet =
       costs_->netback_per_packet + costs_->syscall_cost * costs_->syscalls_per_packet;
-  for (;;) {
+  while (!stopping_) {
     co_await tx_wake_.Wait();
+    if (stopping_) {
+      break;
+    }
     const SimDuration wake_latency = WakeLatency(&pusher_last_active_);
     if (wake_latency > SimDuration(0)) {
       co_await sched_->Sleep(wake_latency);
+      if (stopping_) {
+        break;
+      }
     }
     for (;;) {
       int batch = 0;
       while (tx_ring_->HasUnconsumedRequests()) {
         NetTxRequest req = tx_ring_->ConsumeRequest();
-        Buffer bytes(req.size);
-        const bool ok = CopyFromGuest(req.gref, req.offset, bytes);
+        // req.size/req.offset are guest-controlled: reject out-of-page
+        // requests *before* allocating a buffer sized by the guest.
+        const bool in_bounds = req.size > 0 && req.offset <= kPageSize &&
+                               req.size <= kPageSize - req.offset;
+        if (!in_bounds) {
+          tx_bad_requests_->Inc();
+        }
+        Buffer bytes(in_bounds ? req.size : 0);
+        const bool ok = in_bounds && CopyFromGuest(req.gref, req.offset, bytes);
         co_await sched_->Run(per_packet);
+        if (stopping_) {
+          break;
+        }
         NetTxResponse rsp;
         rsp.id = req.id;
         rsp.status = ok ? NetifStatus::kOkay : NetifStatus::kError;
@@ -157,7 +226,7 @@ Task NetbackInstance::PusherThread() {
         if (ok) {
           auto frame = ParseEthernet(bytes);
           if (frame.has_value()) {
-            ++guest_tx_frames_;
+            guest_tx_frames_->Inc();
             // Hand the frame to the network stack/bridge through the VIF.
             DeliverInput(*frame);
           }
@@ -166,7 +235,13 @@ Task NetbackInstance::PusherThread() {
           PushTxResponses();
           batch = 0;
           co_await sched_->Yield();
+          if (stopping_) {
+            break;
+          }
         }
+      }
+      if (stopping_) {
+        break;
       }
       PushTxResponses();
       if (!tx_ring_->FinalCheckForRequests()) {
@@ -175,6 +250,7 @@ Task NetbackInstance::PusherThread() {
     }
     pusher_last_active_ = sched_->executor()->Now();
   }
+  ThreadExited();
 }
 
 void NetbackInstance::Output(const EthernetFrame& frame) {
@@ -182,7 +258,7 @@ void NetbackInstance::Output(const EthernetFrame& frame) {
     return;
   }
   if (rx_pending_.size() >= params_.rx_queue_cap) {
-    ++rx_queue_drops_;
+    rx_queue_drops_->Inc();
     return;
   }
   rx_pending_.push_back(frame);
@@ -194,11 +270,17 @@ void NetbackInstance::Output(const EthernetFrame& frame) {
 Task NetbackInstance::SoftStartThread() {
   const SimDuration per_packet =
       costs_->netback_per_packet + costs_->syscall_cost * costs_->syscalls_per_packet;
-  for (;;) {
+  while (!stopping_) {
     co_await rx_wake_.Wait();
+    if (stopping_) {
+      break;
+    }
     const SimDuration wake_latency = WakeLatency(&soft_start_last_active_);
     if (wake_latency > SimDuration(0)) {
       co_await sched_->Sleep(wake_latency);
+      if (stopping_) {
+        break;
+      }
     }
     int batch = 0;
     while (!rx_pending_.empty()) {
@@ -214,23 +296,39 @@ Task NetbackInstance::SoftStartThread() {
       KITE_CHECK(bytes.size() <= kPageSize);
       const bool ok = CopyToGuest(req.gref, bytes);
       co_await sched_->Run(per_packet);
+      if (stopping_) {
+        break;
+      }
       NetRxResponse rsp;
       rsp.id = req.id;
       rsp.offset = 0;
       rsp.size = ok ? static_cast<int32_t>(bytes.size())
                     : static_cast<int32_t>(NetifStatus::kError);
       rx_ring_->ProduceResponse(rsp);
-      ++guest_rx_frames_;
-      CountTx(frame);  // VIF "transmitted" toward the guest.
+      if (ok) {
+        // Only a successful copy counts as delivered — a failed copy used to
+        // inflate both counters (phantom deliveries under grant faults).
+        guest_rx_frames_->Inc();
+        CountTx(frame);  // VIF "transmitted" toward the guest.
+      } else {
+        rx_copy_fails_->Inc();
+      }
       if (!params_.dedicated_threads || ++batch >= params_.batch_limit) {
         PushRxResponses();
         batch = 0;
         co_await sched_->Yield();
+        if (stopping_) {
+          break;
+        }
       }
+    }
+    if (stopping_) {
+      break;
     }
     PushRxResponses();
     soft_start_last_active_ = sched_->executor()->Now();
   }
+  ThreadExited();
 }
 
 // --- NetworkBackendDriver. ---
@@ -244,6 +342,10 @@ NetworkBackendDriver::NetworkBackendDriver(Domain* backend, std::vector<BmkSched
       params_(params),
       watch_wake_(scheds_.front()->executor()) {
   KITE_CHECK(!scheds_.empty());
+  MetricRegistry* reg = hv_->metrics();
+  scans_ = reg->counter(backend->name(), "vif-driver", "scans");
+  connect_retries_ = reg->counter(backend->name(), "vif-driver", "connect_retries");
+  instances_reaped_ = reg->counter(backend->name(), "vif-driver", "instances_reaped");
   const std::string root = StrFormat("/local/domain/%d/backend/vif", backend->id());
   // The watch only wakes the scanning thread (paper §4.1).
   watch_ = backend_->StoreWatch(root, "vif-backend",
@@ -259,6 +361,9 @@ NetworkBackendDriver::~NetworkBackendDriver() {
     hv_->store().RemoveWatch(watch_);
   }
   for (const auto& [path, id] : fe_watches_) {
+    hv_->store().RemoveWatch(id);
+  }
+  for (const auto& [key, id] : paired_watches_) {
     hv_->store().RemoveWatch(id);
   }
 }
@@ -277,8 +382,58 @@ Task NetworkBackendDriver::WatchThread() {
   }
 }
 
+void NetworkBackendDriver::SweepDying() {
+  std::erase_if(dying_, [](const std::unique_ptr<NetbackInstance>& inst) {
+    return inst->drained();
+  });
+}
+
+void NetworkBackendDriver::ReapDeadInstances() {
+  XenbusClient bus(&hv_->store(), backend_->id());
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    const auto key = it->first;
+    const std::string fe_path = FrontendPath(key.first, "vif", key.second);
+    const XenbusState state = bus.ReadState(fe_path);
+    // An instance only exists once its frontend reached Initialised, so a
+    // missing state node means the frontend domain was destroyed — not
+    // "hasn't published yet".
+    const bool vanished =
+        state == XenbusState::kUnknown && !hv_->store().Exists(fe_path + "/state");
+    if (state != XenbusState::kClosing && state != XenbusState::kClosed && !vanished) {
+      ++it;
+      continue;
+    }
+    KITE_LOG(Info) << "netback: frontend for " << it->second->ifname()
+                   << " is gone (" << XenbusStateName(state) << "), reaping";
+    if (auto wit = paired_watches_.find(key); wit != paired_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      paired_watches_.erase(wit);
+    }
+    if (on_vif_gone_) {
+      on_vif_gone_(it->second.get());  // Unbridge before the pointer dies.
+    }
+    // Drop the backend's device nodes so rescans don't re-watch the corpse.
+    hv_->store().RemoveSubtree(kDom0,
+                               BackendPath(backend_->id(), "vif", key.first, key.second));
+    std::unique_ptr<NetbackInstance> inst = std::move(it->second);
+    it = instances_.erase(it);
+    inst->set_on_drained([alive = alive_, this] {
+      if (*alive) {
+        watch_wake_.Signal();  // Prompt a sweep once the threads exit.
+      }
+    });
+    inst->BeginShutdown();
+    if (!inst->drained()) {
+      dying_.push_back(std::move(inst));
+    }
+    instances_reaped_->Inc();
+  }
+}
+
 void NetworkBackendDriver::ScanForFrontends() {
-  ++scans_;
+  scans_->Inc();
+  SweepDying();
+  ReapDeadInstances();
   const std::string root = StrFormat("/local/domain/%d/backend/vif", backend_->id());
   auto fdoms = backend_->StoreList(root);
   if (!fdoms.has_value()) {
@@ -325,7 +480,7 @@ void NetworkBackendDriver::ScanForFrontends() {
         // Transient by assumption (e.g. an injected grant-map failure): keep
         // the backend in InitWait and rescan shortly instead of declaring
         // the device dead with kClosed.
-        ++connect_retries_;
+        connect_retries_->Inc();
         KITE_LOG(Warning) << "netback: failed to connect " << fe_path << ", retrying";
         hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
           if (*alive) {
@@ -342,6 +497,14 @@ void NetworkBackendDriver::ScanForFrontends() {
         hv_->store().RemoveWatch(wit->second);
         fe_watches_.erase(wit);
       }
+      // Watch the frontend's state for the rest of the pairing's life: if
+      // the guest closes the device or its domain is destroyed, the scan
+      // must run again to reap this instance.
+      paired_watches_[{static_cast<DomId>(fdom), static_cast<int>(devid)}] =
+          backend_->StoreWatch(fe_path + "/state", "fe-gone",
+                               [this](const std::string&, const std::string&) {
+                                 watch_wake_.Signal();
+                               });
       // Hotplug gates the Connected switch: with an application attached the
       // vif must be bridged first (the app calls CompleteHotplug after
       // AddIf), otherwise the frontend could start transmitting into a

@@ -68,17 +68,32 @@ class NetbackInstance : public NetIf {
   // application the driver calls it at pairing time.
   void CompleteHotplug();
 
+  // Frontend death (paper §6: guests may crash at any time): stop accepting
+  // work, close the event port, and ask the worker threads to exit at their
+  // next resumption. The instance must stay allocated until drained() —
+  // its coroutine frames are parked in the shared scheduler and would
+  // otherwise resume into freed memory.
+  void BeginShutdown();
+  bool drained() const { return threads_running_ == 0; }
+  void set_on_drained(std::function<void()> fn) { on_drained_ = std::move(fn); }
+
   DomId frontend_dom() const { return frontend_dom_; }
   int devid() const { return devid_; }
   bool connected() const { return connected_; }
 
-  uint64_t guest_tx_frames() const { return guest_tx_frames_; }
-  uint64_t guest_rx_frames() const { return guest_rx_frames_; }
-  uint64_t rx_queue_drops() const { return rx_queue_drops_; }
+  uint64_t guest_tx_frames() const { return guest_tx_frames_->value(); }
+  uint64_t guest_rx_frames() const { return guest_rx_frames_->value(); }
+  uint64_t rx_queue_drops() const { return rx_queue_drops_->value(); }
+  // Guest Tx requests rejected before any copy because offset/size fell
+  // outside the granted page (malformed or malicious ring input).
+  uint64_t tx_bad_requests() const { return tx_bad_requests_->value(); }
+  // Rx copies toward the guest that failed (bad gref, injected fault).
+  uint64_t rx_copy_fails() const { return rx_copy_fails_->value(); }
 
  private:
   Task PusherThread();
   Task SoftStartThread();
+  void ThreadExited();
   // Pass latency (thread scheduling) plus a cold-path penalty after idle.
   SimDuration WakeLatency(SimTime* last_active) const;
   void PushTxResponses();
@@ -94,6 +109,10 @@ class NetbackInstance : public NetIf {
   DomId frontend_dom_;
   int devid_;
   bool connected_ = false;
+  // Shutdown protocol: checked by the worker threads after every co_await.
+  bool stopping_ = false;
+  int threads_running_ = 0;
+  std::function<void()> on_drained_;
 
   std::string backend_path_;
   std::string frontend_path_;
@@ -111,9 +130,12 @@ class NetbackInstance : public NetIf {
   SimTime pusher_last_active_;
   SimTime soft_start_last_active_;
 
-  uint64_t guest_tx_frames_ = 0;
-  uint64_t guest_rx_frames_ = 0;
-  uint64_t rx_queue_drops_ = 0;
+  // Registry-backed under (backend domain, vifX.Y, <name>).
+  Counter* guest_tx_frames_;
+  Counter* guest_rx_frames_;
+  Counter* rx_queue_drops_;
+  Counter* tx_bad_requests_;
+  Counter* rx_copy_fails_;
 };
 
 class NetworkBackendDriver {
@@ -129,19 +151,32 @@ class NetworkBackendDriver {
   // The network application registers this to connect new VIFs to the
   // bridge (paper §4.3).
   void SetOnNewVif(std::function<void(NetbackInstance*)> fn) { on_new_vif_ = std::move(fn); }
+  // Called when a vif's frontend died and the instance is being reaped, so
+  // the application can unbridge it before the pointer goes away.
+  void SetOnVifGone(std::function<void(NetbackInstance*)> fn) { on_vif_gone_ = std::move(fn); }
 
   int instance_count() const { return static_cast<int>(instances_.size()); }
+  // Reaped instances still draining their worker threads.
+  int dying_instance_count() const { return static_cast<int>(dying_.size()); }
   NetbackInstance* instance(DomId frontend_dom, int devid);
 
-  uint64_t scans() const { return scans_; }
-  uint64_t connect_retries() const { return connect_retries_; }
+  uint64_t scans() const { return scans_->value(); }
+  uint64_t connect_retries() const { return connect_retries_->value(); }
+  uint64_t instances_reaped() const { return instances_reaped_->value(); }
   // Frontend-state watches currently held while waiting for publication
   // (leak accounting: must drop back to zero once everything is paired).
   int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
+  // Frontend-death watches held for paired instances (one per live instance).
+  int paired_fe_watch_count() const { return static_cast<int>(paired_watches_.size()); }
 
  private:
   Task WatchThread();
   void ScanForFrontends();
+  // Tears down instances whose frontend reached Closing/Closed or vanished
+  // from xenstore (frontend domain destroyed).
+  void ReapDeadInstances();
+  // Frees reaped instances whose worker threads have exited.
+  void SweepDying();
 
   Domain* backend_;
   Hypervisor* hv_;
@@ -149,6 +184,7 @@ class NetworkBackendDriver {
   const OsCostProfile* costs_;
   NetbackParams params_;
   std::function<void(NetbackInstance*)> on_new_vif_;
+  std::function<void(NetbackInstance*)> on_vif_gone_;
   size_t next_sched_ = 0;
 
   WatchId watch_ = 0;
@@ -158,8 +194,15 @@ class NetworkBackendDriver {
   // watch is removed as soon as its frontend pairs (they used to accumulate
   // forever).
   std::map<std::string, WatchId> fe_watches_;
-  uint64_t scans_ = 0;
-  uint64_t connect_retries_ = 0;
+  // Post-pairing frontend-death watches, one per live instance (kept apart
+  // from fe_watches_, whose emptiness tests assert after pairing).
+  std::map<std::pair<DomId, int>, WatchId> paired_watches_;
+  // Reaped but not yet drained (worker frames still parked in the shared
+  // scheduler); swept on scan wakeups.
+  std::vector<std::unique_ptr<NetbackInstance>> dying_;
+  Counter* scans_;
+  Counter* connect_retries_;
+  Counter* instances_reaped_;
   // Outlives `this` so posted retries can detect destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -15,6 +15,12 @@ Netfront::Netfront(Domain* guest, DomId backend_dom, int devid, MacAddr mac,
       on_connected_(std::move(on_connected)) {
   frontend_path_ = FrontendPath(guest->id(), "vif", devid);
   backend_path_ = BackendPath(backend_dom, "vif", guest->id(), devid);
+  MetricRegistry* reg = hv_->metrics();
+  tx_dropped_ = reg->counter(guest->name(), ifname(), "tx_dropped");
+  rx_errors_ = reg->counter(guest->name(), ifname(), "rx_errors");
+  recoveries_ = reg->counter(guest->name(), ifname(), "recoveries");
+  recovery_drops_ = reg->counter(guest->name(), ifname(), "recovery_drops");
+  rx_bad_responses_ = reg->counter(guest->name(), ifname(), "rx_bad_response");
   PublishAndInitialise();
   // Watch our own backend-id link: the toolstack rewrites it when it hands
   // this device to a replacement backend domain after a crash. The
@@ -127,7 +133,7 @@ void Netfront::HandleBackendDeath() {
   // wire can always lose frames; transport protocols retransmit).
   for (const Slot& slot : tx_slots_) {
     if (slot.in_use) {
-      ++recovery_drops_;
+      recovery_drops_->Inc();
     }
   }
   // Reclaim every granted page. EndAccess succeeds because DestroyDomain
@@ -181,7 +187,7 @@ void Netfront::OnToolstackRelink() {
   HandleBackendDeath();  // No-op if the death watch already cleaned up.
   backend_dom_ = static_cast<DomId>(*id);
   backend_path_ = BackendPath(backend_dom_, "vif", guest_->id(), devid_);
-  ++recoveries_;
+  recoveries_->Inc();
   PublishAndInitialise();
 }
 
@@ -204,7 +210,7 @@ void Netfront::PostRxBuffers() {
 
 void Netfront::Output(const EthernetFrame& frame) {
   if (!connected_ || tx_free_ids_.empty() || tx_ring_->Full()) {
-    ++tx_dropped_;
+    tx_dropped_->Inc();
     return;
   }
   guest_->vcpu(0)->Charge(frame_cost_);
@@ -256,14 +262,22 @@ void Netfront::ProcessRxResponses() {
       slot.in_use = false;
       rx_free_ids_.push_back(rsp.id);
       if (rsp.size <= 0) {
-        ++rx_errors_;
+        rx_errors_->Inc();
+        continue;
+      }
+      // rsp.offset/rsp.size come from the backend: never parse outside the
+      // posted page, even if the backend misbehaves.
+      if (static_cast<size_t>(rsp.offset) > kPageSize ||
+          static_cast<size_t>(rsp.size) > kPageSize - rsp.offset) {
+        rx_bad_responses_->Inc();
+        rx_errors_->Inc();
         continue;
       }
       guest_->vcpu(0)->Charge(frame_cost_);
       auto frame = ParseEthernet(std::span<const uint8_t>(
           slot.page->data.data() + rsp.offset, static_cast<size_t>(rsp.size)));
       if (!frame.has_value()) {
-        ++rx_errors_;
+        rx_errors_->Inc();
         continue;
       }
       DeliverInput(*frame);

@@ -36,12 +36,15 @@ class Netfront : public NetIf {
   Domain* guest() const { return guest_; }
   DomId backend_dom() const { return backend_dom_; }
 
-  uint64_t tx_dropped() const { return tx_dropped_; }
-  uint64_t rx_errors() const { return rx_errors_; }
+  uint64_t tx_dropped() const { return tx_dropped_->value(); }
+  uint64_t rx_errors() const { return rx_errors_->value(); }
   // Completed reconnects to a fresh backend after the old one died.
-  uint64_t recoveries() const { return recoveries_; }
+  uint64_t recoveries() const { return recoveries_->value(); }
   // In-flight tx frames discarded on backend death (net drops; TCP retransmits).
-  uint64_t recovery_drops() const { return recovery_drops_; }
+  uint64_t recovery_drops() const { return recovery_drops_->value(); }
+  // Rx responses whose offset/size fell outside the posted page — a
+  // misbehaving or compromised backend (also counted in rx_errors).
+  uint64_t rx_bad_responses() const { return rx_bad_responses_->value(); }
 
   // Per-frame guest-side processing cost (serialize + driver work).
   void set_frame_cost(SimDuration d) { frame_cost_ = d; }
@@ -101,10 +104,12 @@ class Netfront : public NetIf {
   EvtPort port_ = kInvalidPort;
   SimDuration frame_cost_ = Nanos(400);
 
-  uint64_t tx_dropped_ = 0;
-  uint64_t rx_errors_ = 0;
-  uint64_t recoveries_ = 0;
-  uint64_t recovery_drops_ = 0;
+  // Registry-backed under (guest domain, xnN, <name>).
+  Counter* tx_dropped_;
+  Counter* rx_errors_;
+  Counter* recoveries_;
+  Counter* recovery_drops_;
+  Counter* rx_bad_responses_;
 };
 
 }  // namespace kite

@@ -1,0 +1,100 @@
+#include "src/obs/metrics.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace kite {
+
+MetricRegistry::Cell* MetricRegistry::GetOrCreate(const MetricKey& key, Kind kind) {
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Cell cell;
+    cell.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        cell.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        cell.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        cell.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(key, std::move(cell)).first;
+  }
+  KITE_CHECK(it->second.kind == kind)
+      << "metric " << key.domain << "/" << key.device << "/" << key.name
+      << " re-registered with a different kind";
+  return &it->second;
+}
+
+Counter* MetricRegistry::counter(const std::string& domain, const std::string& device,
+                                 const std::string& name) {
+  return GetOrCreate({domain, device, name}, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::gauge(const std::string& domain, const std::string& device,
+                             const std::string& name) {
+  return GetOrCreate({domain, device, name}, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& domain, const std::string& device,
+                                     const std::string& name) {
+  return GetOrCreate({domain, device, name}, Kind::kHistogram)->histogram.get();
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::Snapshot(bool skip_zero) const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, cell] : metrics_) {
+    Sample s;
+    s.key = key;
+    s.kind = cell.kind;
+    s.value = 0;
+    s.count = 0;
+    switch (cell.kind) {
+      case Kind::kCounter:
+        s.value = static_cast<double>(cell.counter->value());
+        break;
+      case Kind::kGauge:
+        s.value = cell.gauge->value();
+        break;
+      case Kind::kHistogram:
+        s.value = cell.histogram->mean();
+        s.count = cell.histogram->count();
+        s.min = cell.histogram->min();
+        s.max = cell.histogram->max();
+        break;
+    }
+    if (skip_zero && s.value == 0 && s.count == 0) {
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricRegistry::FormatTable(bool skip_zero) const {
+  std::string out;
+  for (const Sample& s : Snapshot(skip_zero)) {
+    const std::string label = StrFormat("%s/%s/%s", s.key.domain.c_str(),
+                                        s.key.device.c_str(), s.key.name.c_str());
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += StrFormat("  %-52s %12llu\n", label.c_str(),
+                         static_cast<unsigned long long>(s.value));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("  %-52s %12.2f\n", label.c_str(), s.value);
+        break;
+      case Kind::kHistogram:
+        out += StrFormat("  %-52s n=%llu mean=%.2f min=%.2f max=%.2f\n", label.c_str(),
+                         static_cast<unsigned long long>(s.count), s.value, s.min, s.max);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace kite

@@ -1,0 +1,140 @@
+// Observability: a zero-dependency metric registry.
+//
+// Every counter in the simulator used to be an ad-hoc `uint64_t` member with
+// a bespoke accessor; bugs like "failed RX copies still counted as
+// delivered" were invisible because nothing exported the numbers uniformly.
+// The registry gives each metric a stable (domain, device, name) key and a
+// stable-address handle (`Counter*`, `Gauge*`, `Histogram*`) so hot paths
+// pay exactly one pointer-chase per update — the same cost as the old
+// member increments.
+//
+// Conventions (DESIGN.md §8):
+//   domain  — who owns the number ("hv", "fault", or a domain name such as
+//             "kite-netdom" / "ubuntu-guest0").
+//   device  — the device or subsystem within the owner ("vif1.0", "xvda",
+//             "grant", "evtchn", or "-" when there is no finer grain).
+//   name    — snake_case metric name ("guest_tx_frames", "tx_bad_request").
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kite {
+
+// Monotonic event count. `Set` exists only for counter migration shims
+// (FaultInjector::ResetCounters); new code should stick to Inc/Add.
+class Counter {
+ public:
+  void Inc() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  void Set(uint64_t n) { value_ = n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, instance count).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Streaming summary: count / sum / min / max. Enough for batch sizes and
+// request sizes without bucketing policy; full distributions belong in the
+// tracer.
+class Histogram {
+ public:
+  void Record(double v) {
+    if (count_ == 0 || v < min_) {
+      min_ = v;
+    }
+    if (count_ == 0 || v > max_) {
+      max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+  }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+struct MetricKey {
+  std::string domain;
+  std::string device;
+  std::string name;
+
+  auto operator<=>(const MetricKey&) const = default;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Get-or-create: the same key always returns the same handle, and handles
+  // stay valid for the registry's lifetime. A key may not change kind
+  // (counter vs gauge vs histogram); doing so aborts.
+  Counter* counter(const std::string& domain, const std::string& device,
+                   const std::string& name);
+  Gauge* gauge(const std::string& domain, const std::string& device,
+               const std::string& name);
+  Histogram* histogram(const std::string& domain, const std::string& device,
+                       const std::string& name);
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Sample {
+    MetricKey key;
+    Kind kind;
+    double value;     // Counter/gauge value; histogram mean.
+    uint64_t count;   // Histogram observation count; 0 otherwise.
+    double min = 0;   // Histogram only.
+    double max = 0;   // Histogram only.
+  };
+
+  // All metrics in deterministic (domain, device, name) order. With
+  // `skip_zero`, never-touched counters/gauges and empty histograms are
+  // omitted.
+  std::vector<Sample> Snapshot(bool skip_zero = false) const;
+
+  // Human-readable table of Snapshot(skip_zero) for bench/test output.
+  std::string FormatTable(bool skip_zero = true) const;
+
+  size_t size() const { return metrics_.size(); }
+
+ private:
+  struct Cell {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Cell* GetOrCreate(const MetricKey& key, Kind kind);
+
+  std::map<MetricKey, Cell> metrics_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,128 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/base/strings.h"
+
+namespace kite {
+
+namespace {
+
+// The trace uses compile-time category/name literals and domain names from
+// CreateDomain; escaping still keeps the JSON well-formed if a domain name
+// ever contains a quote or backslash.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool EventTracer::Admit() {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void EventTracer::Complete(int pid, int tid, const char* cat, const char* name,
+                           SimTime start, SimDuration dur, const char* arg_key,
+                           int64_t arg_value) {
+  if (!enabled_ || !Admit()) {
+    return;
+  }
+  events_.push_back({'X', pid, tid, cat, name, start.ns(), dur.ns(), arg_key, arg_value});
+}
+
+void EventTracer::Instant(int pid, int tid, const char* cat, const char* name, SimTime at,
+                          const char* arg_key, int64_t arg_value) {
+  if (!enabled_ || !Admit()) {
+    return;
+  }
+  events_.push_back({'i', pid, tid, cat, name, at.ns(), 0, arg_key, arg_value});
+}
+
+void EventTracer::SetProcessName(int pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+void EventTracer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string EventTracer::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += StrFormat(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, JsonEscape(name).c_str());
+  }
+  for (const Event& e : events_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    // ts/dur are microseconds in the trace_event format; keep nanosecond
+    // precision as a fraction.
+    out += StrFormat("{\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\","
+                     "\"ts\":%.3f",
+                     e.phase, e.pid, e.tid, e.cat, e.name,
+                     static_cast<double>(e.ts_ns) / 1e3);
+    if (e.phase == 'X') {
+      out += StrFormat(",\"dur\":%.3f", static_cast<double>(e.dur_ns) / 1e3);
+    } else {
+      out += ",\"s\":\"t\"";  // Instant scope: thread.
+    }
+    if (e.arg_key != nullptr) {
+      out += StrFormat(",\"args\":{\"%s\":%lld}", e.arg_key,
+                       static_cast<long long>(e.arg_value));
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool EventTracer::DumpTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+}  // namespace kite

@@ -1,0 +1,213 @@
+// The observability layer (src/obs): metric registry semantics — get-or-create
+// identity, stable handles, deterministic snapshots — and tracer output
+// well-formedness (Chrome trace_event JSON).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace kite {
+namespace {
+
+// --- MetricRegistry. ---
+
+TEST(MetricRegistryTest, SameKeyReturnsSameHandle) {
+  MetricRegistry reg;
+  Counter* a = reg.counter("hv", "grant", "maps");
+  Counter* b = reg.counter("hv", "grant", "maps");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+  // A different component of the key is a different metric.
+  EXPECT_NE(a, reg.counter("hv", "grant", "unmaps"));
+  EXPECT_NE(a, reg.counter("hv", "evtchn", "maps"));
+  EXPECT_NE(a, reg.counter("dom1", "grant", "maps"));
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(MetricRegistryTest, HandlesStayValidAcrossGrowth) {
+  MetricRegistry reg;
+  Counter* first = reg.counter("d", "dev", "m0");
+  first->Inc();
+  // Force many insertions; the original handle must not move.
+  for (int i = 1; i < 200; ++i) {
+    reg.counter("d", "dev", "m" + std::to_string(i))->Inc();
+  }
+  first->Add(2);
+  EXPECT_EQ(first->value(), 3u);
+  EXPECT_EQ(reg.counter("d", "dev", "m0"), first);
+}
+
+TEST(MetricRegistryTest, CounterGaugeHistogramSemantics) {
+  MetricRegistry reg;
+  Counter* c = reg.counter("d", "-", "events");
+  c->Inc();
+  c->Add(9);
+  EXPECT_EQ(c->value(), 10u);
+  c->Set(0);
+  EXPECT_EQ(c->value(), 0u);
+
+  Gauge* g = reg.gauge("d", "-", "depth");
+  g->Set(4.0);
+  g->Add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+
+  Histogram* h = reg.histogram("d", "-", "batch");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->mean(), 0.0);
+  h->Record(3.0);
+  h->Record(9.0);
+  h->Record(6.0);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->min(), 3.0);
+  EXPECT_DOUBLE_EQ(h->max(), 9.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 6.0);
+}
+
+TEST(MetricRegistryTest, SnapshotIsDeterministicallyOrdered) {
+  MetricRegistry reg;
+  reg.counter("zeta", "dev", "a")->Inc();
+  reg.counter("alpha", "dev", "z")->Inc();
+  reg.counter("alpha", "dev", "a")->Inc();
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].key.domain, "alpha");
+  EXPECT_EQ(samples[0].key.name, "a");
+  EXPECT_EQ(samples[1].key.domain, "alpha");
+  EXPECT_EQ(samples[1].key.name, "z");
+  EXPECT_EQ(samples[2].key.domain, "zeta");
+}
+
+TEST(MetricRegistryTest, SnapshotSkipZeroOmitsUntouchedMetrics) {
+  MetricRegistry reg;
+  reg.counter("d", "dev", "touched")->Inc();
+  reg.counter("d", "dev", "untouched");
+  reg.histogram("d", "dev", "empty_hist");
+  EXPECT_EQ(reg.Snapshot(/*skip_zero=*/false).size(), 3u);
+  auto samples = reg.Snapshot(/*skip_zero=*/true);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].key.name, "touched");
+  EXPECT_DOUBLE_EQ(samples[0].value, 1.0);
+}
+
+TEST(MetricRegistryTest, FormatTableContainsKeyAndValue) {
+  MetricRegistry reg;
+  reg.counter("kite-netdom", "vif1.0", "guest_tx_frames")->Add(42);
+  const std::string table = reg.FormatTable();
+  EXPECT_NE(table.find("kite-netdom/vif1.0/guest_tx_frames"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+}
+
+// --- EventTracer. ---
+
+TEST(EventTracerTest, DisabledByDefaultAndRecordsWhenEnabled) {
+  EventTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  // Belt-and-braces: call sites guard on enabled(), but a record made while
+  // disabled is discarded internally too.
+  tracer.Instant(1, 0, "cat", "ev", SimTime{});
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.set_enabled(true);
+  tracer.Complete(1, 0, "hypercall", "gnttab_copy", SimTime{} + Micros(2), Nanos(480),
+                  "bytes", 4096);
+  tracer.Instant(2, 0, "evtchn", "evt_deliver", SimTime{} + Micros(3), "port", 4);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(EventTracerTest, CapsEventsAndCountsDrops) {
+  EventTracer tracer(/*max_events=*/4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant(1, 0, "cat", "ev", SimTime{} + Nanos(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// A tiny structural check: braces/brackets balance and strings are closed.
+// (Not a full JSON parser, but catches truncation and quoting bugs.)
+bool JsonBalanced(const std::string& s) {
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      default: break;
+    }
+    if (brace < 0 || bracket < 0) {
+      return false;
+    }
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(EventTracerTest, ToJsonIsWellFormedTraceEventObject) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  tracer.SetProcessName(1, "kite-netdom");
+  tracer.SetProcessName(2, "app\"vm\\");  // Needs escaping.
+  tracer.Complete(1, 0, "hypercall", "evtchn_send", SimTime{} + Micros(10), Nanos(300));
+  tracer.Instant(1, 3, "ring", "tx_push", SimTime{} + Micros(11), "notify", 1);
+  const std::string json = tracer.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_EQ(json.rfind("{", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("kite-netdom"), std::string::npos);
+  EXPECT_NE(json.find("app\\\"vm\\\\"), std::string::npos);  // Escaped form.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"notify\":1"), std::string::npos);
+}
+
+TEST(EventTracerTest, EmptyTraceIsStillValid) {
+  EventTracer tracer;
+  const std::string json = tracer.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(EventTracerTest, DumpTraceWritesFile) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant(1, 0, "cat", "ev", SimTime{} + Micros(1));
+  const std::string path = testing::TempDir() + "/kite_obs_test_trace.json";
+  ASSERT_TRUE(tracer.DumpTrace(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, tracer.ToJson());
+  EXPECT_TRUE(JsonBalanced(contents));
+}
+
+}  // namespace
+}  // namespace kite

@@ -1,11 +1,15 @@
 // Edge cases of the incremental protocol parsers (HTTP/RESP/memcached):
 // requests split across TCP segments, multiple requests in one segment,
-// and malformed input — plus OS-profile invariants.
+// and malformed input — plus OS-profile invariants, plus misbehaving PV
+// frontends pushing malformed ring entries at netback/blkback.
 #include <gtest/gtest.h>
 
+#include "src/blk/blkif.h"
+#include "src/core/kite.h"
 #include "src/net/nic.h"
 #include "src/net/stack.h"
 #include "src/net/tcp.h"
+#include "src/netdrv/netif_ring.h"
 #include "src/os/profile.h"
 #include "src/workloads/http.h"
 #include "src/workloads/memcached.h"
@@ -149,6 +153,403 @@ TEST_F(ProtocolPair, MemcachedGarbageCommandErrors) {
   SendChunks(11211, {"frobnicate\r\n"}, &response);
   ex_.RunUntilIdle();
   EXPECT_EQ(response, "ERROR\r\n");
+}
+
+// --- Misbehaving PV frontends (ISSUE 2). ---
+//
+// These fixtures impersonate a frontend by hand: they run the toolstack
+// writes AttachVif/AttachVbd would do, allocate and grant the shared rings
+// themselves, and publish Initialised — but never construct a Netfront or
+// Blkfront. That leaves the test in full control of every ring field, so it
+// can push the exact malformed requests a compromised guest could:
+// out-of-page offsets/sizes, bogus grant references, impossible segment
+// counts. The backend must answer every one with an error response, count it
+// in a *_bad_request metric, and keep serving well-formed requests.
+
+class MisbehavingNetFrontend : public ::testing::Test {
+ protected:
+  static constexpr int kDevid = 0;
+
+  void SetUp() override {
+    sys_ = std::make_unique<KiteSystem>();
+    netdom_ = sys_->CreateNetworkDomain();
+    guest_ = sys_->CreateGuest("evil-net-guest");
+    gid_ = guest_->domain()->id();
+    bid_ = netdom_->domain()->id();
+    XenStore& store = sys_->hv().store();
+    fe_ = FrontendPath(gid_, "vif", kDevid);
+    const std::string be = BackendPath(bid_, "vif", gid_, kDevid);
+
+    // Toolstack half of AttachVif (no Netfront).
+    store.Write(kDom0, fe_ + "/backend", be);
+    store.WriteInt(kDom0, fe_ + "/backend-id", bid_);
+    store.WriteInt(kDom0, fe_ + "/state", static_cast<int>(XenbusState::kInitialising));
+    store.Write(kDom0, be + "/frontend", fe_);
+    store.WriteInt(kDom0, be + "/frontend-id", gid_);
+    store.WriteInt(kDom0, be + "/state", static_cast<int>(XenbusState::kInitialising));
+    store.SetPermission(kDom0, fe_, bid_);
+    store.SetPermission(kDom0, be, gid_);
+
+    // Frontend half, by hand: rings, grants, event channel, publication.
+    Domain* gd = guest_->domain();
+    tx_page_ = AllocPage();
+    rx_page_ = AllocPage();
+    tx_shared_ = std::make_shared<NetTxSharedRing>(kNetRingSize);
+    rx_shared_ = std::make_shared<NetRxSharedRing>(kNetRingSize);
+    tx_page_->object = tx_shared_;
+    rx_page_->object = rx_shared_;
+    tx_ring_ = std::make_unique<NetTxFrontRing>(tx_shared_.get());
+    rx_ring_ = std::make_unique<NetRxFrontRing>(rx_shared_.get());
+    tx_gref_ = gd->grant_table().GrantAccess(bid_, tx_page_, /*readonly=*/false);
+    rx_gref_ = gd->grant_table().GrantAccess(bid_, rx_page_, /*readonly=*/false);
+    data_page_ = AllocPage();
+    data_gref_ = gd->grant_table().GrantAccess(bid_, data_page_, /*readonly=*/true);
+    port_ = sys_->hv().EventAllocUnbound(gd, bid_);
+    gd->StoreWriteInt(fe_ + "/tx-ring-ref", tx_gref_);
+    gd->StoreWriteInt(fe_ + "/rx-ring-ref", rx_gref_);
+    gd->StoreWriteInt(fe_ + "/event-channel", port_);
+    gd->StoreWriteInt(fe_ + "/request-rx-copy", 1);
+    XenbusClient bus(&store, gid_);
+    bus.SwitchState(fe_, XenbusState::kInitialised);
+
+    ASSERT_TRUE(sys_->WaitUntil([this] { return vif() != nullptr && vif()->connected(); }))
+        << "backend never paired with the hand-rolled frontend";
+  }
+
+  NetbackInstance* vif() { return netdom_->driver()->instance(gid_, kDevid); }
+
+  void SendTx(const NetTxRequest& req) {
+    tx_ring_->ProduceRequest(req);
+    if (tx_ring_->PushRequests()) {
+      sys_->hv().EventSend(guest_->domain(), port_);
+    }
+    sys_->RunFor(Millis(50));
+  }
+
+  std::vector<NetTxResponse> DrainTxResponses() {
+    std::vector<NetTxResponse> rsps;
+    do {
+      while (tx_ring_->HasUnconsumedResponses()) {
+        rsps.push_back(tx_ring_->ConsumeResponse());
+      }
+    } while (tx_ring_->FinalCheckForResponses());
+    return rsps;
+  }
+
+  std::unique_ptr<KiteSystem> sys_;
+  NetworkDomain* netdom_ = nullptr;
+  GuestVm* guest_ = nullptr;
+  DomId gid_ = 0;
+  DomId bid_ = 0;
+  std::string fe_;
+  PageRef tx_page_, rx_page_, data_page_;
+  std::shared_ptr<NetTxSharedRing> tx_shared_;
+  std::shared_ptr<NetRxSharedRing> rx_shared_;
+  std::unique_ptr<NetTxFrontRing> tx_ring_;
+  std::unique_ptr<NetRxFrontRing> rx_ring_;
+  GrantRef tx_gref_ = kInvalidGrantRef;
+  GrantRef rx_gref_ = kInvalidGrantRef;
+  GrantRef data_gref_ = kInvalidGrantRef;
+  EvtPort port_ = kInvalidPort;
+};
+
+TEST_F(MisbehavingNetFrontend, OversizedTxSizeRejected) {
+  NetTxRequest req;
+  req.gref = data_gref_;
+  req.id = 7;
+  req.offset = 0;
+  req.size = 60000;  // 15x the page.
+  SendTx(req);
+  auto rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].id, 7u);
+  EXPECT_EQ(rsps[0].status, NetifStatus::kError);
+  EXPECT_EQ(vif()->tx_bad_requests(), 1u);
+  EXPECT_EQ(vif()->guest_tx_frames(), 0u);
+}
+
+TEST_F(MisbehavingNetFrontend, OverlappingOffsetPlusSizeRejected) {
+  // Each field fits a page on its own; the sum runs 1904 bytes past it. The
+  // naive check (offset < page && size < page) passes this — the overflow
+  // came from the addition.
+  NetTxRequest req;
+  req.gref = data_gref_;
+  req.id = 9;
+  req.offset = 4000;
+  req.size = 2000;
+  SendTx(req);
+  auto rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, NetifStatus::kError);
+  EXPECT_EQ(vif()->tx_bad_requests(), 1u);
+}
+
+TEST_F(MisbehavingNetFrontend, BogusGrantRefRejected) {
+  NetTxRequest req;
+  req.gref = static_cast<GrantRef>(999999);  // Never granted.
+  req.id = 3;
+  req.offset = 0;
+  req.size = 64;
+  SendTx(req);
+  auto rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, NetifStatus::kError);
+  // Shape was fine — the copy itself failed; not a bad_request.
+  EXPECT_EQ(vif()->tx_bad_requests(), 0u);
+  EXPECT_EQ(vif()->guest_tx_frames(), 0u);
+}
+
+TEST_F(MisbehavingNetFrontend, ZeroSizeRejected) {
+  NetTxRequest req;
+  req.gref = data_gref_;
+  req.id = 1;
+  req.offset = 0;
+  req.size = 0;
+  SendTx(req);
+  auto rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, NetifStatus::kError);
+  EXPECT_EQ(vif()->tx_bad_requests(), 1u);
+}
+
+TEST_F(MisbehavingNetFrontend, BackendSurvivesMalformedBurstThenServesValid) {
+  // A burst of malformed requests with every field corrupted differently.
+  const uint16_t sizes[] = {0, 5000, 65535, 2000};
+  const uint16_t offsets[] = {0, 0, 4095, 4000};
+  for (uint16_t i = 0; i < 4; ++i) {
+    NetTxRequest req;
+    req.gref = data_gref_;
+    req.id = i;
+    req.offset = offsets[i];
+    req.size = sizes[i];
+    tx_ring_->ProduceRequest(req);
+  }
+  if (tx_ring_->PushRequests()) {
+    sys_->hv().EventSend(guest_->domain(), port_);
+  }
+  sys_->RunFor(Millis(50));
+  auto rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 4u);
+  for (const NetTxResponse& rsp : rsps) {
+    EXPECT_EQ(rsp.status, NetifStatus::kError);
+  }
+  EXPECT_EQ(vif()->tx_bad_requests(), 4u);
+
+  // The instance must still be live: an in-bounds request gets kOkay.
+  NetTxRequest good;
+  good.gref = data_gref_;
+  good.id = 42;
+  good.offset = 0;
+  good.size = 64;
+  SendTx(good);
+  rsps = DrainTxResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].id, 42u);
+  EXPECT_EQ(rsps[0].status, NetifStatus::kOkay);
+  // Every rejection is visible as a named metric in the system snapshot.
+  bool found = false;
+  for (const auto& s : sys_->metrics()) {
+    if (s.key.name == "tx_bad_request" && s.value == 4.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "tx_bad_request missing from the registry snapshot";
+}
+
+class MisbehavingBlkFrontend : public ::testing::Test {
+ protected:
+  static constexpr int kDevid = 51712;  // xvda.
+
+  void SetUp() override {
+    sys_ = std::make_unique<KiteSystem>();
+    stordom_ = sys_->CreateStorageDomain();
+    guest_ = sys_->CreateGuest("evil-blk-guest");
+    gid_ = guest_->domain()->id();
+    bid_ = stordom_->domain()->id();
+    XenStore& store = sys_->hv().store();
+    fe_ = FrontendPath(gid_, "vbd", kDevid);
+    const std::string be = BackendPath(bid_, "vbd", gid_, kDevid);
+
+    // Toolstack half of AttachVbd (no Blkfront).
+    store.Write(kDom0, fe_ + "/backend", be);
+    store.WriteInt(kDom0, fe_ + "/backend-id", bid_);
+    store.Write(kDom0, be + "/frontend", fe_);
+    store.WriteInt(kDom0, be + "/frontend-id", gid_);
+    store.SetPermission(kDom0, fe_, bid_);
+    store.SetPermission(kDom0, be, gid_);
+    sys_->RunFor(Millis(5));  // Let blkback advertise.
+
+    // Frontend half, by hand.
+    Domain* gd = guest_->domain();
+    ring_page_ = AllocPage();
+    shared_ = std::make_shared<BlkSharedRing>(kBlkRingSize);
+    ring_page_->object = shared_;
+    ring_ = std::make_unique<BlkFrontRing>(shared_.get());
+    ring_gref_ = gd->grant_table().GrantAccess(bid_, ring_page_, /*readonly=*/false);
+    data_page_ = AllocPage();
+    data_gref_ = gd->grant_table().GrantAccess(bid_, data_page_, /*readonly=*/false);
+    port_ = sys_->hv().EventAllocUnbound(gd, bid_);
+    gd->StoreWriteInt(fe_ + "/ring-ref", ring_gref_);
+    gd->StoreWriteInt(fe_ + "/event-channel", port_);
+    gd->StoreWriteInt(fe_ + "/feature-persistent", 0);
+    XenbusClient bus(&store, gid_);
+    bus.SwitchState(fe_, XenbusState::kInitialised);
+
+    ASSERT_TRUE(sys_->WaitUntil([this] { return vbd() != nullptr && vbd()->connected(); }))
+        << "blkback never paired with the hand-rolled frontend";
+  }
+
+  BlkbackInstance* vbd() { return stordom_->driver()->instance(gid_, kDevid); }
+
+  void SendBlk(const BlkRequest& req) {
+    ring_->ProduceRequest(req);
+    if (ring_->PushRequests()) {
+      sys_->hv().EventSend(guest_->domain(), port_);
+    }
+    sys_->RunFor(Millis(100));  // Disk latency included.
+  }
+
+  std::vector<BlkResponse> DrainResponses() {
+    std::vector<BlkResponse> rsps;
+    do {
+      while (ring_->HasUnconsumedResponses()) {
+        rsps.push_back(ring_->ConsumeResponse());
+      }
+    } while (ring_->FinalCheckForResponses());
+    return rsps;
+  }
+
+  std::unique_ptr<KiteSystem> sys_;
+  StorageDomain* stordom_ = nullptr;
+  GuestVm* guest_ = nullptr;
+  DomId gid_ = 0;
+  DomId bid_ = 0;
+  std::string fe_;
+  PageRef ring_page_, data_page_;
+  std::shared_ptr<BlkSharedRing> shared_;
+  std::unique_ptr<BlkFrontRing> ring_;
+  GrantRef ring_gref_ = kInvalidGrantRef;
+  GrantRef data_gref_ = kInvalidGrantRef;
+  EvtPort port_ = kInvalidPort;
+};
+
+TEST_F(MisbehavingBlkFrontend, DirectSegmentCountPastArrayRejected) {
+  BlkRequest req;
+  req.op = BlkOp::kWrite;
+  req.id = 11;
+  req.sector_number = 0;
+  req.nr_segments = 200;  // The embedded array holds 11.
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].id, 11u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+  EXPECT_EQ(vbd()->device_ops(), 0u);
+}
+
+TEST_F(MisbehavingBlkFrontend, InvertedSectorRangeRejected) {
+  BlkRequest req;
+  req.op = BlkOp::kRead;
+  req.id = 12;
+  req.nr_segments = 1;
+  req.segments[0] = {data_gref_, /*first_sect=*/5, /*last_sect=*/2};  // bytes() underflows.
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+  EXPECT_EQ(vbd()->device_ops(), 0u);
+}
+
+TEST_F(MisbehavingBlkFrontend, SectorRangePastPageRejected) {
+  BlkRequest req;
+  req.op = BlkOp::kRead;
+  req.id = 13;
+  req.nr_segments = 1;
+  req.segments[0] = {data_gref_, /*first_sect=*/0, /*last_sect=*/9};  // Page has 8 sectors.
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+}
+
+TEST_F(MisbehavingBlkFrontend, SectorNumberPastCapacityRejected) {
+  BlkRequest req;
+  req.op = BlkOp::kRead;
+  req.id = 14;
+  req.sector_number = 1ULL << 40;  // 512 TiB into the disk.
+  req.nr_segments = 1;
+  req.segments[0] = {data_gref_, 0, 7};
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+}
+
+TEST_F(MisbehavingBlkFrontend, IndirectSegmentCountRejected) {
+  // Grant a real descriptor page so the count check — not the map — rejects.
+  PageRef ind_page = AllocPage();
+  auto ind_segs = std::make_shared<IndirectSegmentPage>();
+  ind_segs->resize(kBlkSegsPerIndirectPage);
+  ind_page->object = ind_segs;
+  GrantRef ind_gref =
+      guest_->domain()->grant_table().GrantAccess(bid_, ind_page, /*readonly=*/true);
+  BlkRequest req;
+  req.op = BlkOp::kIndirect;
+  req.indirect_op = BlkOp::kRead;
+  req.id = 15;
+  req.indirect_gref = ind_gref;
+  req.nr_indirect_segments = 500;  // Negotiated maximum is 32.
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+}
+
+TEST_F(MisbehavingBlkFrontend, BackendSurvivesMalformedBurstThenServesValid) {
+  BlkRequest bad;
+  bad.op = BlkOp::kWrite;
+  bad.id = 20;
+  bad.nr_segments = 255;
+  ring_->ProduceRequest(bad);
+  bad.id = 21;
+  bad.nr_segments = 1;
+  bad.segments[0] = {data_gref_, 7, 0};
+  ring_->ProduceRequest(bad);
+  if (ring_->PushRequests()) {
+    sys_->hv().EventSend(guest_->domain(), port_);
+  }
+  sys_->RunFor(Millis(100));
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 2u);
+  for (const BlkResponse& rsp : rsps) {
+    EXPECT_EQ(rsp.status, BlkStatus::kError);
+  }
+  EXPECT_EQ(vbd()->bad_requests(), 2u);
+
+  BlkRequest good;
+  good.op = BlkOp::kRead;
+  good.id = 30;
+  good.sector_number = 0;
+  good.nr_segments = 1;
+  good.segments[0] = {data_gref_, 0, 7};
+  SendBlk(good);
+  rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].id, 30u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kOkay);
+  EXPECT_EQ(vbd()->device_ops(), 1u);
+  bool found = false;
+  for (const auto& s : sys_->metrics()) {
+    if (s.key.name == "bad_request" && s.key.domain == "kite-stordom") {
+      found = s.value == 2.0;
+    }
+  }
+  EXPECT_TRUE(found) << "bad_request missing from the registry snapshot";
 }
 
 // --- OS profile invariants. ---

@@ -339,6 +339,107 @@ TEST_P(RecoveryTest, FaultInjectorIsDeterministic) {
   EXPECT_EQ(run(), run());
 }
 
+// --- Guest death (the inverse direction: frontends die, backends clean up). ---
+
+TEST_P(RecoveryTest, GuestDeathReapsNetbackInstance) {
+  BuildNet();
+  ASSERT_TRUE(PingGuest());
+  NetworkBackendDriver* driver = netdom_->driver();
+  EXPECT_EQ(driver->instance_count(), 1);
+  EXPECT_EQ(driver->paired_fe_watch_count(), 1);
+  EXPECT_EQ(netdom_->bridge()->port_count(), 2);  // Physical NIC + vif.
+  const DomId gid = guest_->domain()->id();
+  const std::string be = BackendPath(netdom_->domain()->id(), "vif", gid, 0);
+
+  sys_->DestroyGuest(guest_);
+  guest_ = nullptr;
+  // The death watch wakes the driver's scan thread; the instance drains its
+  // worker threads and must be fully freed — count back to zero, no corpses
+  // in the graveyard, no leaked watches, the vif unbridged, and the backend
+  // xenstore subtree gone.
+  ASSERT_TRUE(sys_->WaitUntil([&] {
+    return driver->instance_count() == 0 && driver->dying_instance_count() == 0;
+  }));
+  EXPECT_EQ(driver->instances_reaped(), 1u);
+  EXPECT_EQ(driver->paired_fe_watch_count(), 0);
+  EXPECT_EQ(driver->pending_fe_watch_count(), 0);
+  EXPECT_EQ(netdom_->bridge()->port_count(), 1);
+  EXPECT_FALSE(sys_->hv().store().Exists(be + "/state"));
+
+  // The driver domain must still serve other guests: attach a fresh one.
+  GuestVm* next = sys_->CreateGuest("next-vm");
+  sys_->AttachVif(next, netdom_, kGuestIp);
+  ASSERT_TRUE(sys_->WaitConnected(next));
+  guest_ = next;
+  EXPECT_TRUE(PingGuest());
+  EXPECT_EQ(driver->instance_count(), 1);
+}
+
+TEST_P(RecoveryTest, GuestDeathReapsBlkbackInstance) {
+  BuildStorage();
+  // Push some I/O so the instance has in-flight machinery to drain.
+  bool wrote = false;
+  guest_->blkfront()->Write(0, Buffer(16 * 1024, 0xab), [&](bool ok) { wrote = ok; });
+  ASSERT_TRUE(sys_->WaitUntil([&] { return wrote; }));
+  StorageBackendDriver* driver = stordom_->driver();
+  EXPECT_EQ(driver->instance_count(), 1);
+  EXPECT_EQ(driver->paired_fe_watch_count(), 1);
+  const DomId gid = guest_->domain()->id();
+  const std::string be = BackendPath(stordom_->domain()->id(), "vbd", gid, 51712);
+
+  sys_->DestroyGuest(guest_);
+  guest_ = nullptr;
+  ASSERT_TRUE(sys_->WaitUntil([&] {
+    return driver->instance_count() == 0 && driver->dying_instance_count() == 0;
+  }));
+  EXPECT_EQ(driver->instances_reaped(), 1u);
+  EXPECT_EQ(driver->paired_fe_watch_count(), 0);
+  EXPECT_EQ(driver->pending_fe_watch_count(), 0);
+  EXPECT_FALSE(sys_->hv().store().Exists(be + "/state"));
+  // The status app forgets the dead vbd.
+  EXPECT_TRUE(stordom_->app()->Status().empty());
+
+  GuestVm* next = sys_->CreateGuest("next-db-vm");
+  sys_->AttachVbd(next, stordom_);
+  ASSERT_TRUE(sys_->WaitConnected(next));
+  guest_ = next;
+  EXPECT_EQ(driver->instance_count(), 1);
+}
+
+TEST_P(RecoveryTest, GuestDeathBeforePairingReapsBlkbackInstance) {
+  // Kill the guest in the window where the toolstack attached the device but
+  // the frontend never published: the blkback instance already exists (it
+  // advertises at attach), and must still be reaped.
+  KiteSystem::Params params;
+  sys_ = std::make_unique<KiteSystem>(params);
+  DriverDomainConfig config;
+  config.os = GetParam();
+  stordom_ = sys_->CreateStorageDomain(config);
+  GuestVm* doomed = sys_->CreateGuest("doomed-vm");
+  const DomId gid = doomed->domain()->id();
+  const DomId bid = stordom_->domain()->id();
+  XenStore& store = sys_->hv().store();
+  // Toolstack half of AttachVbd only — no Blkfront is ever constructed.
+  const std::string fe = FrontendPath(gid, "vbd", 51712);
+  const std::string be = BackendPath(bid, "vbd", gid, 51712);
+  store.Write(kDom0, fe + "/backend", be);
+  store.WriteInt(kDom0, fe + "/backend-id", bid);
+  store.Write(kDom0, be + "/frontend", fe);
+  store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.SetPermission(kDom0, fe, bid);
+  store.SetPermission(kDom0, be, gid);
+  StorageBackendDriver* driver = stordom_->driver();
+  ASSERT_TRUE(sys_->WaitUntil([&] { return driver->instance_count() == 1; }));
+  EXPECT_EQ(driver->pending_fe_watch_count(), 1);
+
+  sys_->DestroyGuest(doomed);
+  ASSERT_TRUE(sys_->WaitUntil([&] {
+    return driver->instance_count() == 0 && driver->dying_instance_count() == 0;
+  }));
+  EXPECT_EQ(driver->pending_fe_watch_count(), 0);
+  EXPECT_EQ(driver->paired_fe_watch_count(), 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Personalities, RecoveryTest,
                          ::testing::Values(OsKind::kKiteRumprun, OsKind::kUbuntuLinux),
                          [](const ::testing::TestParamInfo<OsKind>& info) {
