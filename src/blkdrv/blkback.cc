@@ -31,6 +31,7 @@ BlkbackInstance::BlkbackInstance(Domain* backend, BmkSched* sched,
   persistent_hits_ = reg->counter(backend->name(), dev, "persistent_hits");
   indirect_requests_ = reg->counter(backend->name(), dev, "indirect_requests");
   bad_requests_ = reg->counter(backend->name(), dev, "bad_request");
+  indirect_map_fails_ = reg->counter(backend->name(), dev, "indirect_map_fail");
 }
 
 BlkbackInstance::~BlkbackInstance() {
@@ -187,19 +188,25 @@ Task BlkbackInstance::RequestThread() {
 bool BlkbackInstance::ValidateRequest(const BlkRequest& req,
                                       const std::vector<BlkSegment>& segments) {
   // All of these fields are guest controlled; reject before any page or disk
-  // access. The sector-number bound also keeps the int64 byte-offset
-  // arithmetic below from overflowing.
+  // access. The capacity bound also keeps the int64 byte-offset arithmetic
+  // below from overflowing.
   const uint64_t capacity_sectors =
       static_cast<uint64_t>(disk_->capacity_bytes()) / kSectorSize;
-  if (req.sector_number > capacity_sectors) {
-    return false;
-  }
+  uint64_t total_sectors = 0;
   for (const BlkSegment& seg : segments) {
     // Inverted ranges would underflow seg.bytes(); sectors past the page end
     // would read or write beyond the granted page.
     if (seg.first_sect > seg.last_sect || seg.last_sect >= kSectorsPerPage) {
       return false;
     }
+    total_sectors += static_cast<uint64_t>(seg.last_sect) - seg.first_sect + 1;
+  }
+  // The whole request — not just its first sector — must lie within the
+  // disk, or BlockDevice::Submit's capacity KITE_CHECK becomes guest
+  // reachable. Subtraction form so sector_number + total_sectors can't wrap.
+  if (total_sectors > capacity_sectors ||
+      req.sector_number > capacity_sectors - total_sectors) {
+    return false;
   }
   return true;
 }
@@ -237,6 +244,11 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
       if (seg_page != nullptr) {
         // The descriptor mapped fine but the count is impossible.
         bad_requests_->Inc();
+      } else {
+        // Bogus/revoked descriptor gref (or an injected grant fault): kept
+        // on its own counter so guest-caused rejections stay observable
+        // without conflating them with shape-invalid requests.
+        indirect_map_fails_->Inc();
       }
       state->op = op;
       state->ok = false;

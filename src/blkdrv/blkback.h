@@ -69,6 +69,9 @@ class BlkbackInstance {
   // impossible segment counts, inverted or out-of-page sector ranges,
   // out-of-capacity offsets (malformed or malicious ring input).
   uint64_t bad_requests() const { return bad_requests_->value(); }
+  // Indirect requests whose descriptor gref failed to map (bogus or revoked
+  // gref, or an injected grant fault) — rejected with kError.
+  uint64_t indirect_map_fails() const { return indirect_map_fails_->value(); }
   size_t persistent_cache_size() const { return persistent_.size(); }
 
  private:
@@ -137,6 +140,7 @@ class BlkbackInstance {
   Counter* persistent_hits_;
   Counter* indirect_requests_;
   Counter* bad_requests_;
+  Counter* indirect_map_fails_;
 };
 
 class StorageBackendDriver {

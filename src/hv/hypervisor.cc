@@ -29,6 +29,9 @@ Hypervisor::Hypervisor(Executor* executor, HvCosts costs, MetricRegistry* metric
   // Dom0: the privileged administrative VM (runs xenstored).
   domains_.push_back(std::make_unique<Domain>(this, 0, "Domain-0", 1, 8192));
   domains_[0]->set_online(true);
+  if (tracer_ != nullptr) {
+    tracer_->SetProcessName(0, "Domain-0");
+  }
 }
 
 Hypervisor::~Hypervisor() = default;
@@ -40,9 +43,14 @@ Domain* Hypervisor::CreateDomain(const std::string& name, int vcpus, int memory_
   // Dom0 provisions the new domain's xenstore home.
   store_.Write(kDom0, dom->store_home() + "/name", name);
   store_.SetPermission(kDom0, dom->store_home(), id);
-  if (tracer_ != nullptr && tracer_->enabled()) {
+  if (tracer_ != nullptr) {
+    // Name metadata is recorded even while tracing is disabled (it is cheap
+    // and bounded by domain count), so enabling the tracer mid-run still
+    // produces traces with named pid tracks.
     tracer_->SetProcessName(id, name);
-    tracer_->Instant(id, 0, "lifecycle", "domain_create", executor_->Now());
+    if (tracer_->enabled()) {
+      tracer_->Instant(id, 0, "lifecycle", "domain_create", executor_->Now());
+    }
   }
   return dom;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/core/system.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -187,6 +188,23 @@ TEST(EventTracerTest, EmptyTraceIsStillValid) {
   const std::string json = tracer.ToJson();
   EXPECT_TRUE(JsonBalanced(json)) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(EventTracerTest, MidRunEnableStillNamesDomainTracks) {
+  // Domain names are recorded as process_name metadata at CreateDomain even
+  // while tracing is disabled, so the documented enable-mid-run workflow
+  // (KiteSystem::EnableTracing after the topology exists) yields named
+  // pid tracks, not bare numbers.
+  KiteSystem sys;
+  sys.CreateNetworkDomain();
+  sys.RunFor(Millis(1));
+  sys.EnableTracing();
+  sys.RunFor(Millis(1));
+  const std::string json = sys.tracer().ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("Domain-0"), std::string::npos);
+  EXPECT_NE(json.find("kite-netdom"), std::string::npos);
 }
 
 TEST(EventTracerTest, DumpTraceWritesFile) {

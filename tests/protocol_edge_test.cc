@@ -489,6 +489,59 @@ TEST_F(MisbehavingBlkFrontend, SectorNumberPastCapacityRejected) {
   EXPECT_EQ(vbd()->bad_requests(), 1u);
 }
 
+TEST_F(MisbehavingBlkFrontend, RequestEndPastCapacityRejected) {
+  // Starts just below capacity with a full in-page segment, so the old
+  // start-only bound admitted it and the disk layer's capacity KITE_CHECK
+  // became a guest-triggerable backend abort.
+  const uint64_t capacity_sectors =
+      static_cast<uint64_t>(stordom_->disk()->capacity_bytes()) / kSectorSize;
+  BlkRequest req;
+  req.op = BlkOp::kRead;
+  req.id = 16;
+  req.sector_number = capacity_sectors - 1;
+  req.nr_segments = 1;
+  req.segments[0] = {data_gref_, 0, 7};  // 8 sectors: ends 7 past the disk.
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->bad_requests(), 1u);
+  EXPECT_EQ(vbd()->device_ops(), 0u);
+}
+
+TEST_F(MisbehavingBlkFrontend, RequestEndingExactlyAtCapacityAccepted) {
+  // The flush side of the boundary: the last addressable 8 sectors are valid.
+  const uint64_t capacity_sectors =
+      static_cast<uint64_t>(stordom_->disk()->capacity_bytes()) / kSectorSize;
+  BlkRequest req;
+  req.op = BlkOp::kRead;
+  req.id = 17;
+  req.sector_number = capacity_sectors - kSectorsPerPage;
+  req.nr_segments = 1;
+  req.segments[0] = {data_gref_, 0, 7};
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kOkay);
+  EXPECT_EQ(vbd()->bad_requests(), 0u);
+  EXPECT_EQ(vbd()->device_ops(), 1u);
+}
+
+TEST_F(MisbehavingBlkFrontend, IndirectDescriptorMapFailureCountedAndRejected) {
+  BlkRequest req;
+  req.op = BlkOp::kIndirect;
+  req.indirect_op = BlkOp::kRead;
+  req.id = 18;
+  req.indirect_gref = static_cast<GrantRef>(9999);  // Never granted.
+  req.nr_indirect_segments = 1;
+  SendBlk(req);
+  auto rsps = DrainResponses();
+  ASSERT_EQ(rsps.size(), 1u);
+  EXPECT_EQ(rsps[0].status, BlkStatus::kError);
+  EXPECT_EQ(vbd()->indirect_map_fails(), 1u);
+  EXPECT_EQ(vbd()->device_ops(), 0u);
+}
+
 TEST_F(MisbehavingBlkFrontend, IndirectSegmentCountRejected) {
   // Grant a real descriptor page so the count check — not the map — rejects.
   PageRef ind_page = AllocPage();
