@@ -41,6 +41,35 @@ BlkbackInstance::~BlkbackInstance() {
   }
 }
 
+bool BlkbackInstance::RingQuiescent(std::string* detail) const {
+  if (ring_ == nullptr) {
+    // Never connected: nothing to audit.
+    return true;
+  }
+  if (ring_->UnconsumedRequests() != 0) {
+    if (detail != nullptr) {
+      *detail = StrFormat("vbd%d.%d: %u published request(s) never consumed",
+                          frontend_dom_, devid_, ring_->UnconsumedRequests());
+    }
+    return false;
+  }
+  if (ring_->rsp_prod_pvt() != ring_->req_cons()) {
+    if (detail != nullptr) {
+      *detail = StrFormat("vbd%d.%d: consumed %u request(s) but produced %u response(s)",
+                          frontend_dom_, devid_, ring_->req_cons(), ring_->rsp_prod_pvt());
+    }
+    return false;
+  }
+  if (ring_->unpushed_responses() != 0) {
+    if (detail != nullptr) {
+      *detail = StrFormat("vbd%d.%d: %u staged response(s) never pushed",
+                          frontend_dom_, devid_, ring_->unpushed_responses());
+    }
+    return false;
+  }
+  return true;
+}
+
 void BlkbackInstance::Advertise() {
   // Paper §4.4: advertise sector geometry and features via xenstore.
   backend_->StoreWriteInt(backend_path_ + "/sectors",

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/blk/blkif.h"
@@ -73,6 +74,12 @@ class BlkbackInstance {
   // gref, or an injected grant fault) — rejected with kError.
   uint64_t indirect_map_fails() const { return indirect_map_fails_->value(); }
   size_t persistent_cache_size() const { return persistent_.size(); }
+
+  // True when the ring is quiet: every published request consumed, exactly
+  // one response per consumed request (disk completions all landed), and
+  // everything pushed back to the frontend. On false, `detail` (if non-null)
+  // says which leg failed.
+  bool RingQuiescent(std::string* detail) const;
 
  private:
   // Per-ring-request completion state.
@@ -153,6 +160,15 @@ class StorageBackendDriver {
   // Reaped instances still draining their request thread.
   int dying_instance_count() const { return static_cast<int>(dying_.size()); }
   BlkbackInstance* instance(DomId frontend_dom, int devid);
+  // Live instances in deterministic (frontend, devid) order (checker).
+  std::vector<BlkbackInstance*> live_instances() const {
+    std::vector<BlkbackInstance*> out;
+    out.reserve(instances_.size());
+    for (const auto& [key, inst] : instances_) {
+      out.push_back(inst.get());
+    }
+    return out;
+  }
   void SetOnNewVbd(std::function<void(BlkbackInstance*)> fn) { on_new_vbd_ = std::move(fn); }
   // Called when a vbd's frontend died and the instance is being reaped.
   void SetOnVbdGone(std::function<void(BlkbackInstance*)> fn) { on_vbd_gone_ = std::move(fn); }

@@ -1,0 +1,50 @@
+// Replayable whole-system schedule exploration (the kite_explore harness).
+//
+// One seed drives everything a run does: the executor's schedule shuffle,
+// the fault injector, the protocol fuzzer, and every scenario choice (which
+// driver domains restart, which fault sites open). Sweeping seeds therefore
+// explores distinct legal schedules and failure patterns of one combined
+// net+storage scenario, and any failing seed replays exactly with
+// `kite_explore --seed=S`.
+//
+// Each seed runs the full lifecycle — connect, traffic, ring fuzzing, a
+// fault window, guest death, driver-domain restart, quiesce — and then
+// audits the survivors with the InvariantChecker. Liveness failures (a
+// phase that never completes) are reported with the executor's pending-event
+// dump so a stuck seed is debuggable from its artifact alone.
+#ifndef SRC_CHECK_EXPLORE_H_
+#define SRC_CHECK_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+
+namespace kite {
+
+struct ExploreOptions {
+  uint64_t seed = 1;
+  // Print per-phase progress to stderr (replay/debugging aid).
+  bool verbose = false;
+};
+
+struct ExploreReport {
+  uint64_t seed = 0;
+  bool ok = false;
+  std::string phase;                  // Last phase entered.
+  std::vector<Violation> violations;  // Invariant failures (check phase).
+  std::string detail;                 // Liveness failure detail, if any.
+};
+
+// Runs one seed end to end. Never throws; a crash (KITE_CHECK) inside the
+// simulated system is itself a reproducible finding — the driver prints the
+// seed before entering the run so the replay command survives an abort.
+ExploreReport RunExploreSeed(const ExploreOptions& opts);
+
+// Failure reports end with the exact replay command line.
+std::string FormatReport(const ExploreReport& report);
+
+}  // namespace kite
+
+#endif  // SRC_CHECK_EXPLORE_H_

@@ -1,0 +1,88 @@
+// kite_explore: seeded whole-system schedule exploration.
+//
+//   kite_explore --seeds=50        sweep seeds 1..50 (CI per-PR budget)
+//   kite_explore --seed=17         replay one seed exactly
+//   kite_explore --seed=17 --verbose   ... with per-phase progress
+//
+// Exit status is 0 only if every seed passes. Each seed is announced on
+// stdout *before* its run starts, so even a KITE_CHECK abort mid-seed
+// leaves the replay command in the captured output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/check/explore.h"
+
+namespace {
+
+bool ParseU64Flag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + len + 1, &end, 10);
+  if (end == arg + len + 1 || *end != '\0') {
+    std::fprintf(stderr, "bad value for %s: %s\n", name, arg + len + 1);
+    std::exit(2);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t first_seed = 1;
+  uint64_t num_seeds = 0;  // 0: single --seed run.
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t v = 0;
+    if (ParseU64Flag(argv[i], "--seed", &v)) {
+      first_seed = v;
+    } else if (ParseU64Flag(argv[i], "--seeds", &v)) {
+      num_seeds = v;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed=S | --seeds=N] [--verbose]\n"
+                   "  --seed=S   run (replay) exactly seed S\n"
+                   "  --seeds=N  sweep seeds 1..N\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t last_seed = num_seeds > 0 ? num_seeds : first_seed;
+  if (num_seeds > 0) {
+    first_seed = 1;
+  }
+
+  int failures = 0;
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    // Announce before running: an abort inside the run still leaves the
+    // replay command in the log.
+    std::printf("[kite_explore] seed %llu starting (replay: kite_explore --seed=%llu --verbose)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+    kite::ExploreOptions opts;
+    opts.seed = seed;
+    opts.verbose = verbose;
+    const kite::ExploreReport report = kite::RunExploreSeed(opts);
+    std::fputs(kite::FormatReport(report).c_str(), stdout);
+    std::fflush(stdout);
+    if (!report.ok) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::printf("[kite_explore] %d of %llu seed(s) FAILED\n", failures,
+                static_cast<unsigned long long>(last_seed - first_seed + 1));
+    return 1;
+  }
+  std::printf("[kite_explore] all %llu seed(s) passed\n",
+              static_cast<unsigned long long>(last_seed - first_seed + 1));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "src/check/fuzz.h"
+
+#include <utility>
+
+namespace kite {
+
+NetTxRequest ProtocolFuzzer::MutateNetTx(NetTxRequest valid) {
+  switch (rng_.NextBelow(8)) {
+    case 0:  // Bit-flip in the size field.
+      valid.size ^= static_cast<uint16_t>(1u << rng_.NextBelow(16));
+      break;
+    case 1:  // Bit-flip in the offset field.
+      valid.offset ^= static_cast<uint16_t>(1u << rng_.NextBelow(16));
+      break;
+    case 2:  // Truncation / zero-length frame.
+      valid.size = 0;
+      break;
+    case 3:  // Offset+size straddles the page end (each field alone fits).
+      valid.offset = static_cast<uint16_t>(kPageSize - rng_.NextBelow(128) - 1);
+      valid.size = static_cast<uint16_t>(64 + rng_.NextBelow(256));
+      break;
+    case 4:  // Bogus grant reference.
+      valid.gref = static_cast<GrantRef>(rng_.NextU64());
+      break;
+    case 5:  // Field swap: offset and size exchanged.
+      std::swap(valid.offset, valid.size);
+      break;
+    default:  // Cases 6-7: pass through valid.
+      break;
+  }
+  return valid;
+}
+
+BlkRequest ProtocolFuzzer::MutateBlk(BlkRequest valid, uint64_t capacity_sectors) {
+  switch (rng_.NextBelow(10)) {
+    case 0:  // Segment count past the embedded array.
+      valid.nr_segments = static_cast<uint8_t>(12 + rng_.NextBelow(244));
+      break;
+    case 1:  // Inverted sector range (bytes() would underflow).
+      valid.segments[0].first_sect = static_cast<uint8_t>(1 + rng_.NextBelow(7));
+      valid.segments[0].last_sect =
+          static_cast<uint8_t>(rng_.NextBelow(valid.segments[0].first_sect));
+      break;
+    case 2:  // Sector range past the page.
+      valid.segments[0].last_sect = static_cast<uint8_t>(8 + rng_.NextBelow(248));
+      break;
+    case 3:  // Far past the disk.
+      valid.sector_number = (1ULL << 40) + rng_.NextU64() % (1ULL << 20);
+      break;
+    case 4:  // At the exact capacity boundary: ends 1..7 sectors past it.
+      valid.sector_number = capacity_sectors - rng_.NextBelow(8);
+      break;
+    case 5:  // Bogus data grant.
+      valid.segments[0].gref = static_cast<GrantRef>(rng_.NextU64());
+      break;
+    case 6:  // Duplicate grant across two segments (legal shape, aliased).
+      valid.nr_segments = 2;
+      valid.segments[1] = valid.segments[0];
+      valid.sector_number = rng_.NextBelow(capacity_sectors - 2 * kSectorsPerPage);
+      break;
+    case 7: {  // Indirect with a bogus descriptor and an impossible count.
+      const BlkOp inner = valid.op;
+      valid.op = BlkOp::kIndirect;
+      valid.indirect_op = inner;
+      valid.indirect_gref = static_cast<GrantRef>(rng_.NextU64());
+      valid.nr_indirect_segments = static_cast<uint16_t>(rng_.NextBelow(1024));
+      break;
+    }
+    default:  // Cases 8-9: pass through valid.
+      break;
+  }
+  return valid;
+}
+
+}  // namespace kite

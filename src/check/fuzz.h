@@ -1,0 +1,39 @@
+// Structure-aware protocol fuzzer for the netif/blkif rings.
+//
+// Random bytes almost never exercise interesting backend paths: a request
+// must be *mostly* valid to get past the first shape check and reach the
+// deeper ones. So the fuzzer starts from a known-good request and applies
+// protocol-shaped mutations — single-bit flips in guest-controlled fields,
+// field swaps, truncations, bogus/duplicated grant references, boundary
+// offsets — and leaves a fraction of the stream untouched so validation and
+// service paths interleave. All randomness comes from one seeded Rng: the
+// stream a seed produces is exactly reproducible.
+#ifndef SRC_CHECK_FUZZ_H_
+#define SRC_CHECK_FUZZ_H_
+
+#include "src/base/rng.h"
+#include "src/blk/blkif.h"
+#include "src/netdrv/netif_ring.h"
+
+namespace kite {
+
+class ProtocolFuzzer {
+ public:
+  explicit ProtocolFuzzer(uint64_t seed) : rng_(seed) {}
+
+  // Returns `valid` with zero or more mutations applied. ~1 in 4 requests
+  // pass through unmutated.
+  NetTxRequest MutateNetTx(NetTxRequest valid);
+  // `capacity_sectors` lets the fuzzer aim at the exact end-of-disk
+  // boundary, where off-by-one capacity checks live.
+  BlkRequest MutateBlk(BlkRequest valid, uint64_t capacity_sectors);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_CHECK_FUZZ_H_

@@ -1,0 +1,199 @@
+#include "src/check/invariants.h"
+
+#include "src/base/strings.h"
+
+namespace kite {
+
+std::vector<Violation> InvariantChecker::Check() {
+  violations_.clear();
+  if (!sys_->executor().idle()) {
+    // Every ledger below is only exact at quiesce; auditing a running system
+    // would report in-flight work as leaks.
+    Fail("not-quiesced", sys_->executor().FormatPendingEvents());
+    return std::move(violations_);
+  }
+  CheckGrantLedger();
+  CheckEventLedger();
+  CheckBoundPorts();
+  CheckXenstoreDomains();
+  CheckGraveyards();
+  CheckNetInstances();
+  CheckBlkInstances();
+  CheckDiskLedger();
+  return std::move(violations_);
+}
+
+std::string InvariantChecker::Format(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += StrFormat("  invariant %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+  return out;
+}
+
+void InvariantChecker::Fail(const char* invariant, std::string detail) {
+  violations_.push_back(Violation{invariant, std::move(detail)});
+}
+
+void InvariantChecker::CheckGrantLedger() {
+  // Every GrantMap hypercall ever issued is accounted exactly once: it
+  // failed, was unmapped gracefully, was force-revoked at a domain death, or
+  // is still outstanding in a live table (e.g. blkback's persistent cache).
+  Hypervisor& hv = sys_->hv();
+  uint64_t outstanding = 0;
+  for (DomId id : hv.live_domains()) {
+    outstanding +=
+        static_cast<uint64_t>(hv.domain(id)->grant_table().total_maps_outstanding());
+  }
+  const uint64_t maps = hv.grant_maps();
+  const uint64_t accounted =
+      hv.grant_map_fails() + hv.grant_unmaps() + hv.forced_grant_revocations() + outstanding;
+  if (maps != accounted) {
+    Fail("grant-ledger",
+         StrFormat("maps=%llu != fails=%llu + unmaps=%llu + forced=%llu + "
+                   "outstanding=%llu (= %llu)",
+                   static_cast<unsigned long long>(maps),
+                   static_cast<unsigned long long>(hv.grant_map_fails()),
+                   static_cast<unsigned long long>(hv.grant_unmaps()),
+                   static_cast<unsigned long long>(hv.forced_grant_revocations()),
+                   static_cast<unsigned long long>(outstanding),
+                   static_cast<unsigned long long>(accounted)));
+  }
+}
+
+void InvariantChecker::CheckEventLedger() {
+  // Every accepted send is delivered exactly once — unless it was dropped by
+  // fault injection, coalesced into an already-pending interrupt, or its
+  // port/domain vanished in flight. PCI IRQs are delivered without a
+  // matching send, hence the additive term.
+  Hypervisor& hv = sys_->hv();
+  const uint64_t expected = hv.events_sent() - hv.events_dropped() -
+                            hv.events_coalesced() - hv.events_vanished() +
+                            hv.pci_irqs_delivered();
+  if (hv.events_delivered() != expected) {
+    Fail("event-ledger",
+         StrFormat("delivered=%llu != sent=%llu - dropped=%llu - coalesced=%llu "
+                   "- vanished=%llu + pci_irq=%llu (= %llu)",
+                   static_cast<unsigned long long>(hv.events_delivered()),
+                   static_cast<unsigned long long>(hv.events_sent()),
+                   static_cast<unsigned long long>(hv.events_dropped()),
+                   static_cast<unsigned long long>(hv.events_coalesced()),
+                   static_cast<unsigned long long>(hv.events_vanished()),
+                   static_cast<unsigned long long>(hv.pci_irqs_delivered()),
+                   static_cast<unsigned long long>(expected)));
+  }
+}
+
+void InvariantChecker::CheckBoundPorts() {
+  // DestroyDomain unlinks every peer end (EventClose); a bound port whose
+  // peer domain is dead means that cleanup was skipped somewhere.
+  Hypervisor& hv = sys_->hv();
+  for (DomId id : hv.live_domains()) {
+    for (const auto& [port, peer] : hv.BoundPorts(id)) {
+      if (hv.domain(peer) == nullptr) {
+        Fail("dead-peer-port",
+             StrFormat("domain %d (%s) port %u is still bound to destroyed domain %d",
+                       id, hv.domain(id)->name().c_str(), port, peer));
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckXenstoreDomains() {
+  // DestroyDomain removes /local/domain/<id>; an orphaned subtree would keep
+  // firing watches and leak paths forever.
+  Hypervisor& hv = sys_->hv();
+  auto children = hv.store().List(kDom0, "/local/domain");
+  if (!children.has_value()) {
+    return;  // No domain dirs at all (bare system) — nothing to orphan.
+  }
+  for (const std::string& child : *children) {
+    const int64_t id = ParseDecimal(child);
+    if (id < 0 || hv.domain(static_cast<DomId>(id)) == nullptr) {
+      Fail("xenstore-orphan",
+           StrFormat("/local/domain/%s exists but no such live domain", child.c_str()));
+    }
+  }
+}
+
+void InvariantChecker::CheckGraveyards() {
+  // At quiesce every reaped instance's worker threads must have exited and
+  // the instance been freed; a populated graveyard is a parked-coroutine
+  // leak.
+  for (const auto& nd : sys_->network_domains()) {
+    if (nd->driver() != nullptr && nd->driver()->dying_instance_count() != 0) {
+      Fail("netback-graveyard",
+           StrFormat("%s: %d reaped vif instance(s) never drained",
+                     nd->domain()->name().c_str(), nd->driver()->dying_instance_count()));
+    }
+  }
+  for (const auto& sd : sys_->storage_domains()) {
+    if (sd->driver() != nullptr && sd->driver()->dying_instance_count() != 0) {
+      Fail("blkback-graveyard",
+           StrFormat("%s: %d reaped vbd instance(s) never drained",
+                     sd->domain()->name().c_str(), sd->driver()->dying_instance_count()));
+    }
+  }
+}
+
+void InvariantChecker::CheckNetInstances() {
+  for (const auto& nd : sys_->network_domains()) {
+    if (nd->driver() == nullptr) {
+      continue;
+    }
+    for (NetbackInstance* vif : nd->driver()->live_instances()) {
+      std::string detail;
+      if (!vif->RingsQuiescent(&detail)) {
+        Fail("net-ring-quiescence", std::move(detail));
+      }
+      detail.clear();
+      if (!vif->TxConservationHolds(&detail)) {
+        Fail("net-tx-conservation", std::move(detail));
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckBlkInstances() {
+  for (const auto& sd : sys_->storage_domains()) {
+    if (sd->driver() == nullptr) {
+      continue;
+    }
+    for (BlkbackInstance* vbd : sd->driver()->live_instances()) {
+      std::string detail;
+      if (!vbd->RingQuiescent(&detail)) {
+        Fail("blk-ring-quiescence", std::move(detail));
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckDiskLedger() {
+  // Every device op any blkback instance ever submitted completed on some
+  // disk, as a success or an accounted I/O error. Registry device_ops
+  // counters survive instance and driver-domain lifetimes, and disks are
+  // handed over (never destroyed) across restarts, so both sides of the
+  // ledger are cumulative.
+  uint64_t submitted = 0;
+  for (const auto& s : sys_->metrics()) {
+    if (s.key.name == "device_ops") {
+      submitted += static_cast<uint64_t>(s.value);
+    }
+  }
+  uint64_t completed = 0;
+  for (const auto& sd : sys_->storage_domains()) {
+    BlockDevice* disk = sd->disk();
+    if (disk == nullptr) {
+      continue;
+    }
+    completed += disk->reads_completed() + disk->writes_completed() +
+                 disk->flushes_completed() + disk->io_errors();
+  }
+  if (submitted != completed) {
+    Fail("disk-ledger", StrFormat("device_ops submitted=%llu != completed=%llu",
+                                  static_cast<unsigned long long>(submitted),
+                                  static_cast<unsigned long long>(completed)));
+  }
+}
+
+}  // namespace kite

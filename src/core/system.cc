@@ -229,9 +229,9 @@ bool KiteSystem::WaitUntil(const std::function<bool()>& pred, SimDuration timeou
   const SimTime deadline = executor_.Now() + timeout;
   while (!pred()) {
     if (executor_.Now() > deadline) {
-      KITE_LOG(Warning) << "WaitUntil timed out at t=" << executor_.Now().seconds()
-                        << "s with " << executor_.queue_size()
-                        << " event(s) still pending";
+      // The pending-queue dump turns "stuck seed" reports into actionable
+      // ones: it shows what the simulation was still waiting on.
+      KITE_LOG(Warning) << "WaitUntil timed out: " << executor_.FormatPendingEvents();
       return false;
     }
     if (!executor_.Step()) {

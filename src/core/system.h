@@ -181,6 +181,20 @@ class KiteSystem {
   // Attaches a VBD and instantiates blkfront.
   void AttachVbd(GuestVm* guest, StorageDomain* stordom);
 
+  // --- Topology introspection (invariant checker, src/check). ---
+  const std::vector<std::unique_ptr<NetworkDomain>>& network_domains() const {
+    return network_domains_;
+  }
+  const std::vector<std::unique_ptr<StorageDomain>>& storage_domains() const {
+    return storage_domains_;
+  }
+  const std::vector<std::unique_ptr<GuestVm>>& guests() const { return guests_; }
+
+  // Seeded schedule exploration: randomize tie-breaking among
+  // same-timestamp events (see Executor::EnableShuffle). Call before any
+  // topology construction so the whole run is explored.
+  void EnableScheduleShuffle(uint64_t seed) { executor_.EnableShuffle(seed); }
+
   // The client machine exists once a network domain is created.
   ClientMachine* client() { return client_.get(); }
   Ipv4Addr client_ip() const { return client_ip_; }

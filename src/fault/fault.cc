@@ -45,6 +45,8 @@ double FaultInjector::rate(FaultSite site) const {
   return rates_[static_cast<int>(site)];
 }
 
+void FaultInjector::ClearRates() { rates_.fill(0.0); }
+
 bool FaultInjector::ShouldFail(FaultSite site) {
   const int i = static_cast<int>(site);
   if (rates_[i] <= 0.0) {

@@ -49,6 +49,9 @@ class FaultInjector {
   // a fault-free run.
   void set_rate(FaultSite site, double p);
   double rate(FaultSite site) const;
+  // Zeroes every site's rate — ends a fault window so the system can drain
+  // and quiesce cleanly (the explore harness closes each schedule this way).
+  void ClearRates();
 
   // Rolls the dice for one operation at `site`. Returns true if the
   // operation must fail; every true return is counted as a trip.

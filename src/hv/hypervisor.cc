@@ -25,6 +25,10 @@ Hypervisor::Hypervisor(Executor* executor, HvCosts costs, MetricRegistry* metric
   grant_copy_bytes_ = metrics_->counter("hv", "grant", "copy_bytes");
   grant_copy_rejects_ = metrics_->counter("hv", "grant", "copy_rejects");
   forced_grant_revocations_ = metrics_->counter("hv", "grant", "forced_revocations");
+  grant_map_fails_ = metrics_->counter("hv", "grant", "map_fails");
+  events_coalesced_ = metrics_->counter("hv", "evtchn", "coalesced");
+  events_vanished_ = metrics_->counter("hv", "evtchn", "vanished");
+  pci_irqs_delivered_ = metrics_->counter("hv", "evtchn", "pci_irq_delivered");
   store_.set_op_latency(costs_.xenstore_op);
   // Dom0: the privileged administrative VM (runs xenstored).
   domains_.push_back(std::make_unique<Domain>(this, 0, "Domain-0", 1, 8192));
@@ -109,6 +113,12 @@ void Hypervisor::DestroyDomain(DomId id) {
           static_cast<uint64_t>(d->grant_table().RevokeMappingsFor(id)));
     }
   }
+  // The dead domain's own table vanishes with it; mappings peers still hold
+  // into it can never be unmapped gracefully (MappedGrant::Unmap sees the
+  // dead alive-token and skips the hypercall), so they are force-dropped
+  // here — without this the grant ledger would leak on every guest death.
+  forced_grant_revocations_->Add(
+      static_cast<uint64_t>(dom->grant_table().total_maps_outstanding()));
   // Release PCI devices.
   for (PciDevice* dev : pci_devices_) {
     if (dev->owner_ == dom) {
@@ -147,6 +157,30 @@ int Hypervisor::live_domain_count() const {
     }
   }
   return n;
+}
+
+std::vector<DomId> Hypervisor::live_domains() const {
+  std::vector<DomId> ids;
+  for (const auto& d : domains_) {
+    if (d != nullptr) {
+      ids.push_back(d->id());
+    }
+  }
+  return ids;
+}
+
+std::vector<std::pair<EvtPort, DomId>> Hypervisor::BoundPorts(DomId id) const {
+  std::vector<std::pair<EvtPort, DomId>> out;
+  if (id < 0 || static_cast<size_t>(id) >= domains_.size() || domains_[id] == nullptr) {
+    return out;
+  }
+  const auto& ports = domains_[id]->ports_;
+  for (size_t p = 0; p < ports.size(); ++p) {
+    if (ports[p].allocated && ports[p].peer_port != kInvalidPort) {
+      out.emplace_back(static_cast<EvtPort>(p), ports[p].peer_dom);
+    }
+  }
+  return out;
 }
 
 void Hypervisor::Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu, const char* op) {
@@ -210,14 +244,17 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   events_sent_->Inc();
   Domain* peer = domain(info->peer_dom);
   if (peer == nullptr) {
+    events_vanished_->Inc();
     return false;
   }
   Domain::PortInfo* pinfo = PortOf(peer, info->peer_port);
   if (pinfo == nullptr) {
+    events_vanished_->Inc();
     return false;
   }
   if (pinfo->pending) {
     // Event coalescing: an undelivered event absorbs further sends.
+    events_coalesced_->Inc();
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant(caller->id(), 0, "evtchn", "evt_coalesced", executor_->Now(),
                        "port", port);
@@ -242,6 +279,7 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
     Domain* d = domain(peer_id);
     Domain::PortInfo* pi = PortOf(d, peer_port);
     if (pi == nullptr) {
+      events_vanished_->Inc();
       return;  // Domain or port vanished in flight.
     }
     pi->pending = false;
@@ -283,14 +321,17 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
   Charge(mapper, costs_.grant_map, caller_vcpu, "gnttab_map");
   grant_maps_->Inc();
   if (InjectFault(FaultSite::kGrantMap)) {
+    grant_map_fails_->Inc();
     return MappedGrant{};
   }
   Domain* owner_dom = domain(owner);
   if (owner_dom == nullptr) {
+    grant_map_fails_->Inc();
     return MappedGrant{};
   }
   GrantTable::Entry* e = owner_dom->grant_table().Lookup(ref);
   if (e == nullptr || e->peer != mapper->id() || (write_access && e->readonly)) {
+    grant_map_fails_->Inc();
     return MappedGrant{};
   }
   ++e->active_maps;
@@ -395,6 +436,7 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
     }
     d->vcpu(0)->Charge(costs_.irq_dispatch);
     events_delivered_->Inc();
+    pci_irqs_delivered_->Inc();
     if (device->irq_handler_) {
       device->irq_handler_();
     }

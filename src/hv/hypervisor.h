@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fault/fault.h"
@@ -118,8 +119,27 @@ class Hypervisor {
   uint64_t events_dropped() const { return events_dropped_->value(); }
   // Mappings force-dropped because the mapping domain was destroyed.
   uint64_t forced_grant_revocations() const { return forced_grant_revocations_->value(); }
+  // GrantMap hypercalls that returned an invalid mapping (injected fault,
+  // dead owner, bogus ref, or permission failure). Together with unmaps,
+  // forced revocations, and live tables' outstanding maps these make the
+  // grant ledger exact: maps == fails + unmaps + forced + outstanding.
+  uint64_t grant_map_fails() const { return grant_map_fails_->value(); }
+  // Sends absorbed by an already-pending port (no second interrupt).
+  uint64_t events_coalesced() const { return events_coalesced_->value(); }
+  // Sends accepted but never delivered: the peer was gone at send time, or
+  // the port/domain vanished while the delivery was in flight.
+  uint64_t events_vanished() const { return events_vanished_->value(); }
+  // PCI device interrupts delivered (counted inside events_delivered too, so
+  // the ledger reads: delivered == sent - dropped - coalesced - vanished
+  // + pci_irq_delivered once the queue is quiet).
+  uint64_t pci_irqs_delivered() const { return pci_irqs_delivered_->value(); }
   // Allocated event-channel ports of one domain (leak accounting in tests).
   int open_port_count(DomId id) const;
+  // Ids of domains currently alive (Dom0 included).
+  std::vector<DomId> live_domains() const;
+  // (port, peer domain) for every interdomain-bound port of `id` — the
+  // invariant checker verifies every peer is still alive.
+  std::vector<std::pair<EvtPort, DomId>> BoundPorts(DomId id) const;
 
  private:
   void Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu, const char* op);
@@ -147,6 +167,10 @@ class Hypervisor {
   Counter* grant_copy_bytes_;
   Counter* grant_copy_rejects_;
   Counter* forced_grant_revocations_;
+  Counter* grant_map_fails_;
+  Counter* events_coalesced_;
+  Counter* events_vanished_;
+  Counter* pci_irqs_delivered_;
 };
 
 }  // namespace kite

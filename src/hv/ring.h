@@ -145,6 +145,9 @@ class BackRing {
 
   uint32_t rsp_prod_pvt() const { return rsp_prod_pvt_; }
   uint32_t req_cons() const { return req_cons_; }
+  // Responses staged but not yet published to the frontend (quiescence
+  // accounting: a quiet backend has pushed everything it produced).
+  uint32_t unpushed_responses() const { return rsp_prod_pvt_ - shared_->rsp_prod; }
 
  private:
   SharedRing<Req, Rsp>* shared_;

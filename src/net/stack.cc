@@ -51,6 +51,12 @@ EtherStack::EtherStack(Executor* executor, Vcpu* vcpu, NetIf* netif, StackParams
 }
 
 EtherStack::~EtherStack() {
+  // Scheduled ping-timeout events capture `this`; marking every pending ping
+  // done turns them into no-ops once the stack is gone. The callbacks are
+  // dropped, not invoked — their owner is being destroyed.
+  for (auto& [seq, pending] : pending_pings_) {
+    pending->done = true;
+  }
   if (netif_ != nullptr) {
     netif_->SetInputHandler(nullptr);
   }

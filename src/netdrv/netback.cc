@@ -30,6 +30,90 @@ NetbackInstance::NetbackInstance(Domain* backend, BmkSched* sched,
   rx_queue_drops_ = reg->counter(backend->name(), ifname(), "rx_queue_drops");
   tx_bad_requests_ = reg->counter(backend->name(), ifname(), "tx_bad_request");
   rx_copy_fails_ = reg->counter(backend->name(), ifname(), "rx_copy_fail");
+  tx_copy_fails_ = reg->counter(backend->name(), ifname(), "tx_copy_fail");
+  tx_unparseable_ = reg->counter(backend->name(), ifname(), "tx_unparseable");
+  // Registry counters outlive instances (same key after a driver-domain
+  // restart); ring indices do not. Baselines make the per-instance
+  // conservation audit exact across restarts.
+  tx_frames_base_ = guest_tx_frames_->value();
+  tx_bad_base_ = tx_bad_requests_->value();
+  tx_copy_fail_base_ = tx_copy_fails_->value();
+  tx_unparseable_base_ = tx_unparseable_->value();
+}
+
+bool NetbackInstance::TxConservationHolds(std::string* detail) const {
+  if (tx_ring_ == nullptr) {
+    return true;  // Never connected: nothing consumed.
+  }
+  const uint64_t consumed = tx_ring_->req_cons();
+  const uint64_t frames = guest_tx_frames_->value() - tx_frames_base_;
+  const uint64_t bad = tx_bad_requests_->value() - tx_bad_base_;
+  const uint64_t copy_fail = tx_copy_fails_->value() - tx_copy_fail_base_;
+  const uint64_t unparseable = tx_unparseable_->value() - tx_unparseable_base_;
+  if (consumed == frames + bad + copy_fail + unparseable) {
+    return true;
+  }
+  if (detail != nullptr) {
+    *detail = StrFormat(
+        "%s: consumed %llu tx request(s) but resolved %llu "
+        "(delivered=%llu bad=%llu copy_fail=%llu unparseable=%llu)",
+        ifname().c_str(), static_cast<unsigned long long>(consumed),
+        static_cast<unsigned long long>(frames + bad + copy_fail + unparseable),
+        static_cast<unsigned long long>(frames), static_cast<unsigned long long>(bad),
+        static_cast<unsigned long long>(copy_fail),
+        static_cast<unsigned long long>(unparseable));
+  }
+  return false;
+}
+
+uint64_t NetbackInstance::tx_requests_consumed() const {
+  return tx_ring_ != nullptr ? tx_ring_->req_cons() : 0;
+}
+
+bool NetbackInstance::RingsQuiescent(std::string* detail) const {
+  if (tx_ring_ == nullptr || rx_ring_ == nullptr) {
+    return true;  // Never connected: nothing to audit.
+  }
+  if (tx_ring_->UnconsumedRequests() != 0) {
+    if (detail != nullptr) {
+      *detail = StrFormat("%s: %u unconsumed tx request(s)", ifname().c_str(),
+                          tx_ring_->UnconsumedRequests());
+    }
+    return false;
+  }
+  if (tx_ring_->rsp_prod_pvt() != tx_ring_->req_cons()) {
+    if (detail != nullptr) {
+      *detail = StrFormat("%s: consumed %u tx request(s) but produced %u response(s)",
+                          ifname().c_str(), tx_ring_->req_cons(),
+                          tx_ring_->rsp_prod_pvt());
+    }
+    return false;
+  }
+  if (tx_ring_->unpushed_responses() != 0) {
+    if (detail != nullptr) {
+      *detail = StrFormat("%s: %u unpushed tx response(s)", ifname().c_str(),
+                          tx_ring_->unpushed_responses());
+    }
+    return false;
+  }
+  // Rx: posted guest buffers may legitimately sit unconsumed, but every
+  // consumed buffer must have produced a pushed response.
+  if (rx_ring_->rsp_prod_pvt() != rx_ring_->req_cons()) {
+    if (detail != nullptr) {
+      *detail = StrFormat("%s: consumed %u rx buffer(s) but produced %u response(s)",
+                          ifname().c_str(), rx_ring_->req_cons(),
+                          rx_ring_->rsp_prod_pvt());
+    }
+    return false;
+  }
+  if (rx_ring_->unpushed_responses() != 0) {
+    if (detail != nullptr) {
+      *detail = StrFormat("%s: %u unpushed rx response(s)", ifname().c_str(),
+                          rx_ring_->unpushed_responses());
+    }
+    return false;
+  }
+  return true;
 }
 
 NetbackInstance::~NetbackInstance() {
@@ -215,6 +299,9 @@ Task NetbackInstance::PusherThread() {
         }
         Buffer bytes(in_bounds ? req.size : 0);
         const bool ok = in_bounds && CopyFromGuest(req.gref, req.offset, bytes);
+        if (in_bounds && !ok) {
+          tx_copy_fails_->Inc();
+        }
         co_await sched_->Run(per_packet);
         if (stopping_) {
           break;
@@ -229,6 +316,8 @@ Task NetbackInstance::PusherThread() {
             guest_tx_frames_->Inc();
             // Hand the frame to the network stack/bridge through the VIF.
             DeliverInput(*frame);
+          } else {
+            tx_unparseable_->Inc();
           }
         }
         if (!params_.dedicated_threads || ++batch >= params_.batch_limit) {

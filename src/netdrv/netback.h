@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/bmk/sched.h"
@@ -89,6 +90,26 @@ class NetbackInstance : public NetIf {
   uint64_t tx_bad_requests() const { return tx_bad_requests_->value(); }
   // Rx copies toward the guest that failed (bad gref, injected fault).
   uint64_t rx_copy_fails() const { return rx_copy_fails_->value(); }
+  // Tx copies from the guest that failed (bad gref, injected fault).
+  uint64_t tx_copy_fails() const { return tx_copy_fails_->value(); }
+  // In-bounds, copyable Tx payloads that did not parse as an Ethernet frame
+  // (acknowledged kOkay — the bytes moved — but never reached the bridge).
+  uint64_t tx_unparseable() const { return tx_unparseable_->value(); }
+  // Tx ring requests consumed so far. Every consumed request is resolved as
+  // exactly one of: delivered to the bridge (guest_tx_frames), shape-rejected
+  // (tx_bad_requests), copy-failed (tx_copy_fails), or unparseable
+  // (tx_unparseable) — the per-vif conservation law the checker audits.
+  uint64_t tx_requests_consumed() const;
+
+  // True when both rings are quiet: every published Tx request consumed, one
+  // response per consumed request on both rings, and everything pushed back
+  // to the frontend. On false, `detail` (if non-null) says which leg failed.
+  bool RingsQuiescent(std::string* detail) const;
+
+  // Audits the per-vif conservation law over *this instance's* lifetime
+  // (registry counters are baselined at construction because the same key
+  // persists across driver-domain restarts while ring indices reset).
+  bool TxConservationHolds(std::string* detail) const;
 
  private:
   Task PusherThread();
@@ -136,6 +157,13 @@ class NetbackInstance : public NetIf {
   Counter* rx_queue_drops_;
   Counter* tx_bad_requests_;
   Counter* rx_copy_fails_;
+  Counter* tx_copy_fails_;
+  Counter* tx_unparseable_;
+  // Counter values at construction (see TxConservationHolds).
+  uint64_t tx_frames_base_ = 0;
+  uint64_t tx_bad_base_ = 0;
+  uint64_t tx_copy_fail_base_ = 0;
+  uint64_t tx_unparseable_base_ = 0;
 };
 
 class NetworkBackendDriver {
@@ -159,6 +187,15 @@ class NetworkBackendDriver {
   // Reaped instances still draining their worker threads.
   int dying_instance_count() const { return static_cast<int>(dying_.size()); }
   NetbackInstance* instance(DomId frontend_dom, int devid);
+  // Live instances in deterministic (frontend, devid) order (checker).
+  std::vector<NetbackInstance*> live_instances() const {
+    std::vector<NetbackInstance*> out;
+    out.reserve(instances_.size());
+    for (const auto& [key, inst] : instances_) {
+      out.push_back(inst.get());
+    }
+    return out;
+  }
 
   uint64_t scans() const { return scans_->value(); }
   uint64_t connect_retries() const { return connect_retries_->value(); }

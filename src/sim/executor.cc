@@ -1,20 +1,33 @@
 #include "src/sim/executor.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
+#include "src/base/strings.h"
 
 namespace kite {
 
 Executor::~Executor() {
   // Destroy coroutine frames still parked in the queue so long-lived server
   // loops suspended on a timer do not leak when a simulation is torn down.
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; we only need the handle.
-    const Event& ev = queue_.top();
+  for (Event& ev : queue_) {
     if (ev.coro) {
       ev.coro.destroy();
     }
-    queue_.pop();
   }
+  queue_.clear();
+}
+
+void Executor::Push(Event ev) {
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+}
+
+Executor::Event Executor::Pop() {
+  std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
 }
 
 void Executor::PostAt(SimTime when, std::function<void()> fn) {
@@ -22,7 +35,7 @@ void Executor::PostAt(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+  Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr});
 }
 
 void Executor::PostAfter(SimDuration delay, std::function<void()> fn) {
@@ -37,7 +50,7 @@ void Executor::ResumeAt(SimTime when, std::coroutine_handle<> handle) {
   if (when < now_) {
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, nullptr, handle});
+  Push(Event{when, NextTie(), next_seq_++, nullptr, handle});
 }
 
 void Executor::ResumeAfter(SimDuration delay, std::coroutine_handle<> handle) {
@@ -62,8 +75,7 @@ bool Executor::Step() {
     return false;
   }
   // Move out of the queue before running: the handler may push new events.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event ev = Pop();
   RunEvent(ev);
   return true;
 }
@@ -74,14 +86,46 @@ void Executor::RunUntilIdle() {
 }
 
 void Executor::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().at <= deadline) {
+    Event ev = Pop();
     RunEvent(ev);
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
+}
+
+std::vector<Executor::PendingEvent> Executor::PendingEvents(size_t max) const {
+  std::vector<Event const*> ptrs;
+  ptrs.reserve(queue_.size());
+  for (const Event& ev : queue_) {
+    ptrs.push_back(&ev);
+  }
+  std::sort(ptrs.begin(), ptrs.end(),
+            [](const Event* a, const Event* b) { return EventOrder{}(*b, *a); });
+  if (ptrs.size() > max) {
+    ptrs.resize(max);
+  }
+  std::vector<PendingEvent> out;
+  out.reserve(ptrs.size());
+  for (const Event* ev : ptrs) {
+    out.push_back(PendingEvent{ev->at, ev->seq, static_cast<bool>(ev->coro)});
+  }
+  return out;
+}
+
+std::string Executor::FormatPendingEvents(size_t max) const {
+  std::string out = StrFormat("%zu pending event(s) at t=%.9fs", queue_.size(),
+                              now_.seconds());
+  for (const PendingEvent& ev : PendingEvents(max)) {
+    out += StrFormat("\n  at=%.9fs seq=%llu %s", ev.at.seconds(),
+                     static_cast<unsigned long long>(ev.seq),
+                     ev.is_coro ? "coroutine" : "callback");
+  }
+  if (queue_.size() > max) {
+    out += StrFormat("\n  ... %zu more", queue_.size() - max);
+  }
+  return out;
 }
 
 }  // namespace kite

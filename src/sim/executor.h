@@ -1,14 +1,24 @@
 // Discrete-event executor: the heart of the simulation. Single-threaded;
 // events fire in (time, insertion-order) order, so runs are deterministic.
+//
+// Schedule-shuffle mode (deterministic simulation testing): when enabled,
+// same-timestamp events are ordered by a seeded RNG draw instead of
+// insertion order. The set of events that fire at each instant is unchanged
+// — only the order *within* a timestamp is permuted — so every legal
+// interleaving of handler/thread wakeups at one instant can be explored by
+// sweeping seeds, and any failing schedule replays exactly from its seed.
+// Off by default: with shuffle off the tie key equals the insertion
+// sequence number and runs are byte-identical to the pre-shuffle executor.
 #ifndef SRC_SIM_EXECUTOR_H_
 #define SRC_SIM_EXECUTOR_H_
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <string>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/sim/time.h"
 
 namespace kite {
@@ -45,15 +55,40 @@ class Executor {
   void RunUntil(SimTime deadline);
   void RunFor(SimDuration d) { RunUntil(now_ + d); }
 
+  // --- Schedule shuffle (deterministic simulation testing). ---
+  // Randomizes tie-breaking among same-timestamp events from a seeded RNG.
+  // Call before scheduling anything for full coverage; enabling mid-run only
+  // affects events queued afterwards. Same seed → same schedule, always.
+  void EnableShuffle(uint64_t seed) {
+    shuffle_ = true;
+    shuffle_rng_ = Rng(seed);
+  }
+  bool shuffle_enabled() const { return shuffle_; }
+
   // Number of events executed since construction (for sanity checks).
   uint64_t steps_executed() const { return steps_; }
   bool idle() const { return queue_.empty(); }
   // Pending events (diagnostics, e.g. "why did WaitUntil time out?").
   size_t queue_size() const { return queue_.size(); }
 
+  // --- Pending-queue diagnostics. ---
+  // Snapshot of queued events in firing order (earliest first), truncated to
+  // `max`. Lets a stuck exploration seed answer "what was the simulation
+  // waiting on" from the failure artifact alone.
+  struct PendingEvent {
+    SimTime at;
+    uint64_t seq = 0;   // Insertion order (global, monotonic).
+    bool is_coro = false;
+  };
+  std::vector<PendingEvent> PendingEvents(size_t max = 16) const;
+  // Human-readable rendering of PendingEvents plus the queue size, one event
+  // per line — what WaitUntil timeouts and kite_explore aborts print.
+  std::string FormatPendingEvents(size_t max = 16) const;
+
  private:
   struct Event {
     SimTime at;
+    uint64_t tie;  // == seq normally; an RNG draw in shuffle mode.
     uint64_t seq;
     std::function<void()> fn;
     std::coroutine_handle<> coro;  // Exactly one of fn/coro is set.
@@ -63,16 +98,27 @@ class Executor {
       if (a.at != b.at) {
         return a.at > b.at;
       }
+      if (a.tie != b.tie) {
+        return a.tie > b.tie;
+      }
       return a.seq > b.seq;
     }
   };
 
+  uint64_t NextTie() { return shuffle_ ? shuffle_rng_.NextU64() : next_seq_; }
+  void Push(Event ev);
+  Event Pop();
   void RunEvent(Event& ev);
 
   SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t steps_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  bool shuffle_ = false;
+  Rng shuffle_rng_{0};
+  // A binary heap ordered by EventOrder (std::push_heap/pop_heap — the same
+  // algorithm std::priority_queue wraps, kept as a plain vector so the
+  // diagnostics above can walk the pending events).
+  std::vector<Event> queue_;
 };
 
 }  // namespace kite

@@ -4,6 +4,7 @@
 // schedules.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 
 #include "src/base/rng.h"
@@ -13,6 +14,18 @@
 
 namespace kite {
 namespace {
+
+// Exclusive upper bound of a [1, end) seed range. KITE_FUZZ_SEEDS=N widens
+// every suite to N seeds without a rebuild (CI nightlies); unset or invalid
+// keeps the suite's original default.
+int FuzzSeedEnd(int default_end) {
+  const char* env = std::getenv("KITE_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') {
+    return default_end;
+  }
+  const int n = std::atoi(env);
+  return n > 0 ? n + 1 : default_end;
+}
 
 // --- Xenstore vs a model map. ---
 
@@ -80,7 +93,7 @@ TEST_P(XenstoreFuzz, MatchesModelMap) {
   ex.RunUntilIdle();  // Drain watch events.
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, XenstoreFuzz, ::testing::Range(1, 6));
+INSTANTIATE_TEST_SUITE_P(Seeds, XenstoreFuzz, ::testing::Range(1, FuzzSeedEnd(6)));
 
 // --- Codec round-trips over random packets. ---
 
@@ -175,7 +188,7 @@ TEST_P(CodecFuzz, ParserRejectsRandomGarbageGracefully) {
   SUCCEED();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(1, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(1, FuzzSeedEnd(5)));
 
 // --- Fragmentation round-trip property. ---
 
@@ -220,7 +233,7 @@ TEST_P(FragFuzz, FragmentReassembleIdentity) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FragFuzz, ::testing::Range(1, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, FragFuzz, ::testing::Range(1, FuzzSeedEnd(5)));
 
 // --- ROP scanner determinism and monotonicity. ---
 
@@ -305,7 +318,7 @@ TEST_P(GrantFuzz, MapCountsNeverLeakOrUnderflow) {
   EXPECT_EQ(owner->grant_table().total_maps_outstanding(), 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GrantFuzz, ::testing::Range(1, 6));
+INSTANTIATE_TEST_SUITE_P(Seeds, GrantFuzz, ::testing::Range(1, FuzzSeedEnd(6)));
 
 }  // namespace
 }  // namespace kite

@@ -165,14 +165,27 @@ TEST_F(ProtocolPair, MemcachedGarbageCommandErrors) {
 // out-of-page offsets/sizes, bogus grant references, impossible segment
 // counts. The backend must answer every one with an error response, count it
 // in a *_bad_request metric, and keep serving well-formed requests.
+//
+// Every suite runs once per backend ablation (paper §5.8): the hardening
+// checks live in code shared by all configurations, and these parameters
+// prove no ablation path skips them.
 
-class MisbehavingNetFrontend : public ::testing::Test {
+struct NetAblation {
+  const char* name;
+  bool dedicated_threads;
+  bool use_hv_copy;
+};
+
+class MisbehavingNetFrontend : public ::testing::TestWithParam<NetAblation> {
  protected:
   static constexpr int kDevid = 0;
 
   void SetUp() override {
     sys_ = std::make_unique<KiteSystem>();
-    netdom_ = sys_->CreateNetworkDomain();
+    DriverDomainConfig config;
+    config.netback.dedicated_threads = GetParam().dedicated_threads;
+    config.netback.use_hv_copy = GetParam().use_hv_copy;
+    netdom_ = sys_->CreateNetworkDomain(config);
     guest_ = sys_->CreateGuest("evil-net-guest");
     gid_ = guest_->domain()->id();
     bid_ = netdom_->domain()->id();
@@ -253,7 +266,7 @@ class MisbehavingNetFrontend : public ::testing::Test {
   EvtPort port_ = kInvalidPort;
 };
 
-TEST_F(MisbehavingNetFrontend, OversizedTxSizeRejected) {
+TEST_P(MisbehavingNetFrontend, OversizedTxSizeRejected) {
   NetTxRequest req;
   req.gref = data_gref_;
   req.id = 7;
@@ -268,7 +281,7 @@ TEST_F(MisbehavingNetFrontend, OversizedTxSizeRejected) {
   EXPECT_EQ(vif()->guest_tx_frames(), 0u);
 }
 
-TEST_F(MisbehavingNetFrontend, OverlappingOffsetPlusSizeRejected) {
+TEST_P(MisbehavingNetFrontend, OverlappingOffsetPlusSizeRejected) {
   // Each field fits a page on its own; the sum runs 1904 bytes past it. The
   // naive check (offset < page && size < page) passes this — the overflow
   // came from the addition.
@@ -284,7 +297,7 @@ TEST_F(MisbehavingNetFrontend, OverlappingOffsetPlusSizeRejected) {
   EXPECT_EQ(vif()->tx_bad_requests(), 1u);
 }
 
-TEST_F(MisbehavingNetFrontend, BogusGrantRefRejected) {
+TEST_P(MisbehavingNetFrontend, BogusGrantRefRejected) {
   NetTxRequest req;
   req.gref = static_cast<GrantRef>(999999);  // Never granted.
   req.id = 3;
@@ -299,7 +312,7 @@ TEST_F(MisbehavingNetFrontend, BogusGrantRefRejected) {
   EXPECT_EQ(vif()->guest_tx_frames(), 0u);
 }
 
-TEST_F(MisbehavingNetFrontend, ZeroSizeRejected) {
+TEST_P(MisbehavingNetFrontend, ZeroSizeRejected) {
   NetTxRequest req;
   req.gref = data_gref_;
   req.id = 1;
@@ -312,7 +325,7 @@ TEST_F(MisbehavingNetFrontend, ZeroSizeRejected) {
   EXPECT_EQ(vif()->tx_bad_requests(), 1u);
 }
 
-TEST_F(MisbehavingNetFrontend, BackendSurvivesMalformedBurstThenServesValid) {
+TEST_P(MisbehavingNetFrontend, BackendSurvivesMalformedBurstThenServesValid) {
   // A burst of malformed requests with every field corrupted differently.
   const uint16_t sizes[] = {0, 5000, 65535, 2000};
   const uint16_t offsets[] = {0, 0, 4095, 4000};
@@ -356,13 +369,31 @@ TEST_F(MisbehavingNetFrontend, BackendSurvivesMalformedBurstThenServesValid) {
   EXPECT_TRUE(found) << "tx_bad_request missing from the registry snapshot";
 }
 
-class MisbehavingBlkFrontend : public ::testing::Test {
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, MisbehavingNetFrontend,
+    ::testing::Values(NetAblation{"Default", true, true},
+                      NetAblation{"NoDedicatedThreads", false, true},
+                      NetAblation{"NoHvCopy", true, false}),
+    [](const ::testing::TestParamInfo<NetAblation>& info) {
+      return std::string(info.param.name);
+    });
+
+struct BlkAblation {
+  const char* name;
+  bool persistent_grants;
+  bool indirect_segments;
+};
+
+class MisbehavingBlkFrontend : public ::testing::TestWithParam<BlkAblation> {
  protected:
   static constexpr int kDevid = 51712;  // xvda.
 
   void SetUp() override {
     sys_ = std::make_unique<KiteSystem>();
-    stordom_ = sys_->CreateStorageDomain();
+    DriverDomainConfig config;
+    config.blkback.persistent_grants = GetParam().persistent_grants;
+    config.blkback.indirect_segments = GetParam().indirect_segments;
+    stordom_ = sys_->CreateStorageDomain(config);
     guest_ = sys_->CreateGuest("evil-blk-guest");
     gid_ = guest_->domain()->id();
     bid_ = stordom_->domain()->id();
@@ -433,7 +464,7 @@ class MisbehavingBlkFrontend : public ::testing::Test {
   EvtPort port_ = kInvalidPort;
 };
 
-TEST_F(MisbehavingBlkFrontend, DirectSegmentCountPastArrayRejected) {
+TEST_P(MisbehavingBlkFrontend, DirectSegmentCountPastArrayRejected) {
   BlkRequest req;
   req.op = BlkOp::kWrite;
   req.id = 11;
@@ -448,7 +479,7 @@ TEST_F(MisbehavingBlkFrontend, DirectSegmentCountPastArrayRejected) {
   EXPECT_EQ(vbd()->device_ops(), 0u);
 }
 
-TEST_F(MisbehavingBlkFrontend, InvertedSectorRangeRejected) {
+TEST_P(MisbehavingBlkFrontend, InvertedSectorRangeRejected) {
   BlkRequest req;
   req.op = BlkOp::kRead;
   req.id = 12;
@@ -462,7 +493,7 @@ TEST_F(MisbehavingBlkFrontend, InvertedSectorRangeRejected) {
   EXPECT_EQ(vbd()->device_ops(), 0u);
 }
 
-TEST_F(MisbehavingBlkFrontend, SectorRangePastPageRejected) {
+TEST_P(MisbehavingBlkFrontend, SectorRangePastPageRejected) {
   BlkRequest req;
   req.op = BlkOp::kRead;
   req.id = 13;
@@ -475,7 +506,7 @@ TEST_F(MisbehavingBlkFrontend, SectorRangePastPageRejected) {
   EXPECT_EQ(vbd()->bad_requests(), 1u);
 }
 
-TEST_F(MisbehavingBlkFrontend, SectorNumberPastCapacityRejected) {
+TEST_P(MisbehavingBlkFrontend, SectorNumberPastCapacityRejected) {
   BlkRequest req;
   req.op = BlkOp::kRead;
   req.id = 14;
@@ -489,7 +520,7 @@ TEST_F(MisbehavingBlkFrontend, SectorNumberPastCapacityRejected) {
   EXPECT_EQ(vbd()->bad_requests(), 1u);
 }
 
-TEST_F(MisbehavingBlkFrontend, RequestEndPastCapacityRejected) {
+TEST_P(MisbehavingBlkFrontend, RequestEndPastCapacityRejected) {
   // Starts just below capacity with a full in-page segment, so the old
   // start-only bound admitted it and the disk layer's capacity KITE_CHECK
   // became a guest-triggerable backend abort.
@@ -509,7 +540,7 @@ TEST_F(MisbehavingBlkFrontend, RequestEndPastCapacityRejected) {
   EXPECT_EQ(vbd()->device_ops(), 0u);
 }
 
-TEST_F(MisbehavingBlkFrontend, RequestEndingExactlyAtCapacityAccepted) {
+TEST_P(MisbehavingBlkFrontend, RequestEndingExactlyAtCapacityAccepted) {
   // The flush side of the boundary: the last addressable 8 sectors are valid.
   const uint64_t capacity_sectors =
       static_cast<uint64_t>(stordom_->disk()->capacity_bytes()) / kSectorSize;
@@ -527,7 +558,7 @@ TEST_F(MisbehavingBlkFrontend, RequestEndingExactlyAtCapacityAccepted) {
   EXPECT_EQ(vbd()->device_ops(), 1u);
 }
 
-TEST_F(MisbehavingBlkFrontend, IndirectDescriptorMapFailureCountedAndRejected) {
+TEST_P(MisbehavingBlkFrontend, IndirectDescriptorMapFailureCountedAndRejected) {
   BlkRequest req;
   req.op = BlkOp::kIndirect;
   req.indirect_op = BlkOp::kRead;
@@ -538,11 +569,17 @@ TEST_F(MisbehavingBlkFrontend, IndirectDescriptorMapFailureCountedAndRejected) {
   auto rsps = DrainResponses();
   ASSERT_EQ(rsps.size(), 1u);
   EXPECT_EQ(rsps[0].status, BlkStatus::kError);
-  EXPECT_EQ(vbd()->indirect_map_fails(), 1u);
+  if (GetParam().indirect_segments) {
+    EXPECT_EQ(vbd()->indirect_map_fails(), 1u);
+  } else {
+    // Feature off: kIndirect is rejected as a bad request before any map.
+    EXPECT_EQ(vbd()->bad_requests(), 1u);
+    EXPECT_EQ(vbd()->indirect_map_fails(), 0u);
+  }
   EXPECT_EQ(vbd()->device_ops(), 0u);
 }
 
-TEST_F(MisbehavingBlkFrontend, IndirectSegmentCountRejected) {
+TEST_P(MisbehavingBlkFrontend, IndirectSegmentCountRejected) {
   // Grant a real descriptor page so the count check — not the map — rejects.
   PageRef ind_page = AllocPage();
   auto ind_segs = std::make_shared<IndirectSegmentPage>();
@@ -563,7 +600,7 @@ TEST_F(MisbehavingBlkFrontend, IndirectSegmentCountRejected) {
   EXPECT_EQ(vbd()->bad_requests(), 1u);
 }
 
-TEST_F(MisbehavingBlkFrontend, BackendSurvivesMalformedBurstThenServesValid) {
+TEST_P(MisbehavingBlkFrontend, BackendSurvivesMalformedBurstThenServesValid) {
   BlkRequest bad;
   bad.op = BlkOp::kWrite;
   bad.id = 20;
@@ -604,6 +641,15 @@ TEST_F(MisbehavingBlkFrontend, BackendSurvivesMalformedBurstThenServesValid) {
   }
   EXPECT_TRUE(found) << "bad_request missing from the registry snapshot";
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, MisbehavingBlkFrontend,
+    ::testing::Values(BlkAblation{"Default", true, true},
+                      BlkAblation{"NoPersistentGrants", false, true},
+                      BlkAblation{"NoIndirectSegments", true, false}),
+    [](const ::testing::TestParamInfo<BlkAblation>& info) {
+      return std::string(info.param.name);
+    });
 
 // --- OS profile invariants. ---
 

@@ -227,5 +227,53 @@ TEST(TimeTest, Arithmetic) {
   EXPECT_LT(SimTime(1), SimTime(2));
 }
 
+// --- Schedule shuffle + pending-queue diagnostics (src/check support). ---
+
+// Records the firing order of 16 same-timestamp events under a shuffle seed.
+std::vector<int> ShuffledOrder(uint64_t seed) {
+  Executor ex;
+  ex.EnableShuffle(seed);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    ex.PostAfter(Micros(5), [&order, i] { order.push_back(i); });
+  }
+  ex.RunUntilIdle();
+  return order;
+}
+
+TEST(ExecutorShuffleTest, SameSeedSameTieBreaking) {
+  EXPECT_EQ(ShuffledOrder(7), ShuffledOrder(7));
+  EXPECT_EQ(ShuffledOrder(1234567), ShuffledOrder(1234567));
+}
+
+TEST(ExecutorShuffleTest, ShuffleRandomizesOnlyTies) {
+  // Distinct timestamps still fire in time order, whatever the seed does to
+  // same-time ties.
+  Executor ex;
+  ex.EnableShuffle(99);
+  std::vector<int> order;
+  ex.PostAfter(Micros(30), [&] { order.push_back(3); });
+  ex.PostAfter(Micros(10), [&] { order.push_back(1); });
+  ex.PostAfter(Micros(20), [&] { order.push_back(2); });
+  ex.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ExecutorDiagnosticsTest, PendingEventsSnapshotInFiringOrder) {
+  Executor ex;
+  ex.PostAfter(Micros(30), [] {});
+  ex.PostAfter(Micros(10), [] {});
+  ex.PostAfter(Micros(20), [] {});
+  const auto pending = ex.PendingEvents();
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_EQ(pending[0].at, SimTime(Micros(10).ns()));
+  EXPECT_EQ(pending[1].at, SimTime(Micros(20).ns()));
+  EXPECT_EQ(pending[2].at, SimTime(Micros(30).ns()));
+  const std::string dump = ex.FormatPendingEvents();
+  EXPECT_NE(dump.find("3 pending"), std::string::npos) << dump;
+  ex.RunUntilIdle();
+  EXPECT_NE(ex.FormatPendingEvents().find("0 pending"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace kite
