@@ -9,6 +9,16 @@ int main() {
   PrintHeader("Figure 6", "nuttcp UDP throughput (8 KB datagrams, offered 7.4 Gbps)");
   PrintNote("duration scaled to 300 ms simulated (paper runs longer; rates are "
             "steady-state)");
+  BenchReport report("fig06", "nuttcp UDP throughput through the network driver domain");
+  report.Param("duration_ms", 300);
+  report.Param("datagram_bytes", 8192);
+  // Numbers from the commit before the latency-span layer landed; the
+  // bench-smoke CI job diffs against these to confirm disabled tracing stays
+  // within noise.
+  report.Param("pre_span_goodput_gbps_linux", 7.40);
+  report.Param("pre_span_goodput_gbps_kite", 7.40);
+  report.Param("pre_span_loss_percent_linux", 0.00);
+  report.Param("pre_span_loss_percent_kite", 0.00);
   std::printf("%-8s %14s %10s %16s\n", "domain", "goodput", "loss", "paper");
   for (OsKind os : {OsKind::kUbuntuLinux, OsKind::kKiteRumprun}) {
     NetTopology topo = MakeNetTopology(os);
@@ -24,6 +34,9 @@ int main() {
     topo.sys->WaitUntil([&] { return done; }, Seconds(30));
     std::printf("%-8s %10.2f Gbps %8.2f%% %16s\n", Pers(os), result.goodput_gbps,
                 result.loss_percent, "~7 Gbps, <1.5%");
+    report.Value("goodput_gbps", PersLabel(os), result.goodput_gbps);
+    report.Value("loss_percent", PersLabel(os), result.loss_percent);
+    report.Counters(PersLabel(os), topo.sys.get());
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 // Figure 7: network latency through the driver domain — ping (100 @ 1 s
 // intervals), Netperf-style RR (1000 req/s), and memtier against memcached
 // (100k ops, 1:10 SET:GET, 8 KB values).
+//
+// Per-op latencies are folded into log-bucketed LatencyHistograms so the
+// table and BENCH_fig07.json report p50/p90/p99/p99.9, not just the mean.
 #include "bench/common.h"
 #include "src/workloads/memcached.h"
 #include "src/workloads/netbench.h"
@@ -9,12 +12,13 @@ namespace kite {
 namespace {
 
 struct Fig7Row {
-  double ping_ms = 0;
-  double netperf_ms = 0;
-  double memtier_ms = 0;
+  LatencyHistogram ping;
+  LatencyHistogram netperf;
+  LatencyHistogram memtier;
 };
 
-Fig7Row Measure(OsKind os) {
+Fig7Row Measure(OsKind os, BenchReport* report) {
+  const std::string label = PersLabel(os);
   Fig7Row row;
   {
     NetTopology topo = MakeNetTopology(os);
@@ -24,9 +28,10 @@ Fig7Row Measure(OsKind os) {
     bool done = false;
     ping.Run([&](const PingBenchResult& r) {
       done = true;
-      row.ping_ms = r.rtt_ms.Mean();
+      row.ping = HistogramFromMsSamples(r.rtt_ms);
     });
     topo.sys->WaitUntil([&] { return done; }, Seconds(60));
+    report->Counters(label + "/ping", topo.sys.get());
   }
   {
     NetTopology topo = MakeNetTopology(os);
@@ -37,9 +42,10 @@ Fig7Row Measure(OsKind os) {
     bool done = false;
     rr.Run([&](const NetperfRrResult& r) {
       done = true;
-      row.netperf_ms = r.latency_ms.Mean();
+      row.netperf = HistogramFromMsSamples(r.latency_ms);
     });
     topo.sys->WaitUntil([&] { return done; }, Seconds(60));
+    report->Counters(label + "/netperf", topo.sys.get());
   }
   {
     NetTopology topo = MakeNetTopology(os);
@@ -51,11 +57,23 @@ Fig7Row Measure(OsKind os) {
     bool done = false;
     bench.Run([&](const MemtierResult& r) {
       done = true;
-      row.memtier_ms = r.avg_latency_ms;
+      row.memtier = HistogramFromMsSamples(r.latency_ms);
     });
     topo.sys->WaitUntil([&] { return done; }, Seconds(120));
+    report->Counters(label + "/memtier", topo.sys.get());
   }
+  report->Latency("ping_rtt", label, row.ping);
+  report->Latency("netperf_rr", label, row.netperf);
+  report->Latency("memtier", label, row.memtier);
   return row;
+}
+
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void PrintRow(const char* domain, const char* workload, const LatencyHistogram& h) {
+  std::printf("%-10s %-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n", domain, workload,
+              Ms(static_cast<uint64_t>(h.mean())), Ms(h.p50()), Ms(h.p90()), Ms(h.p99()),
+              Ms(h.p999()));
 }
 
 }  // namespace
@@ -64,14 +82,21 @@ Fig7Row Measure(OsKind os) {
 int main() {
   using namespace kite;
   PrintHeader("Figure 7", "Network latency (ms): ping / Netperf / Memtier");
-  const Fig7Row linux = Measure(OsKind::kUbuntuLinux);
-  const Fig7Row kite = Measure(OsKind::kKiteRumprun);
-  std::printf("%-10s %10s %10s %10s\n", "domain", "ping", "netperf", "memtier");
-  std::printf("%-10s %10.2f %10.2f %10.2f\n", "Linux", linux.ping_ms, linux.netperf_ms,
-              linux.memtier_ms);
-  std::printf("%-10s %10.2f %10.2f %10.2f\n", "Kite", kite.ping_ms, kite.netperf_ms,
-              kite.memtier_ms);
-  std::printf("%-10s %10s %10s %10s\n", "paper-Lnx", "0.51", "0.18", "0.16");
-  std::printf("%-10s %10s %10s %10s\n", "paper-Kite", "0.31", "0.10", "0.15");
-  return 0;
+  BenchReport report("fig07", "Network latency through the driver domain");
+  report.Param("ping_count", 20);
+  report.Param("netperf_requests", 500);
+  report.Param("memtier_ops", 5000);
+  report.Param("memtier_connections", 4);
+  const Fig7Row linux = Measure(OsKind::kUbuntuLinux, &report);
+  const Fig7Row kite = Measure(OsKind::kKiteRumprun, &report);
+  std::printf("%-10s %-10s %8s %8s %8s %8s %8s\n", "domain", "workload", "mean", "p50",
+              "p90", "p99", "p99.9");
+  PrintRow("Linux", "ping", linux.ping);
+  PrintRow("Linux", "netperf", linux.netperf);
+  PrintRow("Linux", "memtier", linux.memtier);
+  PrintRow("Kite", "ping", kite.ping);
+  PrintRow("Kite", "netperf", kite.netperf);
+  PrintRow("Kite", "memtier", kite.memtier);
+  std::printf("paper means: Linux 0.51 / 0.18 / 0.16, Kite 0.31 / 0.10 / 0.15\n");
+  return report.Write() ? 0 : 1;
 }

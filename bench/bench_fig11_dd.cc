@@ -6,7 +6,7 @@
 namespace kite {
 namespace {
 
-double RunDd(OsKind os, bool write) {
+double RunDd(OsKind os, bool write, BenchReport* report) {
   StorTopology topo = MakeStorTopology(os);
   DdConfig config;
   config.write = write;
@@ -19,6 +19,9 @@ double RunDd(OsKind os, bool write) {
     mbps = r.mbytes_per_sec;
   });
   topo.sys->WaitUntil([&] { return done; }, Seconds(600));
+  const std::string label = std::string(PersLabel(os)) + (write ? "/write" : "/read");
+  report->Value("mbytes_per_sec", label, mbps);
+  report->Counters(label, topo.sys.get());
   return mbps;
 }
 
@@ -29,11 +32,15 @@ int main() {
   using namespace kite;
   PrintHeader("Figure 11", "dd sequential throughput (MB/s), 1 MB blocks");
   PrintNote("transfer size scaled from the paper's 10 GB; rates are steady-state");
+  BenchReport report("fig11", "dd sequential throughput through the storage driver domain");
+  report.Param("total_bytes", 512.0 * 1024 * 1024);
   std::printf("%-12s %12s %12s\n", "operation", "Linux", "Kite");
   std::printf("%-12s %12.0f %12.0f\n", "read",
-              RunDd(OsKind::kUbuntuLinux, false), RunDd(OsKind::kKiteRumprun, false));
+              RunDd(OsKind::kUbuntuLinux, false, &report),
+              RunDd(OsKind::kKiteRumprun, false, &report));
   std::printf("%-12s %12.0f %12.0f\n", "write",
-              RunDd(OsKind::kUbuntuLinux, true), RunDd(OsKind::kKiteRumprun, true));
+              RunDd(OsKind::kUbuntuLinux, true, &report),
+              RunDd(OsKind::kKiteRumprun, true, &report));
   std::printf("paper: both ≈1000 MB/s class; Kite ≈ Linux\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

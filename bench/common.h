@@ -9,10 +9,16 @@
 #define BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/base/stats.h"
+#include "src/base/strings.h"
 #include "src/core/kite.h"
+#include "src/obs/latency.h"
 #include "src/workloads/fs.h"
 
 namespace kite {
@@ -113,6 +119,182 @@ inline void PrintHeader(const char* figure, const char* title) {
 inline void PrintNote(const char* note) { std::printf("note: %s\n", note); }
 
 inline const char* Pers(OsKind os) { return os == OsKind::kKiteRumprun ? "Kite " : "Linux"; }
+// Untruncated, unpadded personality name for JSON labels.
+inline const char* PersLabel(OsKind os) { return os == OsKind::kKiteRumprun ? "Kite" : "Linux"; }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output.
+//
+// Each figure binary fills one BenchReport and writes BENCH_<figure>.json —
+// into $KITE_BENCH_DIR when set, else the working directory. The file holds
+// the workload parameters, every measured series point, latency percentiles
+// extracted from LatencyHistogram, the non-zero registry counters of each
+// topology, and the git SHA of the tree that produced the numbers, so CI and
+// regression tooling parse JSON instead of scraping stdout.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Commit the numbers were produced at: $KITE_GIT_SHA / $GITHUB_SHA when set
+// (CI), else `git rev-parse HEAD`, else "unknown".
+inline std::string BenchGitSha() {
+  for (const char* var : {"KITE_GIT_SHA", "GITHUB_SHA"}) {
+    if (const char* v = std::getenv(var); v != nullptr && v[0] != '\0') {
+      return v;
+    }
+  }
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r"); p != nullptr) {
+    char buf[80] = {};
+    const size_t n = fread(buf, 1, sizeof(buf) - 1, p);
+    pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) {
+      return sha;
+    }
+  }
+  return "unknown";
+}
+
+// Rebuilds a per-op latency distribution from a workload's Stats series of
+// milliseconds (histogram buckets are nanoseconds).
+inline LatencyHistogram HistogramFromMsSamples(const Stats& s) {
+  LatencyHistogram h;
+  for (double ms : s.samples()) {
+    h.Record(ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e6 + 0.5));
+  }
+  return h;
+}
+
+class BenchReport {
+ public:
+  BenchReport(std::string figure, std::string title)
+      : figure_(std::move(figure)), title_(std::move(title)) {}
+
+  void Param(const std::string& key, const std::string& v) {
+    params_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
+  }
+  void Param(const std::string& key, double v) {
+    params_.emplace_back(key, StrFormat("%.10g", v));
+  }
+
+  // One measured point: series name ("goodput_gbps"), run label ("Linux").
+  void Value(const std::string& series, const std::string& label, double v) {
+    series_.push_back(StrFormat("{\"name\":\"%s\",\"label\":\"%s\",\"value\":%.10g}",
+                                JsonEscape(series).c_str(), JsonEscape(label).c_str(), v));
+  }
+
+  // Percentiles of one workload latency distribution.
+  void Latency(const std::string& series, const std::string& label,
+               const LatencyHistogram& h) {
+    latency_.push_back(StrFormat(
+        "{\"name\":\"%s\",\"label\":\"%s\",\"count\":%llu,"
+        "\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu,"
+        "\"mean_ns\":%.1f,\"min_ns\":%llu,\"max_ns\":%llu}",
+        JsonEscape(series).c_str(), JsonEscape(label).c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.p50()),
+        static_cast<unsigned long long>(h.p90()),
+        static_cast<unsigned long long>(h.p99()),
+        static_cast<unsigned long long>(h.p999()), h.mean(),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.max())));
+  }
+
+  // Snapshots a topology's registry before it is torn down: non-zero counters
+  // plus per-stage latency metrics. `label` distinguishes runs in one figure.
+  void Counters(const std::string& label, KiteSystem* sys) {
+    for (const MetricRegistry::Sample& s : sys->metric_registry().Snapshot(true)) {
+      const std::string key =
+          s.key.domain + "/" + s.key.device + "/" + s.key.name;
+      if (s.kind == MetricRegistry::Kind::kCounter) {
+        counters_.push_back(StrFormat("{\"label\":\"%s\",\"key\":\"%s\",\"value\":%.10g}",
+                                      JsonEscape(label).c_str(), JsonEscape(key).c_str(),
+                                      s.value));
+      } else if (s.kind == MetricRegistry::Kind::kLatency) {
+        stage_latency_.push_back(StrFormat(
+            "{\"label\":\"%s\",\"key\":\"%s\",\"count\":%llu,"
+            "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"p999\":%llu}",
+            JsonEscape(label).c_str(), JsonEscape(key).c_str(),
+            static_cast<unsigned long long>(s.count),
+            static_cast<unsigned long long>(s.p50),
+            static_cast<unsigned long long>(s.p90),
+            static_cast<unsigned long long>(s.p99),
+            static_cast<unsigned long long>(s.p999)));
+      }
+    }
+  }
+
+  // Writes BENCH_<figure>.json; prints the path so humans can find it too.
+  bool Write() const {
+    std::string path = "BENCH_" + figure_ + ".json";
+    if (const char* dir = std::getenv("KITE_BENCH_DIR"); dir != nullptr && dir[0] != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
+    std::string json = "{\n";
+    json += StrFormat("  \"figure\": \"%s\",\n", JsonEscape(figure_).c_str());
+    json += StrFormat("  \"title\": \"%s\",\n", JsonEscape(title_).c_str());
+    json += StrFormat("  \"git_sha\": \"%s\",\n", JsonEscape(BenchGitSha()).c_str());
+    json += "  \"params\": {";
+    for (size_t i = 0; i < params_.size(); ++i) {
+      json += StrFormat("%s\"%s\": %s", i == 0 ? "" : ", ",
+                        JsonEscape(params_[i].first).c_str(), params_[i].second.c_str());
+    }
+    json += "},\n";
+    AppendArray(&json, "series", series_, /*trailing_comma=*/true);
+    AppendArray(&json, "latency", latency_, /*trailing_comma=*/true);
+    AppendArray(&json, "stage_latency_ns", stage_latency_, /*trailing_comma=*/true);
+    AppendArray(&json, "counters", counters_, /*trailing_comma=*/false);
+    json += "}\n";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BENCH: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static void AppendArray(std::string* json, const char* name,
+                          const std::vector<std::string>& rows, bool trailing_comma) {
+    *json += StrFormat("  \"%s\": [", name);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      *json += StrFormat("%s\n    %s", i == 0 ? "" : ",", rows[i].c_str());
+    }
+    *json += rows.empty() ? "]" : "\n  ]";
+    *json += trailing_comma ? ",\n" : "\n";
+  }
+
+  std::string figure_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> params_;  // key → JSON value.
+  std::vector<std::string> series_;
+  std::vector<std::string> latency_;
+  std::vector<std::string> stage_latency_;
+  std::vector<std::string> counters_;
+};
 
 }  // namespace kite
 

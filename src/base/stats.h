@@ -28,6 +28,9 @@ class Stats {
   double RelStdDevPercent() const;
   // p in [0, 100]; nearest-rank percentile.
   double Percentile(double p) const;
+  // Raw samples (order unspecified: percentile queries sort in place). Lets
+  // callers feed the same series into a LatencyHistogram or a report.
+  const std::vector<double>& samples() const { return samples_; }
 
  private:
   mutable std::vector<double> samples_;

@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/obs/flow.h"
 
 namespace kite {
 
@@ -32,6 +33,9 @@ BlkbackInstance::BlkbackInstance(Domain* backend, BmkSched* sched,
   indirect_requests_ = reg->counter(backend->name(), dev, "indirect_requests");
   bad_requests_ = reg->counter(backend->name(), dev, "bad_request");
   indirect_map_fails_ = reg->counter(backend->name(), dev, "indirect_map_fail");
+  req_queue_ns_ = reg->latency(backend->name(), dev, "req_queue_ns");
+  req_service_ns_ = reg->latency(backend->name(), dev, "req_service_ns");
+  device_ns_ = reg->latency(backend->name(), dev, "device_ns");
 }
 
 BlkbackInstance::~BlkbackInstance() {
@@ -190,14 +194,25 @@ Task BlkbackInstance::RequestThread() {
       BlkOp run_op = BlkOp::kRead;
       while (!stopping_ && ring_->HasUnconsumedRequests()) {
         BlkRequest req = ring_->ConsumeRequest();
+        const uint32_t ring_index = ring_->last_consumed_index();
+        const int64_t submit_ns = ring_->last_consumed_stamp_ns();
+        const SimTime popped = sched_->executor()->Now();
+        if (popped.ns() >= submit_ns) {
+          req_queue_ns_->Record(static_cast<uint64_t>(popped.ns() - submit_ns));
+        }
         const SimDuration req_cost =
             costs_->blkback_per_request +
             costs_->syscall_cost * costs_->syscalls_per_block_request;
+        if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+          t->FlowStep(backend_->id(), frontend_dom_, "blk", "req_pop", popped,
+                      MakeFlowId(FlowKind::kBlk, frontend_dom_, devid_, ring_index),
+                      req_cost);
+        }
         co_await sched_->Run(req_cost);
         if (stopping_) {
           break;
         }
-        ProcessRequest(req, &run, &run_op);
+        ProcessRequest(req, &run, &run_op, ring_index, popped.ns());
         if (++batch >= params_.ring_batch_limit) {
           FlushRun(&run, run_op);
           batch = 0;
@@ -241,10 +256,13 @@ bool BlkbackInstance::ValidateRequest(const BlkRequest& req,
 }
 
 void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<ResolvedSeg>* run,
-                                     BlkOp* run_op) {
+                                     BlkOp* run_op, uint32_t ring_index,
+                                     int64_t popped_ns) {
   requests_handled_->Inc();
   auto state = std::make_shared<ReqState>();
   state->id = req.id;
+  state->ring_index = ring_index;
+  state->popped_ns = popped_ns;
 
   // Resolve the segment list.
   BlkOp op = req.op;
@@ -290,9 +308,14 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
     state->parts_outstanding = 1;
     DiskRequest flush;
     flush.op = DiskOp::kFlush;
-    flush.done = [this, alive = alive_, state](bool ok, Buffer) {
+    const int64_t flush_submit_ns = sched_->executor()->Now().ns();
+    flush.done = [this, alive = alive_, state, flush_submit_ns](bool ok, Buffer) {
       if (!*alive) {
         return;
+      }
+      const int64_t done_ns = sched_->executor()->Now().ns();
+      if (done_ns >= flush_submit_ns) {
+        device_ns_->Record(static_cast<uint64_t>(done_ns - flush_submit_ns));
       }
       if (!ok) {
         state->ok = false;
@@ -383,6 +406,7 @@ void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
   dev.op = op == BlkOp::kRead ? DiskOp::kRead : DiskOp::kWrite;
   dev.offset = offset;
   dev.length = total;
+  const int64_t dev_submit_ns = sched_->executor()->Now().ns();
   if (op == BlkOp::kWrite && disk_->store_data()) {
     // Gather write payload from the (mapped) guest pages.
     dev.data.reserve(total);
@@ -396,9 +420,13 @@ void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
   // invokes this on completion; we respond and release mappings there.
   // (shared_ptr because std::function requires copyable callables.)
   auto segs_ptr = std::make_shared<std::vector<ResolvedSeg>>(std::move(segs));
-  dev.done = [this, alive = alive_, op, segs_ptr](bool ok, Buffer data) {
+  dev.done = [this, alive = alive_, op, segs_ptr, dev_submit_ns](bool ok, Buffer data) {
     if (!*alive) {
       return;
+    }
+    const int64_t done_ns = sched_->executor()->Now().ns();
+    if (done_ns >= dev_submit_ns) {
+      device_ns_->Record(static_cast<uint64_t>(done_ns - dev_submit_ns));
     }
     CompletePart(std::move(*segs_ptr), op, ok, data);
   };
@@ -435,6 +463,14 @@ void BlkbackInstance::SendResponse(const std::shared_ptr<ReqState>& req) {
   rsp.op = req->op;
   rsp.status = req->ok ? BlkStatus::kOkay : BlkStatus::kError;
   ring_->ProduceResponse(rsp);
+  const SimTime now = sched_->executor()->Now();
+  if (now.ns() >= req->popped_ns) {
+    req_service_ns_->Record(static_cast<uint64_t>(now.ns() - req->popped_ns));
+  }
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->FlowStep(backend_->id(), frontend_dom_, "blk", "rsp_push", now,
+                MakeFlowId(FlowKind::kBlk, frontend_dom_, devid_, req->ring_index));
+  }
   // Late disk completions can land after BeginShutdown closed the port.
   if (ring_->PushResponses() && port_ != kInvalidPort) {
     hv_->EventSend(backend_, port_);

@@ -88,6 +88,8 @@ class BlkbackInstance {
     BlkOp op = BlkOp::kRead;
     int parts_outstanding = 0;
     bool ok = true;
+    uint32_t ring_index = 0;  // Free-running consumer index (flow id).
+    int64_t popped_ns = 0;    // When the request left the ring (observability).
   };
   // One segment resolved to a guest page mapping.
   struct ResolvedSeg {
@@ -104,7 +106,7 @@ class BlkbackInstance {
   // Validates guest-controlled geometry before any page or disk access.
   bool ValidateRequest(const BlkRequest& req, const std::vector<BlkSegment>& segments);
   void ProcessRequest(const BlkRequest& req, std::vector<ResolvedSeg>* run,
-                      BlkOp* run_op);
+                      BlkOp* run_op, uint32_t ring_index, int64_t popped_ns);
   void FlushRun(std::vector<ResolvedSeg>* run, BlkOp op);
   Page* ResolvePage(GrantRef gref, bool write_access, MappedGrant* transient_out);
   void SendResponse(const std::shared_ptr<ReqState>& req);
@@ -148,6 +150,11 @@ class BlkbackInstance {
   Counter* indirect_requests_;
   Counter* bad_requests_;
   Counter* indirect_map_fails_;
+  // Stage latencies (ns): queue = frontend submit → ring pop, service = ring
+  // pop → response produced, device = device op submit → completion.
+  LatencyHistogram* req_queue_ns_;
+  LatencyHistogram* req_service_ns_;
+  LatencyHistogram* device_ns_;
 };
 
 class StorageBackendDriver {

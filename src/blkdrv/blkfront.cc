@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/obs/flow.h"
 
 namespace kite {
 namespace {
@@ -24,6 +25,10 @@ Blkfront::Blkfront(Domain* guest, DomId backend_dom, int devid,
       on_connected_(std::move(on_connected)) {
   frontend_path_ = FrontendPath(guest->id(), "vbd", devid);
   backend_path_ = BackendPath(backend_dom, "vbd", guest->id(), devid);
+  MetricRegistry* reg = hv_->metrics();
+  const std::string dev = StrFormat("xvd%d", devid);
+  req_ring_ns_ = reg->latency(guest->name(), dev, "req_ring_ns");
+  op_complete_ns_ = reg->latency(guest->name(), dev, "op_complete_ns");
   XenbusClient bus(&hv_->store(), guest_->id());
   bus.SwitchState(frontend_path_, XenbusState::kInitialising);
   WatchBackendState();
@@ -252,6 +257,7 @@ void Blkfront::Flush(IoCallback cb) {
 }
 
 void Blkfront::EnqueueOp(std::shared_ptr<PendingOp> op, bool is_flush) {
+  op->start_ns = hv_->executor()->Now().ns();
   if (is_flush || op->length == 0) {
     Chunk chunk;
     op->chunks_pending = 1;
@@ -376,9 +382,18 @@ bool Blkfront::SubmitChunk(const Chunk& chunk) {
 
   ++chunk.op->outstanding;
   --chunk.op->chunks_pending;
+  const SimTime now = hv_->executor()->Now();
+  const uint32_t ring_index = ring_->req_prod_pvt();
+  inflight.submit_ns = now.ns();
+  inflight.ring_index = ring_index;
   in_flight_[id] = std::move(inflight);
-  ring_->ProduceRequest(req);
+  ring_->ProduceRequest(req, now.ns());
   ++requests_sent_;
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->FlowBegin(guest_->id(), 0, "blk", "req_submit", now,
+                 MakeFlowId(FlowKind::kBlk, guest_->id(), devid_, ring_index),
+                 per_request_cost_);
+  }
   return true;
 }
 
@@ -403,6 +418,16 @@ void Blkfront::CompleteRequest(uint64_t id, bool ok) {
   }
   InFlight inflight = std::move(it->second);
   in_flight_.erase(it);
+
+  const SimTime now = hv_->executor()->Now();
+  if (now.ns() >= inflight.submit_ns) {
+    req_ring_ns_->Record(static_cast<uint64_t>(now.ns() - inflight.submit_ns));
+  }
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->FlowEnd(guest_->id(), 0, "blk", "req_complete", now,
+               MakeFlowId(FlowKind::kBlk, guest_->id(), devid_, inflight.ring_index),
+               per_request_cost_);
+  }
 
   if (inflight.is_read && ok) {
     guest_->vcpu(0)->Charge(
@@ -439,6 +464,10 @@ void Blkfront::FinishOpPart(const std::shared_ptr<PendingOp>& op, bool ok) {
   // chunk still in queue_ keeps the op alive through its shared_ptr.
   if (op->outstanding == 0 && op->chunks_pending == 0) {
     ++ops_completed_;
+    const int64_t now_ns = hv_->executor()->Now().ns();
+    if (now_ns >= op->start_ns) {
+      op_complete_ns_->Record(static_cast<uint64_t>(now_ns - op->start_ns));
+    }
     if (op->cb) {
       auto cb = std::move(op->cb);
       op->cb = nullptr;

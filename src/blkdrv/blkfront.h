@@ -69,6 +69,7 @@ class Blkfront {
     int64_t base_offset = 0;
     size_t length = 0;
     bool is_read = false;
+    int64_t start_ns = 0;    // When the op was enqueued (observability).
   };
   struct Chunk {
     std::shared_ptr<PendingOp> op;
@@ -86,6 +87,8 @@ class Blkfront {
     bool is_flush = false;
     uint16_t indirect_page_id = 0;
     bool used_indirect = false;
+    int64_t submit_ns = 0;     // When the ring request was produced.
+    uint32_t ring_index = 0;   // Free-running producer index (flow id).
   };
 
   void OnBackendStateChange();
@@ -150,6 +153,11 @@ class Blkfront {
   uint64_t ops_completed_ = 0;
   uint64_t recoveries_ = 0;
   uint64_t requests_requeued_ = 0;
+
+  // Registry-backed under (guest domain, xvdN, <name>), ns values:
+  // ring request submit → response consumed, and op enqueue → op callback.
+  LatencyHistogram* req_ring_ns_;
+  LatencyHistogram* op_complete_ns_;
 };
 
 }  // namespace kite

@@ -55,7 +55,11 @@ ExploreReport RunExploreSeed(const ExploreOptions& opts) {
   };
   auto live_fail = [&](std::string what) {
     report.ok = false;
-    report.detail = std::move(what) + "\n" + sys.executor().FormatPendingEvents();
+    // Pending events say *where* the simulation wedged; the metrics snapshot
+    // says *how far* each path got (rings produced/consumed, stage latencies)
+    // before it did.
+    report.detail = std::move(what) + "\n" + sys.executor().FormatPendingEvents() +
+                    "\n" + sys.FormatMetrics();
     return report;
   };
 

@@ -1,5 +1,7 @@
 #include "src/core/system.h"
 
+#include <cstdlib>
+
 #include "src/base/log.h"
 #include "src/base/strings.h"
 
@@ -11,9 +13,35 @@ KiteSystem::KiteSystem(Params params)
   hv_->set_fault_injector(&faults_);
   gateway_ip_ = Ipv4Addr{params_.subnet_base.value + 1};
   client_ip_ = Ipv4Addr{params_.subnet_base.value + 2};
+  if (const char* path = std::getenv("KITE_TRACE"); path != nullptr && path[0] != '\0') {
+    trace_env_path_ = path;
+    EnableTracing();
+  }
 }
 
-KiteSystem::~KiteSystem() = default;
+KiteSystem::~KiteSystem() {
+  if (!trace_env_path_.empty()) {
+    DumpTrace(trace_env_path_);
+  }
+}
+
+std::string KiteSystem::FormatMetrics(bool skip_zero) {
+  // The tracer is not registry-backed (it predates the registry in
+  // construction order), so sync its drop count into a counter before
+  // rendering.
+  metrics_.counter("obs", "tracer", "events_dropped")->Set(tracer_.dropped());
+  return metrics_.FormatTable(skip_zero);
+}
+
+bool KiteSystem::DumpTrace(const std::string& path) {
+  metrics_.counter("obs", "tracer", "events_dropped")->Set(tracer_.dropped());
+  if (tracer_.dropped() > 0) {
+    KITE_LOG(Warning) << "trace dump to " << path << " is truncated: "
+                      << tracer_.dropped()
+                      << " events dropped after hitting the event cap";
+  }
+  return tracer_.DumpTrace(path);
+}
 
 void KiteSystem::BootDomain(Domain* dom, const OsProfile* os,
                             std::function<void()> on_booted) {

@@ -156,14 +156,17 @@ class KiteSystem {
   MetricRegistry& metric_registry() { return metrics_; }
   // Snapshot of every metric, in deterministic key order.
   std::vector<MetricRegistry::Sample> metrics() { return metrics_.Snapshot(); }
-  std::string FormatMetrics(bool skip_zero = true) { return metrics_.FormatTable(skip_zero); }
+  std::string FormatMetrics(bool skip_zero = true);
   EventTracer& tracer() { return tracer_; }
   // Tracing is compiled in but off by default; when off the per-event cost
-  // is a single branch.
+  // is a single branch. Setting KITE_TRACE=<path> in the environment enables
+  // tracing at construction and dumps to <path> on destruction, so any
+  // bench/example/explore run can produce a trace without a code change.
   void EnableTracing(bool on = true) { tracer_.set_enabled(on); }
   // Writes the recorded events as Chrome trace_event JSON (load in Perfetto
   // or chrome://tracing). Returns false if the file could not be written.
-  bool DumpTrace(const std::string& path) { return tracer_.DumpTrace(path); }
+  // Logs a warning when the tracer's event cap truncated the recording.
+  bool DumpTrace(const std::string& path);
 
   // --- Topology construction. ---
   NetworkDomain* CreateNetworkDomain(DriverDomainConfig config = DriverDomainConfig{});
@@ -258,6 +261,9 @@ class KiteSystem {
   Ipv4Addr client_ip_;
   int next_host_ = 10;
   int next_mac_id_ = 1;
+  // Non-empty when KITE_TRACE=<path> was set at construction; the trace is
+  // dumped there on destruction.
+  std::string trace_env_path_;
 };
 
 }  // namespace kite

@@ -24,7 +24,8 @@ namespace kite {
 // Shared state: conceptually lives in the granted ring page.
 template <typename Req, typename Rsp>
 struct SharedRing {
-  explicit SharedRing(uint32_t size) : size(size), req_slots(size), rsp_slots(size) {
+  explicit SharedRing(uint32_t size)
+      : size(size), req_slots(size), rsp_slots(size), req_stamp_ns(size) {
     KITE_CHECK(size != 0 && (size & (size - 1)) == 0) << "ring size must be a power of two";
   }
 
@@ -36,6 +37,11 @@ struct SharedRing {
   uint32_t rsp_event = 1;
   std::vector<Req> req_slots;
   std::vector<Rsp> rsp_slots;
+  // Simulation metadata, not guest-visible wire state: the simulated time at
+  // which each request slot was produced, read back by the backend at
+  // ConsumeRequest to measure ring queueing delay. Costs nothing on the
+  // simulated timeline.
+  std::vector<int64_t> req_stamp_ns;
 
   uint32_t Mask(uint32_t idx) const { return idx & (size - 1); }
 };
@@ -55,9 +61,12 @@ class FrontRing {
   uint32_t FreeRequests() const { return shared_->size - (req_prod_pvt_ - rsp_cons_); }
 
   // Stages a request in the next private slot. Caller must check !Full().
-  void ProduceRequest(const Req& req) {
+  // `stamp_ns` is observability metadata (submit time) carried beside the
+  // slot; frontends that don't trace pass the default 0.
+  void ProduceRequest(const Req& req, int64_t stamp_ns = 0) {
     KITE_CHECK(!Full());
     shared_->req_slots[shared_->Mask(req_prod_pvt_)] = req;
+    shared_->req_stamp_ns[shared_->Mask(req_prod_pvt_)] = stamp_ns;
     ++req_prod_pvt_;
   }
 
@@ -112,6 +121,8 @@ class BackRing {
   Req ConsumeRequest() {
     KITE_CHECK(HasUnconsumedRequests());
     Req r = shared_->req_slots[shared_->Mask(req_cons_)];
+    last_consumed_index_ = req_cons_;
+    last_consumed_stamp_ns_ = shared_->req_stamp_ns[shared_->Mask(req_cons_)];
     ++req_cons_;
     return r;
   }
@@ -149,10 +160,18 @@ class BackRing {
   // accounting: a quiet backend has pushed everything it produced).
   uint32_t unpushed_responses() const { return rsp_prod_pvt_ - shared_->rsp_prod; }
 
+  // Observability: the free-running index and submit stamp of the request
+  // most recently returned by ConsumeRequest (the index doubles as the flow
+  // id's ring-slot-generation component).
+  uint32_t last_consumed_index() const { return last_consumed_index_; }
+  int64_t last_consumed_stamp_ns() const { return last_consumed_stamp_ns_; }
+
  private:
   SharedRing<Req, Rsp>* shared_;
   uint32_t rsp_prod_pvt_ = 0;
   uint32_t req_cons_ = 0;
+  uint32_t last_consumed_index_ = 0;
+  int64_t last_consumed_stamp_ns_ = 0;
 };
 
 }  // namespace kite

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/obs/flow.h"
 
 namespace kite {
 
@@ -32,6 +33,10 @@ NetbackInstance::NetbackInstance(Domain* backend, BmkSched* sched,
   rx_copy_fails_ = reg->counter(backend->name(), ifname(), "rx_copy_fail");
   tx_copy_fails_ = reg->counter(backend->name(), ifname(), "tx_copy_fail");
   tx_unparseable_ = reg->counter(backend->name(), ifname(), "tx_unparseable");
+  tx_queue_ns_ = reg->latency(backend->name(), ifname(), "tx_queue_ns");
+  tx_service_ns_ = reg->latency(backend->name(), ifname(), "tx_service_ns");
+  rx_queue_ns_ = reg->latency(backend->name(), ifname(), "rx_queue_ns");
+  rx_service_ns_ = reg->latency(backend->name(), ifname(), "rx_service_ns");
   // Registry counters outlive instances (same key after a driver-domain
   // restart); ring indices do not. Baselines make the per-instance
   // conservation audit exact across restarts.
@@ -290,6 +295,17 @@ Task NetbackInstance::PusherThread() {
       int batch = 0;
       while (tx_ring_->HasUnconsumedRequests()) {
         NetTxRequest req = tx_ring_->ConsumeRequest();
+        const uint32_t ring_index = tx_ring_->last_consumed_index();
+        const int64_t submit_ns = tx_ring_->last_consumed_stamp_ns();
+        const SimTime popped = sched_->executor()->Now();
+        if (popped.ns() >= submit_ns) {
+          tx_queue_ns_->Record(static_cast<uint64_t>(popped.ns() - submit_ns));
+        }
+        if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+          t->FlowStep(backend_->id(), frontend_dom_, "net.tx", "tx_pop", popped,
+                      MakeFlowId(FlowKind::kNetTx, frontend_dom_, devid_, ring_index),
+                      per_packet);
+        }
         // req.size/req.offset are guest-controlled: reject out-of-page
         // requests *before* allocating a buffer sized by the guest.
         const bool in_bounds = req.size > 0 && req.offset <= kPageSize &&
@@ -310,6 +326,12 @@ Task NetbackInstance::PusherThread() {
         rsp.id = req.id;
         rsp.status = ok ? NetifStatus::kOkay : NetifStatus::kError;
         tx_ring_->ProduceResponse(rsp);
+        const SimTime responded = sched_->executor()->Now();
+        tx_service_ns_->Record(static_cast<uint64_t>((responded - popped).ns()));
+        if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+          t->FlowStep(backend_->id(), frontend_dom_, "net.tx", "tx_rsp", responded,
+                      MakeFlowId(FlowKind::kNetTx, frontend_dom_, devid_, ring_index));
+        }
         if (ok) {
           auto frame = ParseEthernet(bytes);
           if (frame.has_value()) {
@@ -350,7 +372,7 @@ void NetbackInstance::Output(const EthernetFrame& frame) {
     rx_queue_drops_->Inc();
     return;
   }
-  rx_pending_.push_back(frame);
+  rx_pending_.push_back({frame, sched_->executor()->Now().ns()});
   // The stack callback only wakes soft_start (paper §4.2 "Multiple
   // Threads"); the copy work happens on the thread.
   rx_wake_.Signal();
@@ -379,8 +401,19 @@ Task NetbackInstance::SoftStartThread() {
         break;
       }
       NetRxRequest req = rx_ring_->ConsumeRequest();
-      EthernetFrame frame = std::move(rx_pending_.front());
+      const uint32_t ring_index = rx_ring_->last_consumed_index();
+      EthernetFrame frame = std::move(rx_pending_.front().frame);
+      const int64_t arrival_ns = rx_pending_.front().arrival_ns;
       rx_pending_.pop_front();
+      const SimTime picked = sched_->executor()->Now();
+      if (picked.ns() >= arrival_ns) {
+        rx_queue_ns_->Record(static_cast<uint64_t>(picked.ns() - arrival_ns));
+      }
+      if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+        t->FlowBegin(backend_->id(), frontend_dom_, "net.rx", "rx_service", picked,
+                     MakeFlowId(FlowKind::kNetRx, frontend_dom_, devid_, ring_index),
+                     per_packet);
+      }
       Buffer bytes = SerializeEthernet(frame);
       KITE_CHECK(bytes.size() <= kPageSize);
       const bool ok = CopyToGuest(req.gref, bytes);
@@ -394,6 +427,12 @@ Task NetbackInstance::SoftStartThread() {
       rsp.size = ok ? static_cast<int32_t>(bytes.size())
                     : static_cast<int32_t>(NetifStatus::kError);
       rx_ring_->ProduceResponse(rsp);
+      const SimTime responded = sched_->executor()->Now();
+      rx_service_ns_->Record(static_cast<uint64_t>((responded - picked).ns()));
+      if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+        t->FlowStep(backend_->id(), frontend_dom_, "net.rx", "rx_rsp", responded,
+                    MakeFlowId(FlowKind::kNetRx, frontend_dom_, devid_, ring_index));
+      }
       if (ok) {
         // Only a successful copy counts as delivered — a failed copy used to
         // inflate both counters (phantom deliveries under grant faults).

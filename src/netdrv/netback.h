@@ -146,7 +146,13 @@ class NetbackInstance : public NetIf {
 
   WakeFlag tx_wake_;
   WakeFlag rx_wake_;
-  std::deque<EthernetFrame> rx_pending_;
+  // Frames queued toward the guest, with their arrival time so soft_start
+  // can account backend-side queueing delay.
+  struct PendingRx {
+    EthernetFrame frame;
+    int64_t arrival_ns;
+  };
+  std::deque<PendingRx> rx_pending_;
 
   SimTime pusher_last_active_;
   SimTime soft_start_last_active_;
@@ -159,6 +165,12 @@ class NetbackInstance : public NetIf {
   Counter* rx_copy_fails_;
   Counter* tx_copy_fails_;
   Counter* tx_unparseable_;
+  // Stage latencies (ns): queue = time waiting before the worker thread
+  // picked the item up, service = pickup to response produced.
+  LatencyHistogram* tx_queue_ns_;
+  LatencyHistogram* tx_service_ns_;
+  LatencyHistogram* rx_queue_ns_;
+  LatencyHistogram* rx_service_ns_;
   // Counter values at construction (see TxConservationHolds).
   uint64_t tx_frames_base_ = 0;
   uint64_t tx_bad_base_ = 0;

@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/obs/flow.h"
 
 namespace kite {
 
@@ -21,6 +22,7 @@ Netfront::Netfront(Domain* guest, DomId backend_dom, int devid, MacAddr mac,
   recoveries_ = reg->counter(guest->name(), ifname(), "recoveries");
   recovery_drops_ = reg->counter(guest->name(), ifname(), "recovery_drops");
   rx_bad_responses_ = reg->counter(guest->name(), ifname(), "rx_bad_response");
+  tx_complete_ns_ = reg->latency(guest->name(), ifname(), "tx_complete_ns");
   PublishAndInitialise();
   // Watch our own backend-id link: the toolstack rewrites it when it hands
   // this device to a replacement backend domain after a crash. The
@@ -223,13 +225,21 @@ void Netfront::Output(const EthernetFrame& frame) {
   KITE_CHECK(bytes.size() <= kPageSize) << "frame exceeds page";
   std::copy(bytes.begin(), bytes.end(), slot.page->data.begin());
 
+  const SimTime now = hv_->executor()->Now();
+  slot.submit_ns = now.ns();
+  const uint32_t ring_index = tx_ring_->req_prod_pvt();
   NetTxRequest req;
   req.gref = slot.gref;
   req.id = id;
   req.offset = 0;
   req.size = static_cast<uint16_t>(bytes.size());
-  tx_ring_->ProduceRequest(req);
+  tx_ring_->ProduceRequest(req, now.ns());
   CountTx(frame);
+  if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
+    t->FlowBegin(guest_->id(), 0, "net.tx", "tx_submit", now,
+                 MakeFlowId(FlowKind::kNetTx, guest_->id(), devid_, ring_index),
+                 frame_cost_);
+  }
   if (tx_ring_->PushRequests()) {
     hv_->EventSend(guest_, port_);
   }
@@ -241,23 +251,46 @@ void Netfront::OnIrq() {
 }
 
 void Netfront::ProcessTxResponses() {
+  const SimTime now = hv_->executor()->Now();
+  EventTracer* t = hv_->tracer();
+  const bool tracing = t != nullptr && t->enabled();
   do {
     while (tx_ring_->HasUnconsumedResponses()) {
+      // The response for request i reuses logical slot i: the response
+      // consumer index is the flow id's ring-slot generation.
+      const uint32_t ring_index = tx_ring_->rsp_cons();
       NetTxResponse rsp = tx_ring_->ConsumeResponse();
       KITE_CHECK(rsp.id < kNetRingSize);
       if (tx_slots_[rsp.id].in_use) {
         tx_slots_[rsp.id].in_use = false;
         tx_free_ids_.push_back(rsp.id);
+        if (now.ns() >= tx_slots_[rsp.id].submit_ns) {
+          tx_complete_ns_->Record(
+              static_cast<uint64_t>(now.ns() - tx_slots_[rsp.id].submit_ns));
+        }
+      }
+      if (tracing) {
+        t->FlowEnd(guest_->id(), 0, "net.tx", "tx_complete", now,
+                   MakeFlowId(FlowKind::kNetTx, guest_->id(), devid_, ring_index));
       }
     }
   } while (tx_ring_->FinalCheckForResponses());
 }
 
 void Netfront::ProcessRxResponses() {
+  const SimTime now = hv_->executor()->Now();
+  EventTracer* t = hv_->tracer();
+  const bool tracing = t != nullptr && t->enabled();
   do {
     while (rx_ring_->HasUnconsumedResponses()) {
+      const uint32_t ring_index = rx_ring_->rsp_cons();
       NetRxResponse rsp = rx_ring_->ConsumeResponse();
       KITE_CHECK(rsp.id < kNetRingSize);
+      if (tracing) {
+        t->FlowEnd(guest_->id(), 0, "net.rx", "rx_deliver", now,
+                   MakeFlowId(FlowKind::kNetRx, guest_->id(), devid_, ring_index),
+                   frame_cost_);
+      }
       Slot& slot = rx_slots_[rsp.id];
       slot.in_use = false;
       rx_free_ids_.push_back(rsp.id);

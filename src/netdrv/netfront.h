@@ -95,6 +95,7 @@ class Netfront : public NetIf {
     PageRef page;
     GrantRef gref = kInvalidGrantRef;
     bool in_use = false;
+    int64_t submit_ns = 0;  // Tx: when the request was produced (observability).
   };
   std::vector<Slot> tx_slots_;
   std::vector<uint16_t> tx_free_ids_;
@@ -110,6 +111,8 @@ class Netfront : public NetIf {
   Counter* recoveries_;
   Counter* recovery_drops_;
   Counter* rx_bad_responses_;
+  // Submit → tx response consumed, per frame (ns).
+  LatencyHistogram* tx_complete_ns_;
 };
 
 }  // namespace kite

@@ -1,0 +1,40 @@
+// Observability: the cross-domain flow-id scheme (DESIGN.md §10).
+//
+// A flow id names one logical I/O request as it crosses guest → driver
+// domain → device and back. Both ring ends can compute it independently —
+// without any guest-visible protocol change — because the Xen ring's
+// free-running request index is already shared state: the frontend knows it
+// at ProduceRequest time (req_prod_pvt), the backend at ConsumeRequest time
+// (req_cons), and the response for request i reuses logical slot i, so the
+// frontend recovers the same index at rsp_cons when it consumes the
+// response. The free-running (unmasked) index is the "ring slot generation":
+// it distinguishes reuse of the same physical slot across ring wraps for
+// 2^32 requests per ring.
+//
+// Layout: [63:60] kind | [59:44] frontend domid | [43:32] device id | [31:0]
+// free-running ring index. Net Tx and Rx are distinct kinds because they are
+// distinct rings with independent index spaces on the same vif.
+#ifndef SRC_OBS_FLOW_H_
+#define SRC_OBS_FLOW_H_
+
+#include <cstdint>
+
+namespace kite {
+
+enum class FlowKind : uint64_t {
+  kNetTx = 1,
+  kNetRx = 2,
+  kBlk = 3,
+};
+
+constexpr uint64_t MakeFlowId(FlowKind kind, int frontend_domid, int device_id,
+                              uint32_t ring_index) {
+  return (static_cast<uint64_t>(kind) << 60) |
+         ((static_cast<uint64_t>(frontend_domid) & 0xffff) << 44) |
+         ((static_cast<uint64_t>(device_id) & 0xfff) << 32) |
+         static_cast<uint64_t>(ring_index);
+}
+
+}  // namespace kite
+
+#endif  // SRC_OBS_FLOW_H_

@@ -20,6 +20,9 @@ MetricRegistry::Cell* MetricRegistry::GetOrCreate(const MetricKey& key, Kind kin
       case Kind::kHistogram:
         cell.histogram = std::make_unique<Histogram>();
         break;
+      case Kind::kLatency:
+        cell.latency = std::make_unique<LatencyHistogram>();
+        break;
     }
     it = metrics_.emplace(key, std::move(cell)).first;
   }
@@ -44,6 +47,12 @@ Histogram* MetricRegistry::histogram(const std::string& domain, const std::strin
   return GetOrCreate({domain, device, name}, Kind::kHistogram)->histogram.get();
 }
 
+LatencyHistogram* MetricRegistry::latency(const std::string& domain,
+                                          const std::string& device,
+                                          const std::string& name) {
+  return GetOrCreate({domain, device, name}, Kind::kLatency)->latency.get();
+}
+
 std::vector<MetricRegistry::Sample> MetricRegistry::Snapshot(bool skip_zero) const {
   std::vector<Sample> out;
   out.reserve(metrics_.size());
@@ -65,6 +74,16 @@ std::vector<MetricRegistry::Sample> MetricRegistry::Snapshot(bool skip_zero) con
         s.count = cell.histogram->count();
         s.min = cell.histogram->min();
         s.max = cell.histogram->max();
+        break;
+      case Kind::kLatency:
+        s.value = cell.latency->mean();
+        s.count = cell.latency->count();
+        s.min = static_cast<double>(cell.latency->min());
+        s.max = static_cast<double>(cell.latency->max());
+        s.p50 = cell.latency->p50();
+        s.p90 = cell.latency->p90();
+        s.p99 = cell.latency->p99();
+        s.p999 = cell.latency->p999();
         break;
     }
     if (skip_zero && s.value == 0 && s.count == 0) {
@@ -91,6 +110,14 @@ std::string MetricRegistry::FormatTable(bool skip_zero) const {
       case Kind::kHistogram:
         out += StrFormat("  %-52s n=%llu mean=%.2f min=%.2f max=%.2f\n", label.c_str(),
                          static_cast<unsigned long long>(s.count), s.value, s.min, s.max);
+        break;
+      case Kind::kLatency:
+        out += StrFormat(
+            "  %-52s n=%llu p50=%lluns p90=%lluns p99=%lluns p99.9=%lluns max=%lluns\n",
+            label.c_str(), static_cast<unsigned long long>(s.count),
+            static_cast<unsigned long long>(s.p50), static_cast<unsigned long long>(s.p90),
+            static_cast<unsigned long long>(s.p99), static_cast<unsigned long long>(s.p999),
+            static_cast<unsigned long long>(s.max));
         break;
     }
   }

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/latency.h"
+
 namespace kite {
 
 // Monotonic event count. `Set` exists only for counter migration shims
@@ -100,16 +102,24 @@ class MetricRegistry {
                const std::string& name);
   Histogram* histogram(const std::string& domain, const std::string& device,
                        const std::string& name);
+  // Log-bucketed nanosecond distribution with percentile extraction; by
+  // convention the metric name ends in `_ns`.
+  LatencyHistogram* latency(const std::string& domain, const std::string& device,
+                            const std::string& name);
 
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLatency };
 
   struct Sample {
     MetricKey key;
     Kind kind;
-    double value;     // Counter/gauge value; histogram mean.
-    uint64_t count;   // Histogram observation count; 0 otherwise.
-    double min = 0;   // Histogram only.
-    double max = 0;   // Histogram only.
+    double value;     // Counter/gauge value; histogram/latency mean.
+    uint64_t count;   // Histogram/latency observation count; 0 otherwise.
+    double min = 0;   // Histogram/latency only.
+    double max = 0;   // Histogram/latency only.
+    uint64_t p50 = 0;   // Latency only (ns).
+    uint64_t p90 = 0;   // Latency only (ns).
+    uint64_t p99 = 0;   // Latency only (ns).
+    uint64_t p999 = 0;  // Latency only (ns).
   };
 
   // All metrics in deterministic (domain, device, name) order. With
@@ -128,6 +138,7 @@ class MetricRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyHistogram> latency;
   };
 
   Cell* GetOrCreate(const MetricKey& key, Kind kind);

@@ -66,6 +66,37 @@ void EventTracer::Instant(int pid, int tid, const char* cat, const char* name, S
   events_.push_back({'i', pid, tid, cat, name, at.ns(), 0, arg_key, arg_value});
 }
 
+void EventTracer::FlowPoint(char phase, int pid, int tid, const char* cat,
+                            const char* name, SimTime at, uint64_t flow_id,
+                            SimDuration dur) {
+  if (!enabled_) {
+    return;
+  }
+  // Anchor slice first: viewers bind the flow record to the slice that
+  // encloses its timestamp on this thread track.
+  if (Admit()) {
+    events_.push_back({'X', pid, tid, cat, name, at.ns(), dur.ns(), nullptr, 0});
+  }
+  if (Admit()) {
+    events_.push_back({phase, pid, tid, cat, name, at.ns(), 0, nullptr, 0, flow_id});
+  }
+}
+
+void EventTracer::FlowBegin(int pid, int tid, const char* cat, const char* name,
+                            SimTime at, uint64_t flow_id, SimDuration dur) {
+  FlowPoint('s', pid, tid, cat, name, at, flow_id, dur);
+}
+
+void EventTracer::FlowStep(int pid, int tid, const char* cat, const char* name,
+                           SimTime at, uint64_t flow_id, SimDuration dur) {
+  FlowPoint('t', pid, tid, cat, name, at, flow_id, dur);
+}
+
+void EventTracer::FlowEnd(int pid, int tid, const char* cat, const char* name,
+                          SimTime at, uint64_t flow_id, SimDuration dur) {
+  FlowPoint('f', pid, tid, cat, name, at, flow_id, dur);
+}
+
 void EventTracer::SetProcessName(int pid, const std::string& name) {
   process_names_[pid] = name;
 }
@@ -101,8 +132,14 @@ std::string EventTracer::ToJson() const {
                      static_cast<double>(e.ts_ns) / 1e3);
     if (e.phase == 'X') {
       out += StrFormat(",\"dur\":%.3f", static_cast<double>(e.dur_ns) / 1e3);
-    } else {
+    } else if (e.phase == 'i') {
       out += ",\"s\":\"t\"";  // Instant scope: thread.
+    } else {
+      // Flow event ('s'/'t'/'f'): the id correlates begin/step/end records.
+      out += StrFormat(",\"id\":\"0x%llx\"", static_cast<unsigned long long>(e.flow_id));
+      if (e.phase == 'f') {
+        out += ",\"bp\":\"e\"";  // Bind the arrowhead to the enclosing slice.
+      }
     }
     if (e.arg_key != nullptr) {
       out += StrFormat(",\"args\":{\"%s\":%lld}", e.arg_key,

@@ -44,6 +44,19 @@ class EventTracer {
   void Instant(int pid, int tid, const char* cat, const char* name, SimTime at,
                const char* arg_key = nullptr, int64_t arg_value = 0);
 
+  // Flow events stitch one logical request across domains: a FlowBegin at
+  // the producing side, FlowSteps at intermediate hops, a FlowEnd at the
+  // completing side, all carrying the same 64-bit `flow_id` (DESIGN.md §10).
+  // Each call also records an anchor slice ("ph":"X", duration `dur`) at the
+  // same point, because viewers bind flow arrows to an enclosing slice on
+  // the thread track; pass the stage's charged cost when one exists, else 0.
+  void FlowBegin(int pid, int tid, const char* cat, const char* name, SimTime at,
+                 uint64_t flow_id, SimDuration dur = SimDuration(0));
+  void FlowStep(int pid, int tid, const char* cat, const char* name, SimTime at,
+                uint64_t flow_id, SimDuration dur = SimDuration(0));
+  void FlowEnd(int pid, int tid, const char* cat, const char* name, SimTime at,
+               uint64_t flow_id, SimDuration dur = SimDuration(0));
+
   // Metadata: names the pid track ("process_name") in the viewer.
   void SetProcessName(int pid, const std::string& name);
 
@@ -59,7 +72,7 @@ class EventTracer {
 
  private:
   struct Event {
-    char phase;  // 'X' or 'i'.
+    char phase;  // 'X', 'i', or flow 's'/'t'/'f'.
     int pid;
     int tid;
     const char* cat;
@@ -68,9 +81,12 @@ class EventTracer {
     int64_t dur_ns;
     const char* arg_key;  // nullptr when the event has no argument.
     int64_t arg_value;
+    uint64_t flow_id = 0;  // Flow events only.
   };
 
   bool Admit();
+  void FlowPoint(char phase, int pid, int tid, const char* cat, const char* name,
+                 SimTime at, uint64_t flow_id, SimDuration dur);
 
   bool enabled_ = false;
   size_t max_events_;

@@ -3,10 +3,19 @@
 // well-formedness (Chrome trace_event JSON).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "src/base/strings.h"
 #include "src/core/system.h"
+#include "src/obs/flow.h"
+#include "src/obs/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -99,6 +108,120 @@ TEST(MetricRegistryTest, FormatTableContainsKeyAndValue) {
   const std::string table = reg.FormatTable();
   EXPECT_NE(table.find("kite-netdom/vif1.0/guest_tx_frames"), std::string::npos);
   EXPECT_NE(table.find("42"), std::string::npos);
+}
+
+// --- LatencyHistogram. ---
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // The first two octaves are unit-width buckets: every value below 64
+  // round-trips exactly through index → lower bound.
+  for (uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesRoundTrip) {
+  // A bucket's lower bound must map back to the same bucket, and any value
+  // inside the bucket must map to an index whose bounds bracket it.
+  for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    const uint64_t next = LatencyHistogram::BucketLowerBound(i + 1);
+    ASSERT_LT(lo, next) << i;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(next - 1), i);
+  }
+  // Sub-bucket resolution: the relative quantisation error is bounded by
+  // 1/32 everywhere (bucket width ≤ lower bound / 32 past the exact range).
+  for (uint64_t v : {64ull, 100ull, 4096ull, 1000000ull, 123456789ull, 1ull << 40}) {
+    const int i = LatencyHistogram::BucketIndex(v);
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    EXPECT_LE(lo, v);
+    EXPECT_LT(v, LatencyHistogram::BucketLowerBound(i + 1));
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(i + 1) - lo, std::max<uint64_t>(1, lo / 32));
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleDominatesEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(4096);  // An exact bucket boundary: percentiles report it exactly.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 4096u);
+  EXPECT_EQ(h.max(), 4096u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4096.0);
+  for (double p : {0.1, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 4096u) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesMatchSortedReferenceOn10kSamples) {
+  // mt19937 with a fixed seed is fully specified by the standard, so the
+  // sample set is identical on every platform.
+  std::mt19937_64 rng(12345);
+  LatencyHistogram h;
+  std::vector<uint64_t> reference;
+  reference.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    // Log-uniform-ish spread from sub-µs to seconds, like real stage times.
+    const uint64_t v = (rng() % 1000) << (rng() % 21);
+    h.Record(v);
+    reference.push_back(v);
+  }
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(h.count(), reference.size());
+  EXPECT_EQ(h.min(), reference.front());
+  EXPECT_EQ(h.max(), reference.back());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    // Nearest-rank reference value.
+    const size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * reference.size()));
+    const uint64_t exact = reference[std::max<size_t>(rank, 1) - 1];
+    const uint64_t approx = h.Percentile(p);
+    // The histogram answers with the containing bucket's lower bound, so it
+    // never overshoots and undershoots by at most the bucket width (≤ 1/32).
+    EXPECT_LE(approx, exact) << p;
+    EXPECT_LE(exact - approx, std::max<uint64_t>(1, exact / 32)) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(1000000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.p50(), 7u);
+}
+
+TEST(MetricRegistryTest, LatencyKindRegistersSnapshotsAndFormats) {
+  MetricRegistry reg;
+  LatencyHistogram* h = reg.latency("guest0", "xn0", "tx_complete_ns");
+  EXPECT_EQ(h, reg.latency("guest0", "xn0", "tx_complete_ns"));
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h->Record(v * 1000);  // 1µs..100µs.
+  }
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricRegistry::Kind::kLatency);
+  EXPECT_EQ(samples[0].count, 100u);
+  EXPECT_EQ(samples[0].p50, h->p50());
+  EXPECT_EQ(samples[0].p999, h->p999());
+  EXPECT_GT(samples[0].p99, samples[0].p50);
+  const std::string table = reg.FormatTable();
+  EXPECT_NE(table.find("guest0/xn0/tx_complete_ns"), std::string::npos);
+  EXPECT_NE(table.find("p50="), std::string::npos);
+  EXPECT_NE(table.find("p99.9="), std::string::npos);
 }
 
 // --- EventTracer. ---
@@ -205,6 +328,114 @@ TEST(EventTracerTest, MidRunEnableStillNamesDomainTracks) {
   EXPECT_NE(json.find("\"process_name\""), std::string::npos);
   EXPECT_NE(json.find("Domain-0"), std::string::npos);
   EXPECT_NE(json.find("kite-netdom"), std::string::npos);
+}
+
+// Collects the flow correlation ids of every event with the given phase
+// ('s' begin, 't' step, 'f' end). Relies on ToJson emitting "id" after "ph"
+// within one event object.
+std::multiset<std::string> FlowIds(const std::string& json, char phase) {
+  std::multiset<std::string> ids;
+  const std::string needle = std::string("\"ph\":\"") + phase + "\"";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    const size_t close = json.find('}', pos);
+    const size_t id = json.find("\"id\":\"", pos);
+    if (id != std::string::npos && close != std::string::npos && id < close) {
+      const size_t start = id + 6;
+      const size_t end = json.find('"', start);
+      ids.insert(json.substr(start, end - start));
+    }
+    pos += needle.size();
+  }
+  return ids;
+}
+
+TEST(EventTracerTest, FlowEventsRoundTripWithBalancedIds) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  const uint64_t id1 = MakeFlowId(FlowKind::kNetTx, 3, 0, 17);
+  const uint64_t id2 = MakeFlowId(FlowKind::kBlk, 3, 1, 17);
+  tracer.FlowBegin(3, 0, "net.tx", "tx_submit", SimTime{} + Micros(1), id1, Nanos(250));
+  tracer.FlowStep(1, 3, "net.tx", "tx_pop", SimTime{} + Micros(2), id1, Nanos(400));
+  tracer.FlowEnd(3, 0, "net.tx", "tx_complete", SimTime{} + Micros(3), id1);
+  tracer.FlowBegin(3, 0, "blk", "req_submit", SimTime{} + Micros(4), id2);
+  tracer.FlowEnd(3, 0, "blk", "req_complete", SimTime{} + Micros(5), id2);
+  // Each flow point also records an anchor slice for the viewer to bind the
+  // arrow to: 5 flow records + 5 anchors.
+  EXPECT_EQ(tracer.size(), 10u);
+  const std::string json = tracer.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_EQ(FlowIds(json, 's'), FlowIds(json, 'f'));  // Every span closed.
+  EXPECT_EQ(FlowIds(json, 's').size(), 2u);
+  EXPECT_EQ(FlowIds(json, 't').count("0x" + StrFormat("%llx", (unsigned long long)id1)), 1u);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);  // End binds enclosing slice.
+  // Distinct kinds keep distinct ids even with equal ring indices.
+  EXPECT_NE(id1, id2);
+}
+
+TEST(EventTracerTest, CrossDomainRequestFlowsCompleteOnBothPaths) {
+  // End-to-end: a ping (rx + tx through the network domain) and a disk read
+  // (through the storage domain) must each leave at least one fully closed
+  // flow — FlowBegin and FlowEnd with the same id — in the trace.
+  KiteSystem sys;
+  sys.EnableTracing();
+  NetworkDomain* netdom = sys.CreateNetworkDomain();
+  StorageDomain* stordom = sys.CreateStorageDomain();
+  GuestVm* guest = sys.CreateGuest("flow-guest");
+  sys.AttachVif(guest, netdom, Ipv4Addr::FromOctets(10, 0, 0, 10));
+  sys.AttachVbd(guest, stordom);
+  ASSERT_TRUE(sys.WaitConnected(guest));
+  bool pinged = false;
+  sys.client()->stack()->Ping(Ipv4Addr::FromOctets(10, 0, 0, 10), 56,
+                              [&](bool ok, SimDuration) { pinged = ok; });
+  ASSERT_TRUE(sys.WaitUntil([&] { return pinged; }));
+  bool read_done = false;
+  guest->blkfront()->Read(0, 4096, nullptr, [&](bool ok) { read_done = ok; });
+  ASSERT_TRUE(sys.WaitUntil([&] { return read_done; }));
+  sys.RunFor(Millis(1));  // Let trailing responses drain.
+  const std::string json = sys.tracer().ToJson();
+  EXPECT_TRUE(JsonBalanced(json));
+  const auto begins = FlowIds(json, 's');
+  const auto ends = FlowIds(json, 'f');
+  ASSERT_FALSE(ends.empty());
+  // Every end closes a begin of the same id.
+  for (const std::string& id : ends) {
+    EXPECT_GE(begins.count(id), ends.count(id)) << id;
+  }
+  // At least one *completed* flow per path: the FlowKind tag is the top
+  // nibble of the id (net.tx=1, net.rx=2, blk=3).
+  for (const char* prefix : {"0x1", "0x2", "0x3"}) {
+    const bool complete = std::any_of(ends.begin(), ends.end(), [&](const std::string& id) {
+      return id.rfind(prefix, 0) == 0 && begins.count(id) > 0;
+    });
+    EXPECT_TRUE(complete) << "no completed flow with kind prefix " << prefix;
+  }
+}
+
+TEST(KiteSystemTest, KiteTraceEnvVarEnablesAndDumpsOnDestruction) {
+  const std::string path = testing::TempDir() + "/kite_trace_env_test.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("KITE_TRACE", path.c_str(), /*overwrite=*/1), 0);
+  {
+    KiteSystem sys;
+    EXPECT_TRUE(sys.tracer().enabled());
+    sys.CreateNetworkDomain();
+    sys.RunFor(Millis(1));
+  }
+  unsetenv("KITE_TRACE");
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "destructor did not dump to $KITE_TRACE";
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonBalanced(contents));
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("kite-netdom"), std::string::npos);
 }
 
 TEST(EventTracerTest, DumpTraceWritesFile) {
