@@ -10,6 +10,8 @@ namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
 std::array<std::atomic<int>, 5> g_emit_counts{};
+FatalHandler g_fatal_handler;
+bool g_in_fatal_handler = false;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,6 +35,12 @@ LogLevel GetLogThreshold() { return g_threshold.load(std::memory_order_relaxed);
 
 void SetLogThreshold(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
 
+FatalHandler SetFatalHandler(FatalHandler handler) {
+  FatalHandler previous = std::move(g_fatal_handler);
+  g_fatal_handler = std::move(handler);
+  return previous;
+}
+
 int GetLogEmitCount(LogLevel level) {
   return g_emit_counts[static_cast<int>(level)].load(std::memory_order_relaxed);
 }
@@ -53,6 +61,13 @@ LogMessage::~LogMessage() {
                  stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) {
+    // The check message above is already on stderr, so the bundle the
+    // handler dumps can reference it; the re-entrancy guard means a fatal
+    // inside the handler aborts with the partial dump instead of recursing.
+    if (g_fatal_handler && !g_in_fatal_handler) {
+      g_in_fatal_handler = true;
+      g_fatal_handler();
+    }
     std::abort();
   }
 }

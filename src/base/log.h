@@ -5,6 +5,7 @@
 #ifndef SRC_BASE_LOG_H_
 #define SRC_BASE_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,16 @@ enum class LogLevel : int {
 // Global log threshold; messages below it are discarded.
 LogLevel GetLogThreshold();
 void SetLogThreshold(LogLevel level);
+
+// Crash hook: invoked once when a kFatal message (KITE_CHECK failure) fires,
+// after the message itself is written to stderr and before std::abort().
+// KiteSystem installs a handler that dumps the one-shot diagnostic bundle
+// (flight recorder, health table, pending events, metrics) so an abort in
+// any binary leaves a black box behind. Returns the previously installed
+// handler so nested owners can restore it on destruction. A fatal raised
+// *while* the handler runs aborts immediately instead of recursing.
+using FatalHandler = std::function<void()>;
+FatalHandler SetFatalHandler(FatalHandler handler);
 
 // One log statement. Accumulates a message and emits it on destruction.
 // kFatal aborts the process after emitting.

@@ -59,6 +59,12 @@ void BlockDevice::TryStart() {
 }
 
 void BlockDevice::Complete(DiskRequest request) {
+  if (faults_ != nullptr && faults_->ShouldFail(FaultSite::kDiskHang)) {
+    // Hung controller: park the completion without releasing the queue-depth
+    // slot, so a saturated queue wedges exactly like real stuck hardware.
+    hung_.push_back(std::move(request));
+    return;
+  }
   --active_;
   if (faults_ != nullptr && faults_->ShouldFail(FaultSite::kDiskIo)) {
     ++io_errors_;
@@ -90,6 +96,14 @@ void BlockDevice::Complete(DiskRequest request) {
   auto done = std::move(request.done);
   done(true, std::move(data));
   TryStart();
+}
+
+void BlockDevice::ReleaseHungIo() {
+  std::deque<DiskRequest> revived = std::move(hung_);
+  hung_.clear();
+  for (DiskRequest& req : revived) {
+    executor_->Post([this, req = std::move(req)]() mutable { Complete(std::move(req)); });
+  }
 }
 
 void BlockDevice::WriteRaw(int64_t offset, std::span<const uint8_t> data) {

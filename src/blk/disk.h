@@ -54,8 +54,16 @@ class BlockDevice : public PciDevice {
   void Submit(DiskRequest request);
 
   // Optional fault injection: completions roll FaultSite::kDiskIo; a trip
-  // completes the request with ok=false and no data/content effect.
+  // completes the request with ok=false and no data/content effect. A
+  // FaultSite::kDiskHang trip instead parks the completion — the op neither
+  // completes nor errors and its queue-depth slot stays busy (a hung
+  // controller) — until ReleaseHungIo re-posts it.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // Revives every parked completion (each re-rolls the fault sites, so clear
+  // the kDiskHang rate first unless re-parking is intended).
+  void ReleaseHungIo();
+  int hung_io_count() const { return static_cast<int>(hung_.size()); }
 
   // Direct (out-of-band) access for tests and for pre-populating content.
   void WriteRaw(int64_t offset, std::span<const uint8_t> data);
@@ -79,6 +87,7 @@ class BlockDevice : public PciDevice {
   FaultInjector* faults_ = nullptr;
 
   std::deque<DiskRequest> queue_;
+  std::deque<DiskRequest> hung_;  // Completions parked by kDiskHang.
   int active_ = 0;
   SimTime bw_free_at_;
 

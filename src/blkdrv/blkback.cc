@@ -40,6 +40,12 @@ BlkbackInstance::BlkbackInstance(Domain* backend, BmkSched* sched,
 
 BlkbackInstance::~BlkbackInstance() {
   *alive_ = false;
+  // Normally BeginShutdown already unregistered; the driver-destructor path
+  // tears instances down without it, and a stale sampler would dangle.
+  if (health_id_ != 0 && hv_->health() != nullptr) {
+    hv_->health()->Unregister(health_id_);
+    health_id_ = 0;
+  }
   if (port_ != kInvalidPort) {
     hv_->EventClose(backend_, port_);
   }
@@ -122,6 +128,26 @@ bool BlkbackInstance::Connect() {
   connected_ = true;
   XenbusClient bus(&hv_->store(), backend_->id());
   bus.SwitchState(backend_path_, XenbusState::kConnected);
+  // Watchdog sampler. queue_depth counts requests consumed off the ring but
+  // not yet answered — exactly the in-flight disk work. A hung controller
+  // freezes rsp_prod while queue_depth stays positive, which is the stall
+  // signature the monitor keys on.
+  if (HealthMonitor* hm = hv_->health(); hm != nullptr) {
+    health_id_ = hm->Register(backend_->id(), backend_->name(),
+                              StrFormat("vbd%d.%d", frontend_dom_, devid_), devid_,
+                              [this] {
+                                HealthSample s;
+                                s.connected = connected_;
+                                if (ring_ != nullptr) {
+                                  s.req_cons = ring_->req_cons();
+                                  s.req_prod = s.req_cons + ring_->UnconsumedRequests();
+                                  s.rsp_prod = ring_->rsp_prod_pvt();
+                                  s.queue_depth = static_cast<int>(
+                                      ring_->req_cons() - ring_->rsp_prod_pvt());
+                                }
+                                return s;
+                              });
+  }
   return true;
 }
 
@@ -131,6 +157,12 @@ void BlkbackInstance::BeginShutdown() {
   }
   stopping_ = true;
   connected_ = false;
+  // Deregister from the watchdog before the ring goes away: a dead
+  // frontend's frozen ring must not read as a stall.
+  if (health_id_ != 0 && hv_->health() != nullptr) {
+    hv_->health()->Unregister(health_id_);
+    health_id_ = 0;
+  }
   if (port_ != kInvalidPort) {
     hv_->EventClose(backend_, port_);
     port_ = kInvalidPort;
@@ -472,7 +504,12 @@ void BlkbackInstance::SendResponse(const std::shared_ptr<ReqState>& req) {
                 MakeFlowId(FlowKind::kBlk, frontend_dom_, devid_, req->ring_index));
   }
   // Late disk completions can land after BeginShutdown closed the port.
-  if (ring_->PushResponses() && port_ != kInvalidPort) {
+  const bool notify = ring_->PushResponses();
+  if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+    fr->Record(backend_->id(), FlightKind::kRingPush, devid_, ring_->rsp_prod_pvt(),
+               ring_->req_cons());
+  }
+  if (notify && port_ != kInvalidPort) {
     hv_->EventSend(backend_, port_);
   }
 }
@@ -572,6 +609,10 @@ void StorageBackendDriver::ReapDeadInstances() {
       }
     });
     inst->BeginShutdown();
+    if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+      fr->Record(backend_->id(), FlightKind::kInstanceReaped, key.second,
+                 static_cast<uint64_t>(key.first));
+    }
     if (!inst->drained()) {
       dying_.push_back(std::move(inst));
     }

@@ -132,6 +132,8 @@ class BlkbackInstance {
   MappedGrant ring_map_;
   std::unique_ptr<BlkBackRing> ring_;
   EvtPort port_ = kInvalidPort;
+  // Watchdog registration (0 = never registered / already unregistered).
+  int64_t health_id_ = 0;
   WakeFlag wake_;
   SimTime last_active_;
   bool frontend_persistent_ = false;

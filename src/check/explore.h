@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "src/check/invariants.h"
+#include "src/core/invariants.h"
 
 namespace kite {
 
@@ -27,6 +27,10 @@ struct ExploreOptions {
   uint64_t seed = 1;
   // Print per-phase progress to stderr (replay/debugging aid).
   bool verbose = false;
+  // Watchdog thresholds for the explored system. CI sweeps seeds with these
+  // tightened far below the defaults to prove the watchdog never false-flags
+  // a healthy-but-busy backend on any explored schedule.
+  HealthParams health;
 };
 
 struct ExploreReport {
@@ -44,6 +48,14 @@ ExploreReport RunExploreSeed(const ExploreOptions& opts);
 
 // Failure reports end with the exact replay command line.
 std::string FormatReport(const ExploreReport& report);
+
+// Deterministic end-to-end stall demo (the CI negative watchdog job): wedges
+// netback (a swallowed TX kick) and blkback (a hung disk controller), waits
+// for the watchdog to flag both instances stalled, writes the diagnostic
+// bundle to `dump_path`, then recovers — ReleaseHungIo for the disk, a
+// driver-domain restart for the network — and verifies the system quiesces
+// with every invariant holding and every surviving instance healthy again.
+bool RunStallDemo(const std::string& dump_path);
 
 }  // namespace kite
 

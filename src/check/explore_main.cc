@@ -37,22 +37,42 @@ int main(int argc, char** argv) {
   uint64_t first_seed = 1;
   uint64_t num_seeds = 0;  // 0: single --seed run.
   bool verbose = false;
+  kite::HealthParams health;
+  std::string stall_demo_path;
   for (int i = 1; i < argc; ++i) {
     uint64_t v = 0;
     if (ParseU64Flag(argv[i], "--seed", &v)) {
       first_seed = v;
     } else if (ParseU64Flag(argv[i], "--seeds", &v)) {
       num_seeds = v;
+    } else if (ParseU64Flag(argv[i], "--probe-us", &v)) {
+      health.probe_period = kite::Micros(static_cast<int64_t>(v));
+    } else if (ParseU64Flag(argv[i], "--degraded-us", &v)) {
+      health.degraded_after = kite::Micros(static_cast<int64_t>(v));
+    } else if (ParseU64Flag(argv[i], "--stalled-us", &v)) {
+      health.stalled_after = kite::Micros(static_cast<int64_t>(v));
+    } else if (std::strncmp(argv[i], "--stall-demo=", 13) == 0) {
+      stall_demo_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=S | --seeds=N] [--verbose]\n"
-                   "  --seed=S   run (replay) exactly seed S\n"
-                   "  --seeds=N  sweep seeds 1..N\n",
+                   "          [--probe-us=U] [--degraded-us=U] [--stalled-us=U]\n"
+                   "          [--stall-demo=PATH]\n"
+                   "  --seed=S          run (replay) exactly seed S\n"
+                   "  --seeds=N         sweep seeds 1..N\n"
+                   "  --probe-us=U      watchdog probe period (microseconds)\n"
+                   "  --degraded-us=U   watchdog degraded threshold\n"
+                   "  --stalled-us=U    watchdog stalled threshold\n"
+                   "  --stall-demo=PATH wedge both backends, dump diagnostics to\n"
+                   "                    PATH, recover, and verify (no seed sweep)\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!stall_demo_path.empty()) {
+    return kite::RunStallDemo(stall_demo_path) ? 0 : 1;
   }
   const uint64_t last_seed = num_seeds > 0 ? num_seeds : first_seed;
   if (num_seeds > 0) {
@@ -70,6 +90,7 @@ int main(int argc, char** argv) {
     kite::ExploreOptions opts;
     opts.seed = seed;
     opts.verbose = verbose;
+    opts.health = health;
     const kite::ExploreReport report = kite::RunExploreSeed(opts);
     std::fputs(kite::FormatReport(report).c_str(), stdout);
     std::fflush(stdout);

@@ -1,0 +1,299 @@
+// kite_inspect: render BENCH_*.json files and diagnostic dumps as a
+// per-domain, top-style terminal view.
+//
+//   kite_inspect BENCH_fig06_nuttcp.json      one bench result
+//   kite_inspect BENCH_*.json                 several (shell glob)
+//   kite_inspect stall-dump.txt               summarize a DumpDiagnostics file
+//
+// Bench JSON is the machine-readable pipeline output (bench/common.h): flat
+// arrays of one-object-per-line rows. The parser below leans on exactly that
+// shape — it is a line scanner, not a general JSON parser, which keeps this
+// binary dependency-free (links kite_base only).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+
+namespace {
+
+using kite::StrFormat;
+
+// --- Line-level field extraction for bench rows. ---
+
+// Value of "key":"..." on this line (optional space after the colon), or
+// empty.
+std::string FieldStr(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  at += needle.size();
+  while (at < line.size() && line[at] == ' ') {
+    ++at;
+  }
+  if (at >= line.size() || line[at] != '"') {
+    return "";
+  }
+  const size_t begin = at + 1;
+  std::string out;
+  for (size_t i = begin; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      return out;
+    } else {
+      out.push_back(line[i]);
+    }
+  }
+  return out;
+}
+
+// Value of "key":<number> on this line, or fallback.
+double FieldNum(const std::string& line, const std::string& key, double fallback = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos || line.compare(at + needle.size(), 1, "\"") == 0) {
+    return fallback;
+  }
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+std::string HumanCount(double v) {
+  if (v >= 1e9) {
+    return StrFormat("%.2fG", v / 1e9);
+  }
+  if (v >= 1e6) {
+    return StrFormat("%.2fM", v / 1e6);
+  }
+  if (v >= 1e4) {
+    return StrFormat("%.1fk", v / 1e3);
+  }
+  return StrFormat("%.10g", v);
+}
+
+struct CounterRow {
+  std::string label;
+  std::string domain;
+  std::string device;
+  std::string name;
+  double value = 0;
+};
+
+struct StageRow {
+  std::string label;
+  std::string key;
+  double count = 0, p50 = 0, p99 = 0;
+};
+
+// Splits "domain/device/name" (device may contain no '/', the key always has
+// exactly two separators by construction).
+bool SplitKey(const std::string& key, CounterRow* row) {
+  const size_t a = key.find('/');
+  if (a == std::string::npos) {
+    return false;
+  }
+  const size_t b = key.find('/', a + 1);
+  if (b == std::string::npos) {
+    return false;
+  }
+  row->domain = key.substr(0, a);
+  row->device = key.substr(a + 1, b - a - 1);
+  row->name = key.substr(b + 1);
+  return true;
+}
+
+int InspectBenchJson(const std::string& path, std::ifstream& in) {
+  std::string line;
+  std::string figure, title, git_sha, params;
+  std::vector<std::string> series, latency;
+  std::vector<CounterRow> counters;
+  std::vector<StageRow> stages;
+  enum Section { kNone, kSeries, kLatency, kStage, kCounters } section = kNone;
+  while (std::getline(in, line)) {
+    if (line.find("\"figure\":") != std::string::npos) {
+      figure = FieldStr(line, "figure");
+    } else if (line.find("\"title\":") != std::string::npos && title.empty()) {
+      title = FieldStr(line, "title");
+    } else if (line.find("\"git_sha\":") != std::string::npos) {
+      git_sha = FieldStr(line, "git_sha");
+    } else if (line.find("\"params\":") != std::string::npos) {
+      const size_t open = line.find('{');
+      const size_t close = line.rfind('}');
+      if (open != std::string::npos && close != std::string::npos && close > open) {
+        params = line.substr(open + 1, close - open - 1);
+      }
+    } else if (line.find("\"series\": [") != std::string::npos) {
+      section = kSeries;
+    } else if (line.find("\"latency\": [") != std::string::npos) {
+      section = kLatency;
+    } else if (line.find("\"stage_latency_ns\": [") != std::string::npos) {
+      section = kStage;
+    } else if (line.find("\"counters\": [") != std::string::npos) {
+      section = kCounters;
+    } else if (line.find('{') != std::string::npos && section != kNone) {
+      switch (section) {
+        case kSeries:
+          series.push_back(StrFormat("%-28s %-20s %s",
+                                     FieldStr(line, "name").c_str(),
+                                     FieldStr(line, "label").c_str(),
+                                     StrFormat("%.10g", FieldNum(line, "value")).c_str()));
+          break;
+        case kLatency:
+          latency.push_back(StrFormat(
+              "%-28s %-20s n=%-9s p50=%-9s p99=%-9s max=%s",
+              FieldStr(line, "name").c_str(), FieldStr(line, "label").c_str(),
+              HumanCount(FieldNum(line, "count")).c_str(),
+              StrFormat("%.1fus", FieldNum(line, "p50_ns") / 1e3).c_str(),
+              StrFormat("%.1fus", FieldNum(line, "p99_ns") / 1e3).c_str(),
+              StrFormat("%.1fus", FieldNum(line, "max_ns") / 1e3).c_str()));
+          break;
+        case kStage: {
+          StageRow s;
+          s.label = FieldStr(line, "label");
+          s.key = FieldStr(line, "key");
+          s.count = FieldNum(line, "count");
+          s.p50 = FieldNum(line, "p50");
+          s.p99 = FieldNum(line, "p99");
+          stages.push_back(std::move(s));
+          break;
+        }
+        case kCounters: {
+          CounterRow c;
+          c.label = FieldStr(line, "label");
+          c.value = FieldNum(line, "value");
+          if (SplitKey(FieldStr(line, "key"), &c)) {
+            counters.push_back(std::move(c));
+          }
+          break;
+        }
+        case kNone:
+          break;
+      }
+    }
+  }
+
+  std::printf("== %s — %s (git %s)\n", figure.empty() ? path.c_str() : figure.c_str(),
+              title.c_str(), git_sha.empty() ? "?" : git_sha.c_str());
+  if (!params.empty()) {
+    std::printf("   params: %s\n", params.c_str());
+  }
+  if (!series.empty()) {
+    std::printf("-- series --\n");
+    for (const std::string& s : series) {
+      std::printf("  %s\n", s.c_str());
+    }
+  }
+  if (!latency.empty()) {
+    std::printf("-- workload latency --\n");
+    for (const std::string& s : latency) {
+      std::printf("  %s\n", s.c_str());
+    }
+  }
+
+  // The top-style view: per run label, per domain, its devices' counters.
+  std::map<std::string, std::map<std::string, std::map<std::string, std::string>>> top;
+  for (const CounterRow& c : counters) {
+    std::string& cell = top[c.label][c.domain][c.device];
+    if (!cell.empty()) {
+      cell += " ";
+    }
+    cell += c.name + "=" + HumanCount(c.value);
+  }
+  for (const auto& [label, domains] : top) {
+    std::printf("-- run %s: %zu domain(s) --\n", label.c_str(), domains.size());
+    for (const auto& [domain, devices] : domains) {
+      std::printf("  %s\n", domain.c_str());
+      for (const auto& [device, cell] : devices) {
+        std::printf("    %-16s %s\n", device.c_str(), cell.c_str());
+      }
+    }
+    for (const StageRow& s : stages) {
+      if (s.label == label) {
+        std::printf("  stage %-40s n=%-9s p50=%.1fus p99=%.1fus\n", s.key.c_str(),
+                    HumanCount(s.count).c_str(), s.p50 / 1e3, s.p99 / 1e3);
+      }
+    }
+  }
+  return 0;
+}
+
+// A DumpDiagnostics text file: health and invariants verbatim (the triage
+// signal), everything else as one-line section sizes.
+int InspectDiagnosticsDump(const std::string& path, std::ifstream& in) {
+  std::string line, section = "preamble";
+  std::map<std::string, std::vector<std::string>> sections;
+  while (std::getline(in, line)) {
+    if (line.rfind("---- ", 0) == 0) {
+      const size_t end = line.find(" ----", 5);
+      section = end != std::string::npos ? line.substr(5, end - 5) : line;
+      continue;
+    }
+    if (line.rfind("====", 0) == 0) {
+      continue;
+    }
+    sections[section].push_back(line);
+  }
+  std::printf("== diagnostics %s\n", path.c_str());
+  for (const char* verbatim : {"health", "invariants"}) {
+    std::printf("-- %s --\n", verbatim);
+    for (const std::string& l : sections[verbatim]) {
+      std::printf("%s\n", l.c_str());
+    }
+  }
+  for (const auto& [name, lines] : sections) {
+    if (name == "health" || name == "invariants" || name == "preamble") {
+      continue;
+    }
+    std::printf("-- %s: %zu line(s) (see %s) --\n", name.c_str(), lines.size(),
+                path.c_str());
+  }
+  return 0;
+}
+
+int InspectFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "kite_inspect: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  // Sniff the format: bench JSON starts with '{'; a DumpDiagnostics file
+  // starts with its banner.
+  std::string first;
+  std::getline(in, first);
+  in.seekg(0);
+  if (first.rfind('{', 0) == 0) {
+    return InspectBenchJson(path, in);
+  }
+  if (first.rfind("==== KITE DIAGNOSTICS", 0) == 0) {
+    return InspectDiagnosticsDump(path, in);
+  }
+  std::fprintf(stderr,
+               "kite_inspect: %s is neither a BENCH_*.json nor a diagnostics dump\n",
+               path.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_*.json | diagnostics-dump.txt> [more files...]\n",
+                 argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) {
+      std::printf("\n");
+    }
+    rc |= InspectFile(argv[i]);
+  }
+  return rc;
+}

@@ -1,4 +1,4 @@
-#include "src/check/invariants.h"
+#include "src/core/invariants.h"
 
 #include "src/base/strings.h"
 
@@ -20,6 +20,7 @@ std::vector<Violation> InvariantChecker::Check() {
   CheckNetInstances();
   CheckBlkInstances();
   CheckDiskLedger();
+  CheckInstanceHealth();
   return std::move(violations_);
 }
 
@@ -193,6 +194,22 @@ void InvariantChecker::CheckDiskLedger() {
     Fail("disk-ledger", StrFormat("device_ops submitted=%llu != completed=%llu",
                                   static_cast<unsigned long long>(submitted),
                                   static_cast<unsigned long long>(completed)));
+  }
+}
+
+void InvariantChecker::CheckInstanceHealth() {
+  // Re-probe instead of trusting the last periodic tick: the verdicts must
+  // reflect the quiesced rings, not the state mid-drain one probe ago.
+  HealthMonitor& hm = sys_->health();
+  hm.ProbeNow();
+  for (const HealthMonitor::InstanceInfo& info : hm.Instances()) {
+    if (info.state != HealthState::kHealthy) {
+      Fail("instance-health",
+           StrFormat("%s/%s is %s at quiesce (stall age %.3f ms, backlog %u)",
+                     info.domain_name.c_str(), info.device.c_str(),
+                     HealthStateName(info.state), info.stall_age.ms(),
+                     static_cast<unsigned>(info.backlog)));
+    }
   }
 }
 

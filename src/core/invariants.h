@@ -11,8 +11,8 @@
 // All invariants assume the system is quiesced (RunUntilIdle was called and
 // the executor's queue is empty); the checker verifies that precondition
 // first and reports everything else only when it holds.
-#ifndef SRC_CHECK_INVARIANTS_H_
-#define SRC_CHECK_INVARIANTS_H_
+#ifndef SRC_CORE_INVARIANTS_H_
+#define SRC_CORE_INVARIANTS_H_
 
 #include <string>
 #include <vector>
@@ -53,6 +53,10 @@ class InvariantChecker {
   void CheckBlkInstances();
   // Disk-op conservation across every vbd ever connected.
   void CheckDiskLedger();
+  // Watchdog verdicts: at quiesce (after a fresh probe) every registered
+  // instance must be healthy — a degraded/stalled verdict that survives
+  // quiesce means recovery never actually happened.
+  void CheckInstanceHealth();
 
   KiteSystem* sys_;
   std::vector<Violation> violations_;
@@ -60,4 +64,4 @@ class InvariantChecker {
 
 }  // namespace kite
 
-#endif  // SRC_CHECK_INVARIANTS_H_
+#endif  // SRC_CORE_INVARIANTS_H_

@@ -1,16 +1,39 @@
 #include "src/core/system.h"
 
 #include <cstdlib>
+#include <iostream>
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/core/invariants.h"
 
 namespace kite {
 
 KiteSystem::KiteSystem(Params params)
-    : params_(params), faults_(params_.fault_seed, &metrics_) {
+    : params_(params),
+      recorder_(&executor_),
+      health_(&executor_, &metrics_, &recorder_, params_.health),
+      faults_(params_.fault_seed, &metrics_) {
   hv_ = std::make_unique<Hypervisor>(&executor_, params_.hv_costs, &metrics_, &tracer_);
   hv_->set_fault_injector(&faults_);
+  hv_->set_recorder(&recorder_);
+  hv_->set_health(&health_);
+  faults_.set_recorder(&recorder_);
+  // Health verdicts are published into xenstore next to the device state, so
+  // a stalled backend is visible to the same tooling that watches xenbus.
+  health_.set_publisher([this](int32_t dom, const std::string& device,
+                               HealthState state) {
+    if (hv_->domain(static_cast<DomId>(dom)) == nullptr) {
+      return;  // Transition raced with domain teardown.
+    }
+    hv_->store().Write(kDom0,
+                       DomainPath(static_cast<DomId>(dom)) + "/health/" + device,
+                       HealthStateName(state));
+  });
+  health_.Start();
+  // Any KITE_CHECK failure anywhere in this process now dumps the full
+  // diagnostic bundle to stderr before aborting.
+  prev_fatal_ = SetFatalHandler([this] { DumpDiagnostics(std::cerr); });
   gateway_ip_ = Ipv4Addr{params_.subnet_base.value + 1};
   client_ip_ = Ipv4Addr{params_.subnet_base.value + 2};
   if (const char* path = std::getenv("KITE_TRACE"); path != nullptr && path[0] != '\0') {
@@ -20,17 +43,39 @@ KiteSystem::KiteSystem(Params params)
 }
 
 KiteSystem::~KiteSystem() {
+  SetFatalHandler(std::move(prev_fatal_));
   if (!trace_env_path_.empty()) {
     DumpTrace(trace_env_path_);
   }
 }
 
-std::string KiteSystem::FormatMetrics(bool skip_zero) {
+std::string KiteSystem::FormatMetrics(bool skip_zero, const std::string& prefix) {
   // The tracer is not registry-backed (it predates the registry in
   // construction order), so sync its drop count into a counter before
   // rendering.
   metrics_.counter("obs", "tracer", "events_dropped")->Set(tracer_.dropped());
-  return metrics_.FormatTable(skip_zero);
+  return metrics_.FormatTable(skip_zero, prefix);
+}
+
+void KiteSystem::DumpDiagnostics(std::ostream& out) {
+  out << "==== KITE DIAGNOSTICS (t=" << StrFormat("%.9f", Now().seconds())
+      << "s) ====\n";
+  out << "---- health ----\n" << health_.FormatTable();
+  out << "---- flight recorder ----\n" << recorder_.FormatAll();
+  out << "---- pending events ----\n" << executor_.FormatPendingEvents() << "\n";
+  out << "---- invariants ----\n";
+  // Mid-run (e.g. a crash inside a traffic phase) the checker reports
+  // not-quiesced and skips the ledgers — the right answer for a dump taken
+  // while work is in flight.
+  std::vector<Violation> violations = InvariantChecker(this).Check();
+  if (violations.empty()) {
+    out << "  all invariants hold\n";
+  } else {
+    out << InvariantChecker::Format(violations);
+  }
+  out << "---- metrics ----\n" << FormatMetrics();
+  out << "==== END KITE DIAGNOSTICS ====\n";
+  out.flush();
 }
 
 bool KiteSystem::DumpTrace(const std::string& path) {
@@ -258,8 +303,11 @@ bool KiteSystem::WaitUntil(const std::function<bool()>& pred, SimDuration timeou
   while (!pred()) {
     if (executor_.Now() > deadline) {
       // The pending-queue dump turns "stuck seed" reports into actionable
-      // ones: it shows what the simulation was still waiting on.
-      KITE_LOG(Warning) << "WaitUntil timed out: " << executor_.FormatPendingEvents();
+      // ones: it shows what the simulation was still waiting on. The health
+      // table names the wedged backend directly (the watchdog usually
+      // flagged it long before this timeout fired).
+      KITE_LOG(Warning) << "WaitUntil timed out: " << executor_.FormatPendingEvents()
+                        << "\n" << health_.FormatTable();
       return false;
     }
     if (!executor_.Step()) {

@@ -10,6 +10,7 @@
 #define SRC_CORE_SYSTEM_H_
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,7 +28,10 @@
 #include "src/net/tcp.h"
 #include "src/netdrv/netback.h"
 #include "src/netdrv/netfront.h"
+#include "src/base/log.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 #include "src/os/profile.h"
 
@@ -138,6 +142,8 @@ class KiteSystem {
     Ipv4Addr subnet_base = Ipv4Addr::FromOctets(10, 0, 0, 0);
     // Seed for the fault injector (all rates default to zero = no faults).
     uint64_t fault_seed = 0xfa0170ULL;
+    // Watchdog probe cadence and stall thresholds (always on).
+    HealthParams health;
   };
 
   KiteSystem() : KiteSystem(Params{}) {}
@@ -156,7 +162,19 @@ class KiteSystem {
   MetricRegistry& metric_registry() { return metrics_; }
   // Snapshot of every metric, in deterministic key order.
   std::vector<MetricRegistry::Sample> metrics() { return metrics_.Snapshot(); }
-  std::string FormatMetrics(bool skip_zero = true);
+  // `prefix` (when non-empty) restricts the table to labels starting with it,
+  // e.g. "obs/health" for just the watchdog aggregates.
+  std::string FormatMetrics(bool skip_zero = true, const std::string& prefix = "");
+  // The always-on flight recorder: every domain's recent structured events
+  // (lifecycle, grants, ring pushes, faults), dumped by DumpDiagnostics.
+  FlightRecorder& recorder() { return recorder_; }
+  // The backend health watchdog (started at construction; see Params::health).
+  HealthMonitor& health() { return health_; }
+  // One-shot failure diagnostics: health table, per-domain flight-recorder
+  // tails, pending events, invariant audit, and the full metric table.
+  // Installed as the KITE_CHECK fatal handler (dumped to stderr on any
+  // assertion failure in this process) and callable on demand.
+  void DumpDiagnostics(std::ostream& out);
   EventTracer& tracer() { return tracer_; }
   // Tracing is compiled in but off by default; when off the per-event cost
   // is a single branch. Setting KITE_TRACE=<path> in the environment enables
@@ -251,8 +269,15 @@ class KiteSystem {
   // Declared before faults_/hv_: both register their counters here.
   MetricRegistry metrics_;
   EventTracer tracer_;
+  // Declared before faults_/hv_ (which record into it) and after executor_/
+  // metrics_ (which it reads).
+  FlightRecorder recorder_;
+  HealthMonitor health_;
   FaultInjector faults_;
   std::unique_ptr<Hypervisor> hv_;
+  // The fatal handler installed before ours, restored at destruction so
+  // stacked KiteSystems (tests) unwind cleanly.
+  FatalHandler prev_fatal_;
   std::vector<std::unique_ptr<NetworkDomain>> network_domains_;
   std::vector<std::unique_ptr<StorageDomain>> storage_domains_;
   std::vector<std::unique_ptr<GuestVm>> guests_;

@@ -18,6 +18,8 @@ const char* FaultSiteName(FaultSite site) {
       return "nic-loss";
     case FaultSite::kNicCorrupt:
       return "nic-corrupt";
+    case FaultSite::kDiskHang:
+      return "disk-hang";
     case FaultSite::kCount:
       break;
   }
@@ -57,6 +59,9 @@ bool FaultInjector::ShouldFail(FaultSite site) {
     return false;
   }
   trips_[i]->Inc();
+  if (recorder_ != nullptr) {
+    recorder_->Record(0, FlightKind::kFaultTripped, i, trips_[i]->value());
+  }
   return true;
 }
 

@@ -21,6 +21,7 @@
 
 #include "src/base/rng.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 
 namespace kite {
 
@@ -31,6 +32,8 @@ enum class FaultSite : int {
   kDiskIo,          // Device-level block I/O error (media/controller).
   kNicLoss,         // Frame lost on the wire (receive side never sees it).
   kNicCorrupt,      // Frame corrupted on the wire (dropped as an FCS error).
+  kDiskHang,        // Disk completion parked (hung controller) until
+                    // BlockDevice::ReleaseHungIo — the watchdog wedge site.
   kCount,
 };
 
@@ -66,10 +69,16 @@ class FaultInjector {
   // Reseeds the RNG (counters are kept; use ResetCounters separately).
   void Reseed(uint64_t seed);
 
+  // When set, every trip is also recorded in Dom0's flight-recorder ring
+  // (kFaultTripped, dev=site) so a failure dump shows which injected faults
+  // preceded the wedge.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   static constexpr int kSites = static_cast<int>(FaultSite::kCount);
 
   Rng rng_;
+  FlightRecorder* recorder_ = nullptr;
   std::array<double, kSites> rates_{};
   // Registry-backed counters (one pointer-chase per roll, same cost as the
   // plain uint64_t members they replaced).

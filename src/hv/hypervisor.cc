@@ -56,6 +56,10 @@ Domain* Hypervisor::CreateDomain(const std::string& name, int vcpus, int memory_
       tracer_->Instant(id, 0, "lifecycle", "domain_create", executor_->Now());
     }
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(id, FlightKind::kDomainCreated, 0, static_cast<uint64_t>(vcpus),
+                      static_cast<uint64_t>(memory_mb));
+  }
   return dom;
 }
 
@@ -132,6 +136,9 @@ void Hypervisor::DestroyDomain(DomId id) {
   store_.RemoveSubtree(kDom0, dom->store_home());
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Instant(id, 0, "lifecycle", "domain_destroy", executor_->Now());
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(id, FlightKind::kDomainDestroyed);
   }
   domains_[id].reset();
 }
@@ -245,11 +252,17 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   Domain* peer = domain(info->peer_dom);
   if (peer == nullptr) {
     events_vanished_->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(caller->id(), FlightKind::kEventVanished, port);
+    }
     return false;
   }
   Domain::PortInfo* pinfo = PortOf(peer, info->peer_port);
   if (pinfo == nullptr) {
     events_vanished_->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(caller->id(), FlightKind::kEventVanished, port);
+    }
     return false;
   }
   if (pinfo->pending) {
@@ -270,6 +283,9 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
       tracer_->Instant(caller->id(), 0, "evtchn", "evt_dropped", executor_->Now(),
                        "port", port);
     }
+    if (recorder_ != nullptr) {
+      recorder_->Record(caller->id(), FlightKind::kEventDropped, port);
+    }
     return true;
   }
   pinfo->pending = true;
@@ -280,6 +296,9 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
     Domain::PortInfo* pi = PortOf(d, peer_port);
     if (pi == nullptr) {
       events_vanished_->Inc();
+      if (recorder_ != nullptr) {
+        recorder_->Record(peer_id, FlightKind::kEventVanished, peer_port);
+      }
       return;  // Domain or port vanished in flight.
     }
     pi->pending = false;
@@ -320,30 +339,45 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
                                  bool write_access, Vcpu* caller_vcpu) {
   Charge(mapper, costs_.grant_map, caller_vcpu, "gnttab_map");
   grant_maps_->Inc();
-  if (InjectFault(FaultSite::kGrantMap)) {
+  auto record_fail = [&] {
     grant_map_fails_->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(mapper->id(), FlightKind::kGrantMapFail, owner,
+                        static_cast<uint64_t>(ref));
+    }
+  };
+  if (InjectFault(FaultSite::kGrantMap)) {
+    record_fail();
     return MappedGrant{};
   }
   Domain* owner_dom = domain(owner);
   if (owner_dom == nullptr) {
-    grant_map_fails_->Inc();
+    record_fail();
     return MappedGrant{};
   }
   GrantTable::Entry* e = owner_dom->grant_table().Lookup(ref);
   if (e == nullptr || e->peer != mapper->id() || (write_access && e->readonly)) {
-    grant_map_fails_->Inc();
+    record_fail();
     return MappedGrant{};
   }
   ++e->active_maps;
+  if (recorder_ != nullptr) {
+    recorder_->Record(mapper->id(), FlightKind::kGrantMap, owner,
+                      static_cast<uint64_t>(ref));
+  }
   Vcpu* mapper_vcpu = caller_vcpu != nullptr ? caller_vcpu : mapper->vcpu(0);
   SimDuration unmap_cost = costs_.grant_unmap;
   DomId mapper_id = mapper->id();
-  auto on_unmap = [this, mapper_vcpu, mapper_id, unmap_cost] {
+  auto on_unmap = [this, mapper_vcpu, mapper_id, owner, ref, unmap_cost] {
     grant_unmaps_->Inc();
     hypercalls_->Inc();
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Complete(mapper_id, 0, "hypercall", "gnttab_unmap", executor_->Now(),
                         unmap_cost);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Record(mapper_id, FlightKind::kGrantUnmap, owner,
+                        static_cast<uint64_t>(ref));
     }
     mapper_vcpu->Charge(unmap_cost);
   };

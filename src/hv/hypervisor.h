@@ -16,7 +16,9 @@
 #include "src/hv/domain.h"
 #include "src/hv/pci.h"
 #include "src/hv/xenstore.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 #include "src/sim/executor.h"
 
@@ -56,6 +58,21 @@ class Hypervisor {
   MetricRegistry* metrics() const { return metrics_; }
   EventTracer* tracer() const { return tracer_; }
   void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
+  // Always-on flight recorder (optional wiring, like the tracer, but with no
+  // enable flag: when present, domain lifecycle, grant map/unmap, dropped
+  // events and xenbus switches are recorded unconditionally). The pointer is
+  // mirrored into the xenstore so XenbusClient::SwitchState can record.
+  FlightRecorder* recorder() const { return recorder_; }
+  void set_recorder(FlightRecorder* recorder) {
+    recorder_ = recorder;
+    store_.set_recorder(recorder);
+  }
+  // Health watchdog handle: backend drivers register their per-instance
+  // samplers through this (the hypervisor is the one object every driver
+  // already holds).
+  HealthMonitor* health() const { return health_; }
+  void set_health(HealthMonitor* health) { health_ = health; }
 
   // --- Domains. ---
   // Dom0 is created by the constructor with id 0.
@@ -154,6 +171,8 @@ class Hypervisor {
   std::unique_ptr<MetricRegistry> owned_metrics_;
   MetricRegistry* metrics_ = nullptr;
   EventTracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  HealthMonitor* health_ = nullptr;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<PciDevice*> pci_devices_;
 

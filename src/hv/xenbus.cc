@@ -1,6 +1,7 @@
 #include "src/hv/xenbus.h"
 
 #include "src/base/strings.h"
+#include "src/obs/recorder.h"
 
 namespace kite {
 
@@ -37,7 +38,13 @@ std::string FrontendPath(DomId frontend_dom, const std::string& type, int devid)
 }
 
 bool XenbusClient::SwitchState(const std::string& device_path, XenbusState state) {
-  return store_->WriteInt(caller_, device_path + "/state", static_cast<int>(state));
+  const bool ok =
+      store_->WriteInt(caller_, device_path + "/state", static_cast<int>(state));
+  if (ok && store_->recorder() != nullptr) {
+    store_->recorder()->Record(caller_, FlightKind::kXenbusSwitch, 0,
+                               static_cast<uint64_t>(static_cast<int>(state)));
+  }
+  return ok;
 }
 
 XenbusState XenbusClient::ReadState(const std::string& device_path) const {

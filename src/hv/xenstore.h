@@ -29,6 +29,8 @@
 
 namespace kite {
 
+class FlightRecorder;
+
 inline constexpr DomId kDom0 = 0;
 
 using WatchId = uint64_t;
@@ -94,6 +96,11 @@ class XenStore {
   int watch_count() const { return static_cast<int>(watches_.size()); }
   int watch_count(DomId owner) const;
 
+  // Flight recorder passthrough (set by Hypervisor::set_recorder): lets
+  // XenbusClient record device state switches without depending on hv wiring.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* recorder() const { return recorder_; }
+
  private:
   struct Node {
     std::string value;
@@ -120,6 +127,7 @@ class XenStore {
   };
 
   Executor* executor_;
+  FlightRecorder* recorder_ = nullptr;
   Node root_;
   std::vector<Watch> watches_;
   WatchId next_watch_id_ = 1;

@@ -122,6 +122,12 @@ bool NetbackInstance::RingsQuiescent(std::string* detail) const {
 }
 
 NetbackInstance::~NetbackInstance() {
+  // Normally BeginShutdown already unregistered; the driver-destructor path
+  // tears instances down without it, and a stale sampler would dangle.
+  if (health_id_ != 0 && hv_->health() != nullptr) {
+    hv_->health()->Unregister(health_id_);
+    health_id_ = 0;
+  }
   if (port_ != kInvalidPort) {
     hv_->EventClose(backend_, port_);
   }
@@ -176,6 +182,31 @@ bool NetbackInstance::Connect() {
   sched_->Spawn(ifname() + "-soft_start", [this] { return SoftStartThread(); });
   connected_ = true;
   SetUp(true);
+  // Watchdog sampler. Pending work is the Tx ring only: Rx buffers posted by
+  // the guest legitimately sit unconsumed while no traffic flows toward it,
+  // so counting them as "pending" would flag every idle vif as stalled. The
+  // Rx side contributes its backlog (frames queued in rx_pending_) and its
+  // progress: rsp_prod is the *sum* of both rings' response producers (each
+  // is monotonic, so the sum advances iff either side made progress). Under
+  // sustained Rx-only traffic the backlog rarely drains to zero at a probe
+  // instant, and without the Rx term every busy probe would look stalled.
+  if (HealthMonitor* hm = hv_->health(); hm != nullptr) {
+    health_id_ = hm->Register(backend_->id(), backend_->name(), ifname(), devid_,
+                              [this] {
+                                HealthSample s;
+                                s.connected = connected_;
+                                if (tx_ring_ != nullptr) {
+                                  s.req_cons = tx_ring_->req_cons();
+                                  s.req_prod = s.req_cons + tx_ring_->UnconsumedRequests();
+                                  s.rsp_prod = tx_ring_->rsp_prod_pvt();
+                                }
+                                if (rx_ring_ != nullptr) {
+                                  s.rsp_prod += rx_ring_->rsp_prod_pvt();
+                                }
+                                s.queue_depth = static_cast<int>(rx_pending_.size());
+                                return s;
+                              });
+  }
   return true;
 }
 
@@ -187,6 +218,12 @@ void NetbackInstance::BeginShutdown() {
   connected_ = false;
   SetUp(false);
   rx_pending_.clear();
+  // Deregister from the watchdog before the rings go away: a dead frontend's
+  // frozen ring must not read as a stall.
+  if (health_id_ != 0 && hv_->health() != nullptr) {
+    hv_->health()->Unregister(health_id_);
+    health_id_ = 0;
+  }
   // Close the port now: the dead frontend can't notify us, and we must not
   // notify into its recycled port number.
   if (port_ != kInvalidPort) {
@@ -219,6 +256,10 @@ SimDuration NetbackInstance::WakeLatency(SimTime* last_active) const {
 
 void NetbackInstance::PushTxResponses() {
   const bool notify = tx_ring_->PushResponses();
+  if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+    fr->Record(backend_->id(), FlightKind::kRingPush, devid_,
+               tx_ring_->rsp_prod_pvt(), tx_ring_->req_cons());
+  }
   if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
     t->Instant(backend_->id(), frontend_dom_, "ring", "tx_push",
                sched_->executor()->Now(), "notify", notify ? 1 : 0);
@@ -230,6 +271,10 @@ void NetbackInstance::PushTxResponses() {
 
 void NetbackInstance::PushRxResponses() {
   const bool notify = rx_ring_->PushResponses();
+  if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+    fr->Record(backend_->id(), FlightKind::kRingPush, devid_,
+               rx_ring_->rsp_prod_pvt(), rx_ring_->req_cons());
+  }
   if (EventTracer* t = hv_->tracer(); t != nullptr && t->enabled()) {
     t->Instant(backend_->id(), frontend_dom_, "ring", "rx_push",
                sched_->executor()->Now(), "notify", notify ? 1 : 0);
@@ -551,6 +596,10 @@ void NetworkBackendDriver::ReapDeadInstances() {
       }
     });
     inst->BeginShutdown();
+    if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+      fr->Record(backend_->id(), FlightKind::kInstanceReaped, key.second,
+                 static_cast<uint64_t>(key.first));
+    }
     if (!inst->drained()) {
       dying_.push_back(std::move(inst));
     }

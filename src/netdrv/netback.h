@@ -143,6 +143,8 @@ class NetbackInstance : public NetIf {
   std::unique_ptr<NetTxBackRing> tx_ring_;
   std::unique_ptr<NetRxBackRing> rx_ring_;
   EvtPort port_ = kInvalidPort;
+  // Watchdog registration (0 = never registered / already unregistered).
+  int64_t health_id_ = 0;
 
   WakeFlag tx_wake_;
   WakeFlag rx_wake_;

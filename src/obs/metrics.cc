@@ -94,11 +94,14 @@ std::vector<MetricRegistry::Sample> MetricRegistry::Snapshot(bool skip_zero) con
   return out;
 }
 
-std::string MetricRegistry::FormatTable(bool skip_zero) const {
+std::string MetricRegistry::FormatTable(bool skip_zero, const std::string& prefix) const {
   std::string out;
   for (const Sample& s : Snapshot(skip_zero)) {
     const std::string label = StrFormat("%s/%s/%s", s.key.domain.c_str(),
                                         s.key.device.c_str(), s.key.name.c_str());
+    if (!prefix.empty() && label.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
     switch (s.kind) {
       case Kind::kCounter:
         out += StrFormat("  %-52s %12llu\n", label.c_str(),

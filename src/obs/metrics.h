@@ -128,7 +128,10 @@ class MetricRegistry {
   std::vector<Sample> Snapshot(bool skip_zero = false) const;
 
   // Human-readable table of Snapshot(skip_zero) for bench/test output.
-  std::string FormatTable(bool skip_zero = true) const;
+  // A non-empty `prefix` keeps only rows whose "domain/device/name" label
+  // starts with it (e.g. "obs/health" for the watchdog aggregates), so
+  // focused snapshots don't print the full registry.
+  std::string FormatTable(bool skip_zero = true, const std::string& prefix = "") const;
 
   size_t size() const { return metrics_.size(); }
 

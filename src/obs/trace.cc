@@ -41,8 +41,16 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-bool EventTracer::Admit() {
+bool EventTracer::Admit(int pid, int tid, int64_t ts_ns) {
   if (events_.size() >= max_events_) {
+    if (dropped_ == 0) {
+      // First drop: leave a marker at the drop point. The viewer then shows
+      // exactly where the trace went dark instead of just ending; the
+      // events_dropped counter says how much followed. This one record may
+      // push size() to max_events_ + 1 — bounded, and only once.
+      events_.push_back(
+          {'i', pid, tid, "trace", "truncated", ts_ns, 0, "events_dropped_after", 1});
+    }
     ++dropped_;
     return false;
   }
@@ -52,7 +60,7 @@ bool EventTracer::Admit() {
 void EventTracer::Complete(int pid, int tid, const char* cat, const char* name,
                            SimTime start, SimDuration dur, const char* arg_key,
                            int64_t arg_value) {
-  if (!enabled_ || !Admit()) {
+  if (!enabled_ || !Admit(pid, tid, start.ns())) {
     return;
   }
   events_.push_back({'X', pid, tid, cat, name, start.ns(), dur.ns(), arg_key, arg_value});
@@ -60,7 +68,7 @@ void EventTracer::Complete(int pid, int tid, const char* cat, const char* name,
 
 void EventTracer::Instant(int pid, int tid, const char* cat, const char* name, SimTime at,
                           const char* arg_key, int64_t arg_value) {
-  if (!enabled_ || !Admit()) {
+  if (!enabled_ || !Admit(pid, tid, at.ns())) {
     return;
   }
   events_.push_back({'i', pid, tid, cat, name, at.ns(), 0, arg_key, arg_value});
@@ -74,10 +82,10 @@ void EventTracer::FlowPoint(char phase, int pid, int tid, const char* cat,
   }
   // Anchor slice first: viewers bind the flow record to the slice that
   // encloses its timestamp on this thread track.
-  if (Admit()) {
+  if (Admit(pid, tid, at.ns())) {
     events_.push_back({'X', pid, tid, cat, name, at.ns(), dur.ns(), nullptr, 0});
   }
-  if (Admit()) {
+  if (Admit(pid, tid, at.ns())) {
     events_.push_back({phase, pid, tid, cat, name, at.ns(), 0, nullptr, 0, flow_id});
   }
 }

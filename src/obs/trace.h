@@ -29,7 +29,9 @@ namespace kite {
 class EventTracer {
  public:
   // `max_events` bounds memory; records past the cap are counted in
-  // dropped() instead of stored.
+  // dropped() instead of stored, except that the very first drop stores one
+  // synthetic "truncated" instant at the drop point (so the viewer shows
+  // *where* the trace went dark, and size() may exceed the cap by one).
   explicit EventTracer(size_t max_events = 1 << 20) : max_events_(max_events) {}
 
   bool enabled() const { return enabled_; }
@@ -84,7 +86,7 @@ class EventTracer {
     uint64_t flow_id = 0;  // Flow events only.
   };
 
-  bool Admit();
+  bool Admit(int pid, int tid, int64_t ts_ns);
   void FlowPoint(char phase, int pid, int tid, const char* cat, const char* name,
                  SimTime at, uint64_t flow_id, SimDuration dur);
 

@@ -19,6 +19,9 @@ Executor::~Executor() {
 }
 
 void Executor::Push(Event ev) {
+  if (!ev.daemon) {
+    ++non_daemon_pending_;
+  }
   queue_.push_back(std::move(ev));
   std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
 }
@@ -27,6 +30,9 @@ Executor::Event Executor::Pop() {
   std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
   Event ev = std::move(queue_.back());
   queue_.pop_back();
+  if (!ev.daemon) {
+    --non_daemon_pending_;
+  }
   return ev;
 }
 
@@ -43,6 +49,21 @@ void Executor::PostAfter(SimDuration delay, std::function<void()> fn) {
     delay = SimDuration(0);
   }
   PostAt(now_ + delay, std::move(fn));
+}
+
+void Executor::PostDaemonAt(SimTime when, std::function<void()> fn) {
+  KITE_CHECK(fn != nullptr);
+  if (when < now_) {
+    when = now_;
+  }
+  Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr, /*daemon=*/true});
+}
+
+void Executor::PostDaemonAfter(SimDuration delay, std::function<void()> fn) {
+  if (delay < SimDuration(0)) {
+    delay = SimDuration(0);
+  }
+  PostDaemonAt(now_ + delay, std::move(fn));
 }
 
 void Executor::ResumeAt(SimTime when, std::coroutine_handle<> handle) {
@@ -81,7 +102,10 @@ bool Executor::Step() {
 }
 
 void Executor::RunUntilIdle() {
-  while (Step()) {
+  // Stop once only daemon events remain: a self-reposting watchdog probe
+  // would otherwise keep this loop (and simulated time) running forever.
+  while (non_daemon_pending_ > 0) {
+    Step();
   }
 }
 
@@ -109,7 +133,7 @@ std::vector<Executor::PendingEvent> Executor::PendingEvents(size_t max) const {
   std::vector<PendingEvent> out;
   out.reserve(ptrs.size());
   for (const Event* ev : ptrs) {
-    out.push_back(PendingEvent{ev->at, ev->seq, static_cast<bool>(ev->coro)});
+    out.push_back(PendingEvent{ev->at, ev->seq, static_cast<bool>(ev->coro), ev->daemon});
   }
   return out;
 }
@@ -118,9 +142,10 @@ std::string Executor::FormatPendingEvents(size_t max) const {
   std::string out = StrFormat("%zu pending event(s) at t=%.9fs", queue_.size(),
                               now_.seconds());
   for (const PendingEvent& ev : PendingEvents(max)) {
-    out += StrFormat("\n  at=%.9fs seq=%llu %s", ev.at.seconds(),
+    out += StrFormat("\n  at=%.9fs seq=%llu %s%s", ev.at.seconds(),
                      static_cast<unsigned long long>(ev.seq),
-                     ev.is_coro ? "coroutine" : "callback");
+                     ev.is_coro ? "coroutine" : "callback",
+                     ev.is_daemon ? " (daemon)" : "");
   }
   if (queue_.size() > max) {
     out += StrFormat("\n  ... %zu more", queue_.size() - max);

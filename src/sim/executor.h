@@ -40,6 +40,15 @@ class Executor {
   // Schedules fn at the current time, after already-queued same-time events.
   void Post(std::function<void()> fn) { PostAt(now_, std::move(fn)); }
 
+  // Daemon events: background housekeeping (the health watchdog's periodic
+  // probe) that must not keep the simulation alive. They fire like normal
+  // events while anything else is scheduled, but idle()/RunUntilIdle count
+  // only non-daemon events — a self-reposting daemon loop therefore cannot
+  // turn RunUntilIdle into an infinite loop, and a quiesced system still
+  // quiesces with the watchdog armed.
+  void PostDaemonAt(SimTime when, std::function<void()> fn);
+  void PostDaemonAfter(SimDuration delay, std::function<void()> fn);
+
   // Schedules resumption of a coroutine. The executor owns the handle while
   // queued: if the executor is destroyed first, the coroutine frame is
   // destroyed rather than leaked.
@@ -48,7 +57,8 @@ class Executor {
 
   // Runs a single event; returns false if the queue is empty.
   bool Step();
-  // Runs until the queue drains.
+  // Runs until no non-daemon events remain (daemon events scheduled earlier
+  // than the last non-daemon event still fire in order).
   void RunUntilIdle();
   // Runs events with timestamp <= deadline; Now() ends at the deadline
   // (even if the queue drained earlier) so time-window rate math is exact.
@@ -67,7 +77,9 @@ class Executor {
 
   // Number of events executed since construction (for sanity checks).
   uint64_t steps_executed() const { return steps_; }
-  bool idle() const { return queue_.empty(); }
+  // Idle == no non-daemon work left. A pending daemon probe does not count:
+  // it represents the watchdog watching, not the simulation doing.
+  bool idle() const { return non_daemon_pending_ == 0; }
   // Pending events (diagnostics, e.g. "why did WaitUntil time out?").
   size_t queue_size() const { return queue_.size(); }
 
@@ -79,6 +91,7 @@ class Executor {
     SimTime at;
     uint64_t seq = 0;   // Insertion order (global, monotonic).
     bool is_coro = false;
+    bool is_daemon = false;
   };
   std::vector<PendingEvent> PendingEvents(size_t max = 16) const;
   // Human-readable rendering of PendingEvents plus the queue size, one event
@@ -92,6 +105,7 @@ class Executor {
     uint64_t seq;
     std::function<void()> fn;
     std::coroutine_handle<> coro;  // Exactly one of fn/coro is set.
+    bool daemon = false;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -113,6 +127,7 @@ class Executor {
   SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t steps_ = 0;
+  size_t non_daemon_pending_ = 0;
   bool shuffle_ = false;
   Rng shuffle_rng_{0};
   // A binary heap ordered by EventOrder (std::push_heap/pop_heap — the same

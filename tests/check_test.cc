@@ -8,7 +8,7 @@
 #include "src/check/explore.h"
 #include "src/check/frontends.h"
 #include "src/check/fuzz.h"
-#include "src/check/invariants.h"
+#include "src/core/invariants.h"
 #include "src/workloads/netbench.h"
 
 namespace kite {

@@ -15,8 +15,10 @@
 #include "src/base/strings.h"
 #include "src/core/system.h"
 #include "src/obs/flow.h"
+#include "src/obs/health.h"
 #include "src/obs/latency.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 
 namespace kite {
@@ -108,6 +110,20 @@ TEST(MetricRegistryTest, FormatTableContainsKeyAndValue) {
   const std::string table = reg.FormatTable();
   EXPECT_NE(table.find("kite-netdom/vif1.0/guest_tx_frames"), std::string::npos);
   EXPECT_NE(table.find("42"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, FormatTablePrefixKeepsOnlyMatchingLabels) {
+  MetricRegistry reg;
+  reg.counter("obs", "health", "probes")->Add(7);
+  reg.gauge("obs", "health", "instances")->Set(2);
+  reg.counter("kite-netdom", "vif1.0", "guest_tx_frames")->Add(42);
+  const std::string focused = reg.FormatTable(/*skip_zero=*/true, "obs/health");
+  EXPECT_NE(focused.find("obs/health/probes"), std::string::npos);
+  EXPECT_NE(focused.find("obs/health/instances"), std::string::npos);
+  EXPECT_EQ(focused.find("guest_tx_frames"), std::string::npos);
+  // An unmatched prefix yields an empty table, not the full registry.
+  EXPECT_EQ(reg.FormatTable(/*skip_zero=*/true, "no/such/prefix").find("probes"),
+            std::string::npos);
 }
 
 // --- LatencyHistogram. ---
@@ -248,11 +264,29 @@ TEST(EventTracerTest, CapsEventsAndCountsDrops) {
   for (int i = 0; i < 10; ++i) {
     tracer.Instant(1, 0, "cat", "ev", SimTime{} + Nanos(i));
   }
-  EXPECT_EQ(tracer.size(), 4u);
+  // 4 stored + the one synthetic truncation marker placed at the first drop.
+  EXPECT_EQ(tracer.size(), 5u);
   EXPECT_EQ(tracer.dropped(), 6u);
   tracer.Clear();
   EXPECT_EQ(tracer.size(), 0u);
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(EventTracerTest, FirstDropLeavesOneTruncationMarker) {
+  EventTracer tracer(/*max_events=*/2);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Instant(1, 0, "cat", "ev", SimTime{} + Nanos(i));
+  }
+  // The marker sits at the drop point, carries the timestamp of the first
+  // dropped event, and appears exactly once no matter how many drops follow.
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::string json = tracer.ToJson();
+  size_t first = json.find("\"truncated\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(json.find("\"truncated\"", first + 1), std::string::npos);
+  EXPECT_NE(json.find("\"events_dropped_after\""), std::string::npos);
 }
 
 // A tiny structural check: braces/brackets balance and strings are closed.
@@ -456,6 +490,138 @@ TEST(EventTracerTest, DumpTraceWritesFile) {
   std::remove(path.c_str());
   EXPECT_EQ(contents, tracer.ToJson());
   EXPECT_TRUE(JsonBalanced(contents));
+}
+
+// --- FlightRecorder. ---
+
+TEST(FlightRecorderTest, TailIsOldestFirstAndWrapsAtCapacity) {
+  Executor ex;
+  FlightRecorder rec(&ex, /*capacity=*/8);
+  FlightRecorder::DomainRing* ring = rec.ring(3);
+  EXPECT_EQ(ring->capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring->Record(FlightKind::kRingPush, /*dev=*/0, /*a=*/i, /*b=*/0);
+  }
+  EXPECT_EQ(ring->recorded(), 20u);
+  const std::vector<FlightRecord> tail = ring->Tail(100);
+  // Only the last `capacity` records survive a wrap, oldest first.
+  ASSERT_EQ(tail.size(), 8u);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].a, 12 + i);
+    EXPECT_EQ(tail[i].dom, 3);
+  }
+  // A smaller max keeps the newest records, still oldest first.
+  const std::vector<FlightRecord> last3 = ring->Tail(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3.front().a, 17u);
+  EXPECT_EQ(last3.back().a, 19u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  Executor ex;
+  FlightRecorder rec(&ex, /*capacity=*/100);
+  EXPECT_EQ(rec.ring(1)->capacity(), 128u);
+}
+
+TEST(FlightRecorderTest, RingSurvivesForDeadDomainsAndFormats) {
+  Executor ex;
+  FlightRecorder rec(&ex, /*capacity=*/8);
+  rec.Record(5, FlightKind::kDomainCreated, 0, /*vcpus=*/1, /*mem=*/64);
+  rec.Record(5, FlightKind::kXenbusSwitch, 0, 4);
+  rec.Record(5, FlightKind::kDomainDestroyed);
+  // The ring is the dead domain's black box: still readable, still formatted.
+  EXPECT_EQ(rec.recorded(5), 3u);
+  EXPECT_EQ(rec.total_recorded(), 3u);
+  const std::string out = rec.FormatAll();
+  EXPECT_NE(out.find("domain-created"), std::string::npos);
+  EXPECT_NE(out.find("xenbus-switch"), std::string::npos);
+  EXPECT_NE(out.find("domain-destroyed"), std::string::npos);
+  EXPECT_EQ(out, rec.FormatTail(5));
+}
+
+// --- HealthMonitor (unit, with a scripted sampler). ---
+
+TEST(HealthMonitorTest, StateMachineWalksThresholdsAndCollapsesOnProgress) {
+  Executor ex;
+  MetricRegistry metrics;
+  FlightRecorder rec(&ex);
+  HealthParams hp;
+  hp.probe_period = Millis(1);
+  hp.degraded_after = Millis(5);
+  hp.stalled_after = Millis(20);
+  HealthMonitor hm(&ex, &metrics, &rec, hp);
+  std::vector<std::string> published;
+  hm.set_publisher([&](int32_t dom, const std::string& device, HealthState state) {
+    published.push_back(StrFormat("%d/%s=%s", dom, device.c_str(), HealthStateName(state)));
+  });
+
+  HealthSample s;
+  s.connected = true;
+  const int64_t id = hm.Register(7, "fake-dom", "dev0", 0, [&] { return s; });
+  hm.Start();
+
+  // Idle and connected: healthy, forever.
+  ex.RunFor(Millis(4));
+  EXPECT_EQ(hm.state(7, "dev0"), HealthState::kHealthy);
+  EXPECT_GT(hm.probes_run(), 0u);
+
+  // A request appears and nothing consumes it: degraded after 5ms of stall,
+  // stalled after 20ms.
+  s.req_prod = 1;
+  ex.RunFor(Millis(8));
+  EXPECT_EQ(hm.state(7, "dev0"), HealthState::kDegraded);
+  ex.RunFor(Millis(20));
+  EXPECT_EQ(hm.state(7, "dev0"), HealthState::kStalled);
+  EXPECT_EQ(metrics.gauge("fake-dom", "dev0", "health_state")->value(), 2.0);
+  EXPECT_EQ(metrics.counter("obs", "health", "stalled_transitions")->value(), 1u);
+  EXPECT_EQ(metrics.gauge("obs", "health", "instances_stalled")->value(), 1.0);
+
+  // Consumer progress collapses the state machine straight back to healthy.
+  s.req_cons = 1;
+  s.rsp_prod = 1;
+  ex.RunFor(Millis(2));
+  EXPECT_EQ(hm.state(7, "dev0"), HealthState::kHealthy);
+  EXPECT_EQ(metrics.counter("obs", "health", "transitions")->value(), 3u);
+  ASSERT_EQ(published.size(), 3u);
+  EXPECT_EQ(published[0], "7/dev0=degraded");
+  EXPECT_EQ(published[1], "7/dev0=stalled");
+  EXPECT_EQ(published[2], "7/dev0=healthy");
+
+  // The stall left its mark in the flight recorder.
+  EXPECT_NE(rec.FormatTail(7).find("health-transition"), std::string::npos);
+
+  hm.Unregister(id);
+  ex.RunFor(Millis(2));
+  EXPECT_TRUE(hm.Instances().empty());
+  EXPECT_EQ(metrics.gauge("obs", "health", "instances")->value(), 0.0);
+}
+
+TEST(HealthMonitorTest, DisconnectedOrDrainedInstanceNeverStalls) {
+  Executor ex;
+  MetricRegistry metrics;
+  FlightRecorder rec(&ex);
+  HealthParams hp;
+  hp.probe_period = Millis(1);
+  hp.degraded_after = Millis(2);
+  hp.stalled_after = Millis(4);
+  HealthMonitor hm(&ex, &metrics, &rec, hp);
+
+  // Not yet connected: pending indices are garbage, must not count.
+  HealthSample s;
+  s.connected = false;
+  s.req_prod = 99;
+  hm.Register(4, "fake-dom", "dev1", 1, [&] { return s; });
+  hm.Start();
+  ex.RunFor(Millis(10));
+  EXPECT_EQ(hm.state(4, "dev1"), HealthState::kHealthy);
+
+  // Connected but drained (no ring pending, no internal backlog): the probe
+  // treats it as idle even though the indices never move.
+  s.connected = true;
+  s.req_prod = 0;
+  ex.RunFor(Millis(10));
+  EXPECT_EQ(hm.state(4, "dev1"), HealthState::kHealthy);
+  EXPECT_EQ(metrics.counter("obs", "health", "transitions")->value(), 0u);
 }
 
 }  // namespace
