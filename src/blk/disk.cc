@@ -8,10 +8,18 @@ namespace kite {
 
 BlockDevice::BlockDevice(Executor* executor, std::string bdf, DiskParams params,
                          bool store_data)
+    : BlockDevice(executor, std::move(bdf), params, store_data,
+                  std::make_shared<DiskMedia>()) {}
+
+BlockDevice::BlockDevice(Executor* executor, std::string bdf, DiskParams params,
+                         bool store_data, std::shared_ptr<DiskMedia> media)
     : PciDevice(std::move(bdf), "NVMe SSD"),
       executor_(executor),
       params_(params),
-      store_data_(store_data) {}
+      store_data_(store_data),
+      media_(std::move(media)) {
+  KITE_CHECK(media_ != nullptr);
+}
 
 void BlockDevice::Submit(DiskRequest request) {
   KITE_CHECK(request.done != nullptr);
@@ -107,6 +115,14 @@ void BlockDevice::ReleaseHungIo() {
 }
 
 void BlockDevice::WriteRaw(int64_t offset, std::span<const uint8_t> data) {
+  media_->Write(offset, data);
+}
+
+Buffer BlockDevice::ReadRaw(int64_t offset, size_t length) const {
+  return media_->Read(offset, length);
+}
+
+void DiskMedia::Write(int64_t offset, std::span<const uint8_t> data) {
   int64_t pos = offset;
   size_t idx = 0;
   while (idx < data.size()) {
@@ -124,7 +140,7 @@ void BlockDevice::WriteRaw(int64_t offset, std::span<const uint8_t> data) {
   }
 }
 
-Buffer BlockDevice::ReadRaw(int64_t offset, size_t length) const {
+Buffer DiskMedia::Read(int64_t offset, size_t length) const {
   Buffer out(length, 0);
   int64_t pos = offset;
   size_t idx = 0;

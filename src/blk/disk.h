@@ -33,6 +33,22 @@ struct DiskParams {
 
 enum class DiskOp { kRead, kWrite, kFlush };
 
+// The persistent content behind one or more BlockDevice ports: a sparse,
+// page-granular store. Sharing one DiskMedia between several BlockDevices
+// models dual-ported / fabric-attached storage — every port sees the same
+// bytes, so a VBD migrated from one storage domain to another finds all its
+// acknowledged writes on the new domain's port. Timing stays per-port (each
+// BlockDevice keeps its own queue and bandwidth serialization), so a
+// single-port system behaves exactly as before.
+class DiskMedia {
+ public:
+  void Write(int64_t offset, std::span<const uint8_t> data);
+  Buffer Read(int64_t offset, size_t length) const;
+
+ private:
+  std::map<int64_t, std::unique_ptr<std::array<uint8_t, 4096>>> pages_;
+};
+
 struct DiskRequest {
   DiskOp op = DiskOp::kRead;
   int64_t offset = 0;  // Bytes; sector-aligned.
@@ -46,6 +62,12 @@ struct DiskRequest {
 class BlockDevice : public PciDevice {
  public:
   BlockDevice(Executor* executor, std::string bdf, DiskParams params, bool store_data);
+  // Port onto shared media (media must be non-null). Content written through
+  // any port is visible to every port.
+  BlockDevice(Executor* executor, std::string bdf, DiskParams params, bool store_data,
+              std::shared_ptr<DiskMedia> media);
+
+  const std::shared_ptr<DiskMedia>& media() const { return media_; }
 
   const DiskParams& params() const { return params_; }
   int64_t capacity_bytes() const { return params_.capacity_bytes; }
@@ -91,8 +113,8 @@ class BlockDevice : public PciDevice {
   int active_ = 0;
   SimTime bw_free_at_;
 
-  // Sparse page-granular content store.
-  std::map<int64_t, std::unique_ptr<std::array<uint8_t, 4096>>> pages_;
+  // Content store (owned solo by default, shared across ports on request).
+  std::shared_ptr<DiskMedia> media_;
 
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;

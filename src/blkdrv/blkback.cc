@@ -171,6 +171,39 @@ void BlkbackInstance::BeginShutdown() {
   wake_.Signal();
 }
 
+void BlkbackInstance::RequestDrain() {
+  if (draining_ || stopping_) {
+    return;
+  }
+  draining_ = true;
+  wake_.Signal();
+}
+
+bool BlkbackInstance::ReadyToRetire() const {
+  if (!draining_) {
+    return false;
+  }
+  if (ring_ == nullptr) {
+    return true;  // Never connected: nothing mapped, nothing owed.
+  }
+  // Every consumed request must have completed on the device and been
+  // answered; unconsumed requests are unacknowledged and survive the move on
+  // the frontend side (requeued by its relink path).
+  return ring_->rsp_prod_pvt() == ring_->req_cons() &&
+         ring_->unpushed_responses() == 0;
+}
+
+void BlkbackInstance::RetireGracefully() {
+  KITE_CHECK(ReadyToRetire());
+  BeginShutdown();
+  // Release the ring mapping and the persistent-grant cache synchronously,
+  // while the frontend is still alive: its EndAccess must find zero active
+  // maps, or the refs are deferred forever and the grant ledger leaks.
+  persistent_.clear();
+  ring_.reset();
+  ring_map_.Unmap();
+}
+
 void BlkbackInstance::ThreadExited() {
   if (--threads_running_ == 0 && on_drained_) {
     on_drained_();
@@ -224,7 +257,7 @@ Task BlkbackInstance::RequestThread() {
       int batch = 0;
       std::vector<ResolvedSeg> run;
       BlkOp run_op = BlkOp::kRead;
-      while (!stopping_ && ring_->HasUnconsumedRequests()) {
+      while (!stopping_ && !draining_ && ring_->HasUnconsumedRequests()) {
         BlkRequest req = ring_->ConsumeRequest();
         const uint32_t ring_index = ring_->last_consumed_index();
         const int64_t submit_ns = ring_->last_consumed_stamp_ns();
@@ -252,7 +285,7 @@ Task BlkbackInstance::RequestThread() {
         }
       }
       FlushRun(&run, run_op);
-      if (stopping_ || !ring_->FinalCheckForRequests()) {
+      if (stopping_ || draining_ || !ring_->FinalCheckForRequests()) {
         break;
       }
     }
@@ -529,9 +562,11 @@ StorageBackendDriver::StorageBackendDriver(Domain* backend, BmkSched* sched,
   MetricRegistry* reg = hv_->metrics();
   connect_retries_ = reg->counter(backend->name(), "vbd-driver", "connect_retries");
   instances_reaped_ = reg->counter(backend->name(), "vbd-driver", "instances_reaped");
+  instances_retired_ = reg->counter(backend->name(), "vbd-driver", "instances_retired");
   const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend->id());
   watch_ = backend_->StoreWatch(root, "vbd-backend",
-                                [this](const std::string&, const std::string&) {
+                                [this, root](const std::string& path, const std::string&) {
+                                  NoteOnlineTouched(root, path);
                                   watch_wake_.Signal();
                                 });
   sched_->Spawn("xenwatch-vbd", [this] { return WatchThread(); });
@@ -601,6 +636,7 @@ void StorageBackendDriver::ReapDeadInstances() {
     }
     hv_->store().RemoveSubtree(
         kDom0, BackendPath(backend_->id(), "vbd", key.first, key.second));
+    offline_.erase(key);
     // The request thread's frames may be parked in the shared scheduler;
     // keep the instance alive until they exit.
     inst->set_on_drained([this, alive = alive_] {
@@ -620,9 +656,109 @@ void StorageBackendDriver::ReapDeadInstances() {
   }
 }
 
+void StorageBackendDriver::NoteOnlineTouched(const std::string& root,
+                                             const std::string& path) {
+  // Event-carried state: the root watch tells us *which* node's online key
+  // the toolstack touched, so the scan pays a xenstore read only for those
+  // rare writes instead of polling every node on every wakeup (that poll
+  // showed up as a measurable fig11 throughput tax).
+  if (path.size() <= root.size() + 1 || path.compare(0, root.size(), root) != 0) {
+    return;
+  }
+  const std::string rest = path.substr(root.size() + 1);  // <fdom>/<devid>/online
+  const size_t a = rest.find('/');
+  const size_t b = a == std::string::npos ? std::string::npos : rest.find('/', a + 1);
+  if (b == std::string::npos || rest.substr(b + 1) != "online") {
+    return;
+  }
+  const int64_t fdom = ParseDecimal(rest.substr(0, a));
+  const int64_t devid = ParseDecimal(rest.substr(a + 1, b - a - 1));
+  if (fdom >= 0 && devid >= 0) {
+    online_dirty_.insert({static_cast<DomId>(fdom), static_cast<int>(devid)});
+  }
+}
+
+void StorageBackendDriver::ProcessDrains() {
+  for (const auto& key : online_dirty_) {
+    const std::string be_path =
+        BackendPath(backend_->id(), "vbd", key.first, key.second);
+    auto online = backend_->StoreReadInt(be_path + "/online");
+    if (online.has_value() && *online == 0) {
+      offline_.insert(key);
+    } else {
+      offline_.erase(key);  // Rewritten to 1, or the node is gone.
+    }
+  }
+  online_dirty_.clear();
+  if (offline_.empty()) {
+    return;
+  }
+  bool pending = false;
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    const auto key = it->first;
+    if (offline_.count(key) == 0) {
+      ++it;
+      continue;
+    }
+    const std::string be_path =
+        BackendPath(backend_->id(), "vbd", key.first, key.second);
+    BlkbackInstance* inst = it->second.get();
+    inst->RequestDrain();
+    if (!inst->ReadyToRetire()) {
+      pending = true;
+      ++it;
+      continue;
+    }
+    KITE_LOG(Info) << StrFormat("blkback: vbd%d.%d drained, retiring", key.first,
+                                key.second);
+    if (auto wit = paired_watches_.find(key); wit != paired_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      paired_watches_.erase(wit);
+    }
+    const std::string fe_path = FrontendPath(key.first, "vbd", key.second);
+    if (auto wit = fe_watches_.find(fe_path); wit != fe_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      fe_watches_.erase(wit);
+    }
+    std::unique_ptr<BlkbackInstance> owned = std::move(it->second);
+    it = instances_.erase(it);
+    if (on_vbd_gone_) {
+      on_vbd_gone_(owned.get());
+    }
+    owned->set_on_drained([this, alive = alive_] {
+      if (*alive) {
+        watch_wake_.Signal();
+      }
+    });
+    // Mappings must be released before the subtree goes away (the frontend's
+    // relink path EndAccesses its grants once the node vanishes).
+    owned->RetireGracefully();
+    hv_->store().RemoveSubtree(kDom0, be_path);
+    offline_.erase(key);
+    if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+      fr->Record(backend_->id(), FlightKind::kInstanceRetired, key.second,
+                 static_cast<uint64_t>(key.first));
+    }
+    if (!owned->drained()) {
+      dying_.push_back(std::move(owned));
+    }
+    instances_retired_->Inc();
+  }
+  if (pending) {
+    // Drain in progress: re-poll shortly (in-flight device ops complete on
+    // simulated time, not on watch events).
+    hv_->executor()->PostAfter(Micros(50), [this, alive = alive_] {
+      if (*alive) {
+        watch_wake_.Signal();
+      }
+    });
+  }
+}
+
 void StorageBackendDriver::Scan() {
   SweepDying();
   ReapDeadInstances();
+  ProcessDrains();
   const std::string root = StrFormat("/local/domain/%d/backend/vbd", backend_->id());
   auto fdoms = backend_->StoreList(root);
   if (!fdoms.has_value()) {
@@ -644,6 +780,12 @@ void StorageBackendDriver::Scan() {
         continue;
       }
       const auto key = std::make_pair(static_cast<DomId>(fdom), static_cast<int>(devid));
+      // A node marked offline is mid-drain/retire: never advertise or pair
+      // against it — the frontend republishing now is relinking elsewhere.
+      // (offline_ was refreshed by ProcessDrains above; no xenstore read.)
+      if (offline_.count(key) != 0) {
+        continue;
+      }
       const std::string fe_path =
           FrontendPath(static_cast<DomId>(fdom), "vbd", static_cast<int>(devid));
       auto it = instances_.find(key);

@@ -57,6 +57,21 @@ class BlkbackInstance {
   bool drained() const { return threads_running_ == 0; }
   void set_on_drained(std::function<void()> fn) { on_drained_ = std::move(fn); }
 
+  // Graceful drain (toolstack-initiated migration): stop consuming new ring
+  // requests but let every in-flight device op complete and answer.
+  // Unconsumed requests stay on the ring — unacknowledged, the frontend
+  // requeues and resubmits them after relink, so no acked write is lost.
+  void RequestDrain();
+  bool draining() const { return draining_; }
+  // True once every consumed request has a pushed response (all disk
+  // completions landed and were answered).
+  bool ReadyToRetire() const;
+  // BeginShutdown plus synchronous release of the ring mapping and the
+  // persistent-grant cache. Must run *before* the backend's xenstore subtree
+  // is removed: the live frontend's EndAccess on its grants only succeeds
+  // once this side holds no active maps.
+  void RetireGracefully();
+
   bool connected() const { return connected_; }
   DomId frontend_dom() const { return frontend_dom_; }
   int devid() const { return devid_; }
@@ -121,6 +136,8 @@ class BlkbackInstance {
   DomId frontend_dom_;
   int devid_;
   bool connected_ = false;
+  // Drain protocol: the request thread stops consuming new requests.
+  bool draining_ = false;
   // Shutdown protocol: checked by the request thread after every co_await.
   bool stopping_ = false;
   int threads_running_ = 0;
@@ -184,6 +201,8 @@ class StorageBackendDriver {
 
   uint64_t connect_retries() const { return connect_retries_->value(); }
   uint64_t instances_reaped() const { return instances_reaped_->value(); }
+  // Instances retired via the graceful drain handshake (be/online = 0).
+  uint64_t instances_retired() const { return instances_retired_->value(); }
   int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
   // Frontend-death watches held for paired instances (one per connected vbd).
   int paired_fe_watch_count() const { return static_cast<int>(paired_watches_.size()); }
@@ -194,6 +213,12 @@ class StorageBackendDriver {
   // Tears down instances whose frontend closed or whose frontend domain was
   // destroyed.
   void ReapDeadInstances();
+  // Drives the graceful drain handshake for instances whose backend node
+  // carries online = 0 (set by the toolstack before a migration).
+  void ProcessDrains();
+  // Root-watch helper: records nodes whose online key changed so the next
+  // scan reads only those (keeps the no-migration path free of xenstore ops).
+  void NoteOnlineTouched(const std::string& root, const std::string& path);
   void SweepDying();
 
   Domain* backend_;
@@ -214,10 +239,16 @@ class StorageBackendDriver {
   // Post-pairing frontend-death watches, one per connected instance (kept
   // apart from fe_watches_, whose emptiness tests assert after pairing).
   std::map<std::pair<DomId, int>, WatchId> paired_watches_;
+  // Nodes whose online key the toolstack touched since the last scan
+  // (paths carried by the root watch); read — and charged — only for these.
+  std::set<std::pair<DomId, int>> online_dirty_;
+  // Nodes currently marked online = 0: mid-drain/retire.
+  std::set<std::pair<DomId, int>> offline_;
   // Reaped but not yet drained; swept on scan wakeups.
   std::vector<std::unique_ptr<BlkbackInstance>> dying_;
   Counter* connect_retries_;
   Counter* instances_reaped_;
+  Counter* instances_retired_;
   // Outlives `this` so posted retries can detect destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

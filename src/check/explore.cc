@@ -7,9 +7,12 @@
 #include <sstream>
 #include <utility>
 
+#include "src/base/bytes.h"
 #include "src/base/strings.h"
 #include "src/check/frontends.h"
 #include "src/check/fuzz.h"
+#include "src/core/pool.h"
+#include "src/core/rebalancer.h"
 #include "src/hv/xenbus.h"
 #include "src/workloads/netbench.h"
 
@@ -246,7 +249,220 @@ ExploreReport RunExploreSeed(const ExploreOptions& opts) {
   return report;
 }
 
+ExploreReport RunFailoverSeed(const ExploreOptions& opts) {
+  ExploreReport report;
+  report.seed = opts.seed;
+  report.failover = true;
+
+  // Scenario choices (pool sizes, victim, drain-vs-evacuate) come from a
+  // generator distinct from the shuffle/fault streams, as in RunExploreSeed.
+  Rng plan(opts.seed * 0x9e3779b97f4a7c15ULL + 2);
+
+  // Evacuation seeds set the stalled threshold inside the run; drain seeds
+  // push it out of reach so the wedge stays degraded and the Rebalancer must
+  // take the graceful path.
+  const bool evacuate = plan.NextBool(0.5);
+
+  KiteSystem::Params params;
+  params.fault_seed = opts.seed ^ 0xfa170e4ULL;
+  params.disk_store_data = true;
+  // Tight watchdog (the stall-demo scale) so the wedge is flagged in
+  // simulated milliseconds; the sweep's job is the failover machinery, not
+  // threshold calibration.
+  params.health.probe_period = Millis(1);
+  params.health.degraded_after = Millis(5);
+  params.health.stalled_after = evacuate ? Millis(20) : Seconds(100);
+  KiteSystem sys(params);
+  sys.EnableScheduleShuffle(opts.seed);
+
+  auto phase = [&](const char* name) {
+    report.phase = name;
+    if (opts.verbose) {
+      std::fprintf(stderr, "[failover seed %llu] phase %s (t=%.6fs)\n",
+                   static_cast<unsigned long long>(opts.seed), name,
+                   sys.Now().seconds());
+    }
+  };
+  auto live_fail = [&](std::string what) {
+    report.ok = false;
+    std::ostringstream diag;
+    sys.DumpDiagnostics(diag);
+    report.detail = std::move(what) + "\n" + diag.str();
+    return report;
+  };
+
+  phase("build");
+  const int net_shards = 2 + static_cast<int>(plan.NextBelow(3));  // 2..4
+  const int num_guests = 6 + static_cast<int>(plan.NextBelow(11));  // 6..16
+  DomainPool pool(&sys);
+  for (int i = 0; i < net_shards; ++i) {
+    pool.AddNetworkShard(sys.CreateNetworkDomain());
+  }
+  pool.AddStorageShard(sys.CreateStorageDomain());
+  pool.AddStorageShard(sys.CreateStorageDomain());
+  RebalancerParams rp;
+  // In evacuation seeds the hysteresis outlasts the stall threshold, so the
+  // stalled path always wins the race against the degraded drain.
+  rp.degraded_hysteresis = evacuate ? Seconds(1) : Millis(10);
+  rp.max_concurrent_migrations = 1 + static_cast<int>(plan.NextBelow(4));
+  Rebalancer reb(&sys, &pool, rp);
+
+  std::vector<GuestVm*> guests;
+  for (int i = 0; i < num_guests; ++i) {
+    GuestVm* g = sys.CreateGuest(StrFormat("failover-vm%02d", i));
+    if (pool.AttachVif(g, Ipv4Addr::FromOctets(10, 0, 0, static_cast<uint8_t>(10 + i))) ==
+            nullptr ||
+        pool.AttachVbd(g) == nullptr) {
+      return live_fail("pool had no open shard at attach time");
+    }
+    guests.push_back(g);
+  }
+
+  phase("connect");
+  for (GuestVm* g : guests) {
+    if (!sys.WaitConnected(g)) {
+      return live_fail("guest frontends never connected");
+    }
+  }
+
+  phase("traffic");
+  auto server = sys.client()->stack()->OpenUdp();
+  server->Bind(9000);
+  uint64_t client_rx = 0;
+  server->SetRecvCallback([&](Ipv4Addr, uint16_t, const Buffer&) { ++client_rx; });
+  std::vector<std::unique_ptr<UdpSocket>> socks;
+  for (GuestVm* g : guests) {
+    socks.push_back(g->stack()->OpenUdp());
+  }
+  constexpr int kPacketsPerPhase = 12;
+  uint64_t sent = 0;
+  auto blast = [&] {
+    for (size_t gi = 0; gi < guests.size(); ++gi) {
+      UdpSocket* sock = socks[gi].get();
+      for (int i = 0; i < kPacketsPerPhase; ++i) {
+        sys.executor().PostAfter(Micros(100) * i + Micros(static_cast<int64_t>(gi)),
+                                 [&sys, sock] {
+                                   sock->SendTo(sys.client_ip(), 9000, Buffer(256, 0x5c));
+                                 });
+        ++sent;
+      }
+    }
+    sys.RunFor(Millis(10));
+  };
+  blast();
+  // One acked write per guest on a disjoint slab of the shared media
+  // (partition semantics — both storage shards port the same volume).
+  constexpr int64_t kSlab = 1 << 20;
+  int writes_done = 0;
+  for (int i = 0; i < num_guests; ++i) {
+    guests[i]->blkfront()->Write(i * kSlab, Buffer(8 * 1024, static_cast<uint8_t>(i + 1)),
+                                 [&writes_done](bool ok) { writes_done += ok ? 1 : 0; });
+  }
+  if (!sys.WaitUntil([&] { return writes_done == num_guests; }, Seconds(10))) {
+    return live_fail("pre-wedge writes never completed");
+  }
+
+  phase("wedge");
+  // Victim: the shard hosting a randomly chosen guest. Swallow the one TX
+  // kick that crosses req_event (the stall-demo technique) — that netback
+  // instance stops making progress and only the watchdog can tell.
+  GuestVm* trigger = guests[plan.NextBelow(static_cast<uint64_t>(num_guests))];
+  const DomId victim = trigger->netfront()->backend_dom();
+  std::vector<GuestVm*> displaced;
+  for (GuestVm* g : guests) {
+    if (g->netfront()->backend_dom() == victim) {
+      displaced.push_back(g);
+    }
+  }
+  sys.faults().set_rate(FaultSite::kEventNotify, 1.0);
+  trigger->stack()->Ping(sys.client_ip(), 56, [](bool, SimDuration) {});
+  sys.RunFor(Millis(5));
+  sys.faults().set_rate(FaultSite::kEventNotify, 0.0);
+
+  phase(evacuate ? "evacuate" : "drain");
+  if (evacuate) {
+    if (!sys.WaitUntil([&] { return reb.evacuations() >= 1; }, Seconds(30))) {
+      return live_fail("stalled shard was never evacuated");
+    }
+  } else if (!sys.WaitUntil([&] { return reb.drains_started() >= 1; }, Seconds(30))) {
+    return live_fail("degraded shard drain never started");
+  }
+  if (!sys.WaitUntil(
+          [&] {
+            if (sys.migrations_in_flight() != 0 || reb.pending_moves() != 0) {
+              return false;
+            }
+            for (GuestVm* g : displaced) {
+              if (!g->netfront()->connected() || g->netfront()->backend_dom() == victim) {
+                return false;
+              }
+            }
+            return true;
+          },
+          Seconds(60))) {
+    return live_fail(StrFormat("displaced guests (%d) never settled off dom%d",
+                               static_cast<int>(displaced.size()), victim));
+  }
+  if (evacuate && pool.HasNetworkShard(victim)) {
+    return live_fail("evacuated shard still in the pool under its old id");
+  }
+
+  phase("verify");
+  blast();  // Service restored across the rebuilt pool.
+  for (GuestVm* g : guests) {
+    bool pinged = false;
+    for (int attempt = 0; attempt < 3 && !pinged; ++attempt) {
+      g->stack()->Ping(sys.client_ip(), 56,
+                       [&pinged](bool ok, SimDuration) { pinged = pinged || ok; });
+      sys.RunFor(Seconds(2));
+    }
+    if (!pinged) {
+      return live_fail(StrFormat("guest dom%d unreachable after failover",
+                                 g->domain()->id()));
+    }
+  }
+  // Every acked write is still readable — possibly through a different
+  // storage port than it was written through.
+  for (int i = 0; i < num_guests; ++i) {
+    Buffer readback;
+    bool read_done = false;
+    guests[i]->blkfront()->Read(i * kSlab, 8 * 1024, &readback,
+                                [&read_done](bool r) { read_done = r; });
+    if (!sys.WaitUntil([&] { return read_done; }, Seconds(10))) {
+      return live_fail(StrFormat("post-failover read for guest %d never completed", i));
+    }
+    if (Fnv1a(readback) != Fnv1a(Buffer(8 * 1024, static_cast<uint8_t>(i + 1)))) {
+      return live_fail(StrFormat("acked write lost for guest %d", i));
+    }
+  }
+  // Packet conservation. The ledger is one-sided across a crash evacuation
+  // (a frame the dead backend forwarded whose completion the guest never saw
+  // is counted dropped yet delivered), and the wedged ping's loss is counted
+  // in `dropped` but not in `sent`, so under-delivery is bounded by the
+  // drop counters and over-delivery by what was sent.
+  uint64_t dropped = 0;
+  for (GuestVm* g : guests) {
+    dropped += g->netfront()->tx_dropped() + g->netfront()->recovery_drops();
+  }
+  if (client_rx + dropped < sent || client_rx > sent) {
+    return live_fail(StrFormat("packet ledger broken: rx=%llu sent=%llu dropped=%llu",
+                               static_cast<unsigned long long>(client_rx),
+                               static_cast<unsigned long long>(sent),
+                               static_cast<unsigned long long>(dropped)));
+  }
+
+  phase("quiesce");
+  sys.RunUntilIdle();
+
+  phase("check");
+  InvariantChecker checker(&sys);
+  report.violations = checker.Check();
+  report.ok = report.violations.empty();
+  return report;
+}
+
 std::string FormatReport(const ExploreReport& report) {
+  const char* extra = report.failover ? " --failover" : "";
   if (report.ok) {
     return StrFormat("seed %llu: ok\n", static_cast<unsigned long long>(report.seed));
   }
@@ -257,7 +473,7 @@ std::string FormatReport(const ExploreReport& report) {
     out += "  " + report.detail + "\n";
   }
   out += InvariantChecker::Format(report.violations);
-  out += StrFormat("replay: kite_explore --seed=%llu --verbose\n",
+  out += StrFormat("replay: kite_explore%s --seed=%llu --verbose\n", extra,
                    static_cast<unsigned long long>(report.seed));
   return out;
 }

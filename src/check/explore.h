@@ -36,6 +36,7 @@ struct ExploreOptions {
 struct ExploreReport {
   uint64_t seed = 0;
   bool ok = false;
+  bool failover = false;              // Replay needs --failover.
   std::string phase;                  // Last phase entered.
   std::vector<Violation> violations;  // Invariant failures (check phase).
   std::string detail;                 // Liveness failure detail, if any.
@@ -45,6 +46,17 @@ struct ExploreReport {
 // simulated system is itself a reproducible finding — the driver prints the
 // seed before entering the run so the replay command survives an abort.
 ExploreReport RunExploreSeed(const ExploreOptions& opts);
+
+// Failover exploration (kite_explore --failover): one seed of the sharded
+// topology under the Rebalancer. The seed picks the pool size, the guest
+// count, the victim shard (whichever hosts a randomly chosen guest), and
+// whether the watchdog thresholds route the wedge through the degraded
+// *drain* path (graceful migrations) or the stalled *evacuation* path
+// (forced restart), so sweeping seeds explores migration/restart races under
+// live traffic. The wedge itself is the stall-demo technique: swallow the
+// one TX kick that crosses req_event. Audited like RunExploreSeed — packet
+// conservation, per-guest write read-back, and the full invariant checker.
+ExploreReport RunFailoverSeed(const ExploreOptions& opts);
 
 // Failure reports end with the exact replay command line.
 std::string FormatReport(const ExploreReport& report);

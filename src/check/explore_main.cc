@@ -3,6 +3,7 @@
 //   kite_explore --seeds=50        sweep seeds 1..50 (CI per-PR budget)
 //   kite_explore --seed=17         replay one seed exactly
 //   kite_explore --seed=17 --verbose   ... with per-phase progress
+//   kite_explore --failover --seeds=10 sweep the sharded-failover scenario
 //
 // Exit status is 0 only if every seed passes. Each seed is announced on
 // stdout *before* its run starts, so even a KITE_CHECK abort mid-seed
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   uint64_t first_seed = 1;
   uint64_t num_seeds = 0;  // 0: single --seed run.
   bool verbose = false;
+  bool failover = false;
   kite::HealthParams health;
   std::string stall_demo_path;
   for (int i = 1; i < argc; ++i) {
@@ -53,15 +55,19 @@ int main(int argc, char** argv) {
       health.stalled_after = kite::Micros(static_cast<int64_t>(v));
     } else if (std::strncmp(argv[i], "--stall-demo=", 13) == 0) {
       stall_demo_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--failover") == 0) {
+      failover = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed=S | --seeds=N] [--verbose]\n"
+                   "usage: %s [--seed=S | --seeds=N] [--verbose] [--failover]\n"
                    "          [--probe-us=U] [--degraded-us=U] [--stalled-us=U]\n"
                    "          [--stall-demo=PATH]\n"
                    "  --seed=S          run (replay) exactly seed S\n"
                    "  --seeds=N         sweep seeds 1..N\n"
+                   "  --failover        sweep the sharded Rebalancer failover\n"
+                   "                    scenario instead of the base lifecycle\n"
                    "  --probe-us=U      watchdog probe period (microseconds)\n"
                    "  --degraded-us=U   watchdog degraded threshold\n"
                    "  --stalled-us=U    watchdog stalled threshold\n"
@@ -83,15 +89,16 @@ int main(int argc, char** argv) {
   for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
     // Announce before running: an abort inside the run still leaves the
     // replay command in the log.
-    std::printf("[kite_explore] seed %llu starting (replay: kite_explore --seed=%llu --verbose)\n",
-                static_cast<unsigned long long>(seed),
+    std::printf("[kite_explore] seed %llu starting (replay: kite_explore%s --seed=%llu --verbose)\n",
+                static_cast<unsigned long long>(seed), failover ? " --failover" : "",
                 static_cast<unsigned long long>(seed));
     std::fflush(stdout);
     kite::ExploreOptions opts;
     opts.seed = seed;
     opts.verbose = verbose;
     opts.health = health;
-    const kite::ExploreReport report = kite::RunExploreSeed(opts);
+    const kite::ExploreReport report =
+        failover ? kite::RunFailoverSeed(opts) : kite::RunExploreSeed(opts);
     std::fputs(kite::FormatReport(report).c_str(), stdout);
     std::fflush(stdout);
     if (!report.ok) {

@@ -223,8 +223,8 @@ int InspectBenchJson(const std::string& path, std::ifstream& in) {
   return 0;
 }
 
-// A DumpDiagnostics text file: health and invariants verbatim (the triage
-// signal), everything else as one-line section sizes.
+// A DumpDiagnostics text file: health, per-shard placement, and invariants
+// verbatim (the triage signal), everything else as one-line section sizes.
 int InspectDiagnosticsDump(const std::string& path, std::ifstream& in) {
   std::string line, section = "preamble";
   std::map<std::string, std::vector<std::string>> sections;
@@ -240,14 +240,18 @@ int InspectDiagnosticsDump(const std::string& path, std::ifstream& in) {
     sections[section].push_back(line);
   }
   std::printf("== diagnostics %s\n", path.c_str());
-  for (const char* verbatim : {"health", "invariants"}) {
+  // Placement comes before health: "which shard serves whom" is the first
+  // question a failover triage asks, and each row already carries the
+  // per-device verdicts.
+  for (const char* verbatim : {"placement", "health", "invariants"}) {
     std::printf("-- %s --\n", verbatim);
     for (const std::string& l : sections[verbatim]) {
       std::printf("%s\n", l.c_str());
     }
   }
   for (const auto& [name, lines] : sections) {
-    if (name == "health" || name == "invariants" || name == "preamble") {
+    if (name == "placement" || name == "health" || name == "invariants" ||
+        name == "preamble") {
       continue;
     }
     std::printf("-- %s: %zu line(s) (see %s) --\n", name.c_str(), lines.size(),

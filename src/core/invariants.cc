@@ -21,6 +21,7 @@ std::vector<Violation> InvariantChecker::Check() {
   CheckBlkInstances();
   CheckDiskLedger();
   CheckInstanceHealth();
+  CheckMigrationsQuiesced();
   return std::move(violations_);
 }
 
@@ -210,6 +211,17 @@ void InvariantChecker::CheckInstanceHealth() {
                      HealthStateName(info.state), info.stall_age.ms(),
                      static_cast<unsigned>(info.backlog)));
     }
+  }
+}
+
+void InvariantChecker::CheckMigrationsQuiesced() {
+  // Every move is time-bounded (drain and connect deadlines), so an idle
+  // executor with a non-empty migration queue means the engine lost a poll —
+  // the move would never settle no matter how long the simulation ran.
+  const int in_flight = sys_->migrations_in_flight();
+  if (in_flight != 0) {
+    Fail("migrations-quiesced",
+         StrFormat("%d VIF/VBD migration(s) still in flight at quiesce", in_flight));
   }
 }
 

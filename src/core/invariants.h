@@ -57,6 +57,9 @@ class InvariantChecker {
   // instance must be healthy — a degraded/stalled verdict that survives
   // quiesce means recovery never actually happened.
   void CheckInstanceHealth();
+  // Live migration: at quiesce no VIF/VBD move may still be in flight — a
+  // stuck move means a drain or reconnect never completed.
+  void CheckMigrationsQuiesced();
 
   KiteSystem* sys_;
   std::vector<Violation> violations_;

@@ -18,7 +18,10 @@
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/core/blkapp.h"
+#include "src/core/migrate.h"
 #include "src/core/netapp.h"
+#include "src/core/pool.h"
+#include "src/core/rebalancer.h"
 #include "src/core/system.h"
 #include "src/net/tcp.h"
 #include "src/os/profile.h"

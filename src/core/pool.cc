@@ -1,0 +1,299 @@
+#include "src/core/pool.h"
+
+#include <string>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/system.h"
+#include "src/hv/xenbus.h"
+
+namespace kite {
+
+namespace {
+
+// Toolstack truth for where a guest device is linked; falls back to the
+// frontend's (possibly lagging) view when the key is missing.
+DomId LinkedBackend(KiteSystem* sys, const GuestVm* g, bool vif) {
+  const int devid = vif ? g->netfront()->devid() : g->blkfront()->devid();
+  const std::string fe =
+      FrontendPath(g->domain()->id(), vif ? "vif" : "vbd", devid);
+  auto cur = sys->hv().store().ReadInt(kDom0, fe + "/backend-id");
+  if (cur.has_value()) {
+    return static_cast<DomId>(*cur);
+  }
+  return vif ? g->netfront()->backend_dom() : g->blkfront()->backend_dom();
+}
+
+}  // namespace
+
+DomainPool::DomainPool(KiteSystem* sys) : sys_(sys) {}
+
+void DomainPool::AddNetworkShard(NetworkDomain* nd) {
+  KITE_CHECK(nd != nullptr);
+  net_shards_.push_back(Shard{nd->domain()->id(), true});
+}
+
+void DomainPool::AddStorageShard(StorageDomain* sd) {
+  KITE_CHECK(sd != nullptr);
+  stor_shards_.push_back(Shard{sd->domain()->id(), true});
+}
+
+void DomainPool::RemoveNetworkShard(DomId dom) {
+  for (auto it = net_shards_.begin(); it != net_shards_.end(); ++it) {
+    if (it->dom == dom) {
+      net_shards_.erase(it);
+      return;
+    }
+  }
+}
+
+void DomainPool::RemoveStorageShard(DomId dom) {
+  for (auto it = stor_shards_.begin(); it != stor_shards_.end(); ++it) {
+    if (it->dom == dom) {
+      stor_shards_.erase(it);
+      return;
+    }
+  }
+}
+
+void DomainPool::SetNetworkShardOpen(DomId dom, bool open) {
+  for (Shard& s : net_shards_) {
+    if (s.dom == dom) {
+      s.open = open;
+    }
+  }
+}
+
+void DomainPool::SetStorageShardOpen(DomId dom, bool open) {
+  for (Shard& s : stor_shards_) {
+    if (s.dom == dom) {
+      s.open = open;
+    }
+  }
+}
+
+bool DomainPool::IsNetworkShardOpen(DomId dom) const {
+  for (const Shard& s : net_shards_) {
+    if (s.dom == dom) {
+      return s.open;
+    }
+  }
+  return false;
+}
+
+bool DomainPool::IsStorageShardOpen(DomId dom) const {
+  for (const Shard& s : stor_shards_) {
+    if (s.dom == dom) {
+      return s.open;
+    }
+  }
+  return false;
+}
+
+bool DomainPool::HasNetworkShard(DomId dom) const {
+  for (const Shard& s : net_shards_) {
+    if (s.dom == dom) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DomainPool::HasStorageShard(DomId dom) const {
+  for (const Shard& s : stor_shards_) {
+    if (s.dom == dom) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DomainPool::ReplaceNetworkShard(DomId old_dom, DomId new_dom) {
+  for (Shard& s : net_shards_) {
+    if (s.dom == old_dom) {
+      s.dom = new_dom;
+    }
+  }
+  for (auto& [guest, dom] : vif_pins_) {
+    if (dom == old_dom) {
+      dom = new_dom;
+    }
+  }
+}
+
+void DomainPool::ReplaceStorageShard(DomId old_dom, DomId new_dom) {
+  for (Shard& s : stor_shards_) {
+    if (s.dom == old_dom) {
+      s.dom = new_dom;
+    }
+  }
+  for (auto& [guest, dom] : vbd_pins_) {
+    if (dom == old_dom) {
+      dom = new_dom;
+    }
+  }
+}
+
+size_t DomainPool::HashSlot(DomId guest, size_t open_count) {
+  // Fibonacci multiplicative hash: consecutive guest ids spread evenly.
+  const uint64_t h = static_cast<uint64_t>(guest) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>((h >> 32) % open_count);
+}
+
+const DomainPool::Shard* DomainPool::ResolveNet(DomId guest) const {
+  auto pin = vif_pins_.find(guest);
+  if (pin != vif_pins_.end()) {
+    for (const Shard& s : net_shards_) {
+      if (s.dom == pin->second) {
+        return &s;
+      }
+    }
+    return nullptr;  // Pinned to a shard that left the pool.
+  }
+  std::vector<const Shard*> open;
+  for (const Shard& s : net_shards_) {
+    if (s.open) {
+      open.push_back(&s);
+    }
+  }
+  if (open.empty()) {
+    return nullptr;
+  }
+  return open[HashSlot(guest, open.size())];
+}
+
+const DomainPool::Shard* DomainPool::ResolveStor(DomId guest) const {
+  auto pin = vbd_pins_.find(guest);
+  if (pin != vbd_pins_.end()) {
+    for (const Shard& s : stor_shards_) {
+      if (s.dom == pin->second) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+  std::vector<const Shard*> open;
+  for (const Shard& s : stor_shards_) {
+    if (s.open) {
+      open.push_back(&s);
+    }
+  }
+  if (open.empty()) {
+    return nullptr;
+  }
+  return open[HashSlot(guest, open.size())];
+}
+
+NetworkDomain* DomainPool::PickNetworkShard(DomId guest) const {
+  const Shard* s = ResolveNet(guest);
+  return s == nullptr ? nullptr : sys_->FindNetworkDomain(s->dom);
+}
+
+StorageDomain* DomainPool::PickStorageShard(DomId guest) const {
+  const Shard* s = ResolveStor(guest);
+  return s == nullptr ? nullptr : sys_->FindStorageDomain(s->dom);
+}
+
+NetworkDomain* DomainPool::AttachVif(GuestVm* guest, Ipv4Addr ip) {
+  NetworkDomain* nd = PickNetworkShard(guest->domain()->id());
+  if (nd == nullptr) {
+    return nullptr;
+  }
+  sys_->AttachVif(guest, nd, ip);
+  return nd;
+}
+
+StorageDomain* DomainPool::AttachVbd(GuestVm* guest) {
+  StorageDomain* sd = PickStorageShard(guest->domain()->id());
+  if (sd == nullptr) {
+    return nullptr;
+  }
+  sys_->AttachVbd(guest, sd);
+  return sd;
+}
+
+int DomainPool::VifLoad(DomId dom) const {
+  int n = 0;
+  for (const auto& g : sys_->guests()) {
+    if (g->netfront() != nullptr && LinkedBackend(sys_, g.get(), true) == dom) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int DomainPool::VbdLoad(DomId dom) const {
+  int n = 0;
+  for (const auto& g : sys_->guests()) {
+    if (g->blkfront() != nullptr && LinkedBackend(sys_, g.get(), false) == dom) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+NetworkDomain* DomainPool::LeastLoadedNetworkShard(DomId exclude) const {
+  const Shard* best = nullptr;
+  int best_load = 0;
+  for (const Shard& s : net_shards_) {
+    if (!s.open || s.dom == exclude) {
+      continue;
+    }
+    const int load = VifLoad(s.dom);
+    if (best == nullptr || load < best_load) {
+      best = &s;
+      best_load = load;
+    }
+  }
+  return best == nullptr ? nullptr : sys_->FindNetworkDomain(best->dom);
+}
+
+StorageDomain* DomainPool::LeastLoadedStorageShard(DomId exclude) const {
+  const Shard* best = nullptr;
+  int best_load = 0;
+  for (const Shard& s : stor_shards_) {
+    if (!s.open || s.dom == exclude) {
+      continue;
+    }
+    const int load = VbdLoad(s.dom);
+    if (best == nullptr || load < best_load) {
+      best = &s;
+      best_load = load;
+    }
+  }
+  return best == nullptr ? nullptr : sys_->FindStorageDomain(best->dom);
+}
+
+std::vector<DomainPool::ShardInfo> DomainPool::NetworkShards() const {
+  std::vector<ShardInfo> out;
+  out.reserve(net_shards_.size());
+  for (const Shard& s : net_shards_) {
+    out.push_back(ShardInfo{s.dom, s.open, VifLoad(s.dom)});
+  }
+  PublishGauges();
+  return out;
+}
+
+std::vector<DomainPool::ShardInfo> DomainPool::StorageShards() const {
+  std::vector<ShardInfo> out;
+  out.reserve(stor_shards_.size());
+  for (const Shard& s : stor_shards_) {
+    out.push_back(ShardInfo{s.dom, s.open, VbdLoad(s.dom)});
+  }
+  PublishGauges();
+  return out;
+}
+
+void DomainPool::PublishGauges() const {
+  MetricRegistry& reg = sys_->metric_registry();
+  for (const Shard& s : net_shards_) {
+    reg.gauge("pool", StrFormat("net%d", s.dom), "vif_load")->Set(VifLoad(s.dom));
+    reg.gauge("pool", StrFormat("net%d", s.dom), "open")->Set(s.open ? 1 : 0);
+  }
+  for (const Shard& s : stor_shards_) {
+    reg.gauge("pool", StrFormat("stor%d", s.dom), "vbd_load")->Set(VbdLoad(s.dom));
+    reg.gauge("pool", StrFormat("stor%d", s.dom), "open")->Set(s.open ? 1 : 0);
+  }
+}
+
+}  // namespace kite

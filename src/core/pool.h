@@ -1,0 +1,119 @@
+// DomainPool: shards guest devices across a fleet of driver domains.
+//
+// The paper's hardening story splits the single Linux driver domain into K
+// lightweight Kite netback domains and M blkback domains; each guest VIF/VBD
+// is served by exactly one shard. The pool is the placement policy:
+//
+//   - Membership is an ordered list of shards (registration order, so
+//     placement is deterministic across runs). A shard can be *closed*
+//     (draining, unhealthy) without leaving the pool: closed shards receive
+//     no new placements but keep serving what they already host until the
+//     Rebalancer moves it away.
+//   - Default placement hashes the guest's domain id over the open shards
+//     (Fibonacci multiplicative hash), so a guest lands on the same shard
+//     every run. An explicit Pin overrides the hash — for experiments that
+//     need a known victim/survivor split.
+//   - Load is derived, not tracked: a shard's load is the number of guest
+//     devices whose toolstack link (xenstore backend-id) points at it. That
+//     makes the pool agree with reality across migrations and restarts
+//     without any bookkeeping protocol.
+//
+// The pool is a policy object owned by the scenario (bench, test, explore
+// phase) — KiteSystem itself stays pool-free, so single-domain topologies pay
+// nothing.
+#ifndef SRC_CORE_POOL_H_
+#define SRC_CORE_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/hv/grant_table.h"
+#include "src/net/tcp.h"
+
+namespace kite {
+
+class KiteSystem;
+class NetworkDomain;
+class StorageDomain;
+class GuestVm;
+
+class DomainPool {
+ public:
+  struct ShardInfo {
+    DomId dom = 0;
+    bool open = true;
+    int load = 0;  // Guest devices currently toolstack-linked to this shard.
+  };
+
+  explicit DomainPool(KiteSystem* sys);
+
+  DomainPool(const DomainPool&) = delete;
+  DomainPool& operator=(const DomainPool&) = delete;
+
+  // --- Membership. Registration order is placement order. ---
+  void AddNetworkShard(NetworkDomain* nd);
+  void AddStorageShard(StorageDomain* sd);
+  void RemoveNetworkShard(DomId dom);
+  void RemoveStorageShard(DomId dom);
+  // Closed shards host but don't accept new placements.
+  void SetNetworkShardOpen(DomId dom, bool open);
+  void SetStorageShardOpen(DomId dom, bool open);
+  bool IsNetworkShardOpen(DomId dom) const;
+  bool IsStorageShardOpen(DomId dom) const;
+  bool HasNetworkShard(DomId dom) const;
+  bool HasStorageShard(DomId dom) const;
+  // A restart replaces the domain (new id) but not the shard: the successor
+  // inherits the slot's position and open flag.
+  void ReplaceNetworkShard(DomId old_dom, DomId new_dom);
+  void ReplaceStorageShard(DomId old_dom, DomId new_dom);
+
+  // --- Placement. ---
+  // Deterministic hash over open shards, unless the guest is pinned.
+  // Nullptr when the pool has no open shard of that kind.
+  NetworkDomain* PickNetworkShard(DomId guest) const;
+  StorageDomain* PickStorageShard(DomId guest) const;
+  // Pins override the hash (and win even if the pinned shard is closed —
+  // an explicit pin is an operator decision).
+  void PinVif(DomId guest, DomId dom) { vif_pins_[guest] = dom; }
+  void PinVbd(DomId guest, DomId dom) { vbd_pins_[guest] = dom; }
+  void UnpinVif(DomId guest) { vif_pins_.erase(guest); }
+  void UnpinVbd(DomId guest) { vbd_pins_.erase(guest); }
+
+  // Convenience: pick a shard and attach through the toolstack. Returns the
+  // chosen shard (nullptr if none open — nothing attached).
+  NetworkDomain* AttachVif(GuestVm* guest, Ipv4Addr ip);
+  StorageDomain* AttachVbd(GuestVm* guest);
+
+  // --- Load and introspection. ---
+  int VifLoad(DomId dom) const;
+  int VbdLoad(DomId dom) const;
+  // Open shard with the fewest linked devices (ties: pool order); `exclude`
+  // skips the shard being drained. Nullptr when no candidate exists.
+  NetworkDomain* LeastLoadedNetworkShard(DomId exclude = -1) const;
+  StorageDomain* LeastLoadedStorageShard(DomId exclude = -1) const;
+  // Pool order, with live load counts. Also refreshes the per-shard gauges.
+  std::vector<ShardInfo> NetworkShards() const;
+  std::vector<ShardInfo> StorageShards() const;
+
+ private:
+  struct Shard {
+    DomId dom = 0;
+    bool open = true;
+  };
+
+  static size_t HashSlot(DomId guest, size_t open_count);
+  const Shard* ResolveNet(DomId guest) const;
+  const Shard* ResolveStor(DomId guest) const;
+  void PublishGauges() const;
+
+  KiteSystem* sys_;
+  std::vector<Shard> net_shards_;
+  std::vector<Shard> stor_shards_;
+  std::map<DomId, DomId> vif_pins_;  // guest dom -> shard dom
+  std::map<DomId, DomId> vbd_pins_;
+};
+
+}  // namespace kite
+
+#endif  // SRC_CORE_POOL_H_

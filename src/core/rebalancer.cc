@@ -1,0 +1,336 @@
+#include "src/core/rebalancer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/pool.h"
+#include "src/core/system.h"
+#include "src/hv/xenbus.h"
+
+namespace kite {
+
+namespace {
+
+// Toolstack truth for where a guest device is linked (same convention as the
+// pool's load derivation).
+DomId LinkedBackend(KiteSystem* sys, const GuestVm* g, bool vif) {
+  const int devid = vif ? g->netfront()->devid() : g->blkfront()->devid();
+  const std::string fe =
+      FrontendPath(g->domain()->id(), vif ? "vif" : "vbd", devid);
+  auto cur = sys->hv().store().ReadInt(kDom0, fe + "/backend-id");
+  if (cur.has_value()) {
+    return static_cast<DomId>(*cur);
+  }
+  return vif ? g->netfront()->backend_dom() : g->blkfront()->backend_dom();
+}
+
+}  // namespace
+
+Rebalancer::Rebalancer(KiteSystem* sys, DomainPool* pool, RebalancerParams params)
+    : sys_(sys), pool_(pool), params_(params) {
+  MetricRegistry& reg = sys_->metric_registry();
+  drains_ = reg.counter("core", "rebalance", "drains");
+  evacuations_ = reg.counter("core", "rebalance", "evacuations");
+  readmissions_ = reg.counter("core", "rebalance", "readmissions");
+  moves_started_ = reg.counter("core", "rebalance", "moves_started");
+  moves_failed_ = reg.counter("core", "rebalance", "moves_failed");
+  backoff_defers_ = reg.counter("core", "rebalance", "backoff_defers");
+  sub_id_ = sys_->health().Subscribe(
+      [this](int32_t dom, const std::string& device, HealthState old_state,
+             HealthState new_state) { OnTransition(dom, device, old_state, new_state); });
+}
+
+Rebalancer::~Rebalancer() {
+  *alive_ = false;
+  sys_->health().Unsubscribe(sub_id_);
+}
+
+void Rebalancer::OnTransition(int32_t dom, const std::string& device,
+                              HealthState old_state, HealthState new_state) {
+  (void)old_state;
+  // Transitions for backends that aren't pool shards (a topology can mix
+  // pooled and standalone domains) are not ours to manage.
+  const bool net = device.rfind("vif", 0) == 0;
+  if (net ? !pool_->HasNetworkShard(dom) : !pool_->HasStorageShard(dom)) {
+    return;
+  }
+  // The callback runs inside the monitor's probe: defer every reaction, and
+  // re-verify state at fire time (it may have changed again by then).
+  sys_->executor().Post([this, alive = alive_, dom, net, new_state] {
+    if (!*alive) {
+      return;
+    }
+    switch (new_state) {
+      case HealthState::kDegraded:
+        HandleDegraded(dom, net);
+        return;
+      case HealthState::kStalled:
+        HandleStalled(dom);
+        return;
+      case HealthState::kHealthy:
+        HandleHealthy(dom);
+        return;
+    }
+  });
+}
+
+HealthState Rebalancer::WorstState(DomId dom) const {
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& inst : sys_->health().Instances()) {
+    if (inst.dom == dom && static_cast<int>(inst.state) > static_cast<int>(worst)) {
+      worst = inst.state;
+    }
+  }
+  return worst;
+}
+
+void Rebalancer::HandleDegraded(DomId dom, bool net) {
+  ShardCtl& ctl = shards_[dom];
+  ctl.net = net;
+  if (ctl.hysteresis_armed || ctl.draining) {
+    return;
+  }
+  ctl.hysteresis_armed = true;
+  sys_->executor().PostAfter(params_.degraded_hysteresis,
+                             [this, alive = alive_, dom] {
+                               if (*alive) {
+                                 ConfirmDegraded(dom);
+                               }
+                             });
+}
+
+void Rebalancer::ConfirmDegraded(DomId dom) {
+  auto it = shards_.find(dom);
+  if (it == shards_.end()) {
+    return;  // Shard replaced (evacuated) while the timer was pending.
+  }
+  ShardCtl& ctl = it->second;
+  ctl.hysteresis_armed = false;
+  if (ctl.draining) {
+    return;
+  }
+  switch (WorstState(dom)) {
+    case HealthState::kHealthy:
+      return;  // Blip: recovered within the hysteresis window.
+    case HealthState::kStalled:
+      return;  // The stalled path (forced evacuation) owns this shard now.
+    case HealthState::kDegraded:
+      StartDrain(dom);
+      return;
+  }
+}
+
+void Rebalancer::StartDrain(DomId dom) {
+  ShardCtl& ctl = shards_[dom];
+  ctl.draining = true;
+  drains_->Inc();
+  if (ctl.net) {
+    pool_->SetNetworkShardOpen(dom, false);
+  } else {
+    pool_->SetStorageShardOpen(dom, false);
+  }
+  KITE_LOG(Info) << StrFormat("rebalance: draining %s shard dom%d",
+                              ctl.net ? "network" : "storage", dom);
+  for (const auto& g : sys_->guests()) {
+    if (ctl.net && g->netfront() != nullptr &&
+        LinkedBackend(sys_, g.get(), true) == dom) {
+      pending_.push_back(PendingMove{g->domain()->id(), true, dom});
+      ++ctl.outstanding;
+    } else if (!ctl.net && g->blkfront() != nullptr &&
+               LinkedBackend(sys_, g.get(), false) == dom) {
+      pending_.push_back(PendingMove{g->domain()->id(), false, dom});
+      ++ctl.outstanding;
+    }
+  }
+  if (ctl.outstanding == 0) {
+    TryReadmit(dom);
+    return;
+  }
+  PumpMoves();
+}
+
+void Rebalancer::PumpMoves() {
+  while (active_moves_ < params_.max_concurrent_migrations && !pending_.empty()) {
+    PendingMove m = pending_.front();
+    pending_.pop_front();
+    GuestVm* guest = sys_->FindGuest(m.gid);
+    const bool gone = guest == nullptr ||
+                      (m.vif ? guest->netfront() == nullptr
+                             : guest->blkfront() == nullptr);
+    if (gone || LinkedBackend(sys_, guest, m.vif) != m.from) {
+      // Destroyed, or already moved (an evacuation beat the drain to it).
+      OnMoveDone(m.from);
+      continue;
+    }
+    if (m.vif) {
+      NetworkDomain* target = pool_->LeastLoadedNetworkShard(m.from);
+      if (target == nullptr) {
+        moves_failed_->Inc();
+        OnMoveDone(m.from);
+        continue;
+      }
+      ++active_moves_;
+      moves_started_->Inc();
+      sys_->MigrateVif(guest, sys_->FindNetworkDomain(m.from), target,
+                       [this, alive = alive_, from = m.from](bool ok) {
+                         if (*alive) {
+                           --active_moves_;
+                           if (!ok) {
+                             moves_failed_->Inc();
+                           }
+                           OnMoveDone(from);
+                         }
+                       });
+    } else {
+      StorageDomain* target = pool_->LeastLoadedStorageShard(m.from);
+      if (target == nullptr) {
+        moves_failed_->Inc();
+        OnMoveDone(m.from);
+        continue;
+      }
+      ++active_moves_;
+      moves_started_->Inc();
+      sys_->MigrateVbd(guest, sys_->FindStorageDomain(m.from), target,
+                       [this, alive = alive_, from = m.from](bool ok) {
+                         if (*alive) {
+                           --active_moves_;
+                           if (!ok) {
+                             moves_failed_->Inc();
+                           }
+                           OnMoveDone(from);
+                         }
+                       });
+    }
+  }
+}
+
+void Rebalancer::OnMoveDone(DomId from) {
+  auto it = shards_.find(from);
+  if (it != shards_.end() && it->second.outstanding > 0) {
+    --it->second.outstanding;
+    if (it->second.outstanding == 0) {
+      TryReadmit(from);
+    }
+  }
+  PumpMoves();
+}
+
+void Rebalancer::TryReadmit(DomId dom) {
+  auto it = shards_.find(dom);
+  if (it == shards_.end()) {
+    return;
+  }
+  ShardCtl& ctl = it->second;
+  if (!ctl.draining || ctl.outstanding > 0) {
+    return;
+  }
+  if (WorstState(dom) != HealthState::kHealthy) {
+    return;  // Stay closed; a later healthy transition re-admits.
+  }
+  ctl.draining = false;
+  if (ctl.net) {
+    pool_->SetNetworkShardOpen(dom, true);
+  } else {
+    pool_->SetStorageShardOpen(dom, true);
+  }
+  readmissions_->Inc();
+  KITE_LOG(Info) << StrFormat("rebalance: re-admitted shard dom%d", dom);
+}
+
+void Rebalancer::HandleHealthy(DomId dom) {
+  auto it = shards_.find(dom);
+  if (it == shards_.end()) {
+    return;
+  }
+  it->second.fail_count = 0;
+  TryReadmit(dom);
+}
+
+void Rebalancer::HandleStalled(DomId dom) {
+  auto it = shards_.find(dom);
+  if (it == shards_.end()) {
+    // First signal from this shard is already a stall (hard wedge).
+    const bool net = pool_->HasNetworkShard(dom);
+    shards_[dom].net = net;
+    it = shards_.find(dom);
+  }
+  ShardCtl& ctl = it->second;
+  const SimTime now = sys_->executor().Now();
+  if (now < ctl.next_allowed) {
+    backoff_defers_->Inc();
+    sys_->executor().PostAfter(ctl.next_allowed - now, [this, alive = alive_, dom] {
+      if (!*alive) {
+        return;
+      }
+      // Only evacuate if the shard is still wedged when the backoff expires.
+      if (shards_.count(dom) != 0 && WorstState(dom) == HealthState::kStalled) {
+        Evacuate(dom);
+      }
+    });
+    return;
+  }
+  Evacuate(dom);
+}
+
+void Rebalancer::Evacuate(DomId dom) {
+  auto it = shards_.find(dom);
+  if (it == shards_.end()) {
+    return;
+  }
+  ShardCtl ctl = it->second;
+  const SimTime now = sys_->executor().Now();
+  ++ctl.fail_count;
+  const int exp = std::min(ctl.fail_count - 1, params_.backoff_max_exp);
+  ctl.next_allowed = now + params_.backoff_base * (int64_t{1} << exp);
+  evacuations_->Inc();
+  KITE_LOG(Info) << StrFormat("rebalance: evacuating stalled %s shard dom%d",
+                              ctl.net ? "network" : "storage", dom);
+
+  // Pending graceful drain moves off this shard are obsolete: the forced
+  // restart below migrates every attached guest itself.
+  for (auto pit = pending_.begin(); pit != pending_.end();) {
+    if (pit->from == dom) {
+      pit = pending_.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+  ctl.outstanding = 0;
+  ctl.draining = false;
+  ctl.hysteresis_armed = false;
+
+  DomId fresh_id = 0;
+  if (ctl.net) {
+    NetworkDomain* nd = sys_->FindNetworkDomain(dom);
+    if (nd == nullptr) {
+      return;  // Already gone (e.g. the scenario restarted it by hand).
+    }
+    NetworkDomain* fresh = sys_->RestartNetworkDomain(
+        nd, [this, dom](GuestVm*) { return pool_->LeastLoadedNetworkShard(dom); });
+    fresh_id = fresh->domain()->id();
+    pool_->ReplaceNetworkShard(dom, fresh_id);
+    pool_->SetNetworkShardOpen(fresh_id, params_.readmit_evacuated);
+  } else {
+    StorageDomain* sd = sys_->FindStorageDomain(dom);
+    if (sd == nullptr) {
+      return;
+    }
+    StorageDomain* fresh = sys_->RestartStorageDomain(
+        sd, [this, dom](GuestVm*) { return pool_->LeastLoadedStorageShard(dom); });
+    fresh_id = fresh->domain()->id();
+    pool_->ReplaceStorageShard(dom, fresh_id);
+    pool_->SetStorageShardOpen(fresh_id, params_.readmit_evacuated);
+  }
+  // The replacement inherits the slot's failure streak (backoff survives the
+  // restart: a domain that wedges on every boot slows down, not speeds up).
+  shards_.erase(dom);
+  shards_[fresh_id] = ctl;
+  if (params_.readmit_evacuated) {
+    readmissions_->Inc();
+  }
+}
+
+}  // namespace kite

@@ -2,10 +2,12 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/core/invariants.h"
+#include "src/core/migrate.h"
 
 namespace kite {
 
@@ -31,6 +33,7 @@ KiteSystem::KiteSystem(Params params)
                        HealthStateName(state));
   });
   health_.Start();
+  migrate_ = std::make_unique<MigrationEngine>(this);
   // Any KITE_CHECK failure anywhere in this process now dumps the full
   // diagnostic bundle to stderr before aborting.
   prev_fatal_ = SetFatalHandler([this] { DumpDiagnostics(std::cerr); });
@@ -61,6 +64,7 @@ void KiteSystem::DumpDiagnostics(std::ostream& out) {
   out << "==== KITE DIAGNOSTICS (t=" << StrFormat("%.9f", Now().seconds())
       << "s) ====\n";
   out << "---- health ----\n" << health_.FormatTable();
+  out << "---- placement ----\n" << FormatPlacement();
   out << "---- flight recorder ----\n" << recorder_.FormatAll();
   out << "---- pending events ----\n" << executor_.FormatPendingEvents() << "\n";
   out << "---- invariants ----\n";
@@ -76,6 +80,52 @@ void KiteSystem::DumpDiagnostics(std::ostream& out) {
   out << "---- metrics ----\n" << FormatMetrics();
   out << "==== END KITE DIAGNOSTICS ====\n";
   out.flush();
+}
+
+std::string KiteSystem::FormatPlacement() {
+  XenStore& store = hv_->store();
+  // Rebuilt purely from the toolstack's placement keys, so the table shows
+  // what is actually linked — not what any policy object believes. Each
+  // device carries the published health verdict of its backend instance
+  // (falling back to the live monitor when no transition was ever published).
+  std::map<DomId, std::vector<std::string>> shards;
+  for (const char* kind : {"vif", "vbd"}) {
+    const std::string root = StrFormat("/local/domain/0/kite/placement/%s", kind);
+    const auto guests = store.List(kDom0, root);
+    if (!guests.has_value()) {
+      continue;
+    }
+    for (const std::string& gid : *guests) {
+      const auto devids = store.List(kDom0, root + "/" + gid);
+      if (!devids.has_value()) {
+        continue;
+      }
+      for (const std::string& devid : *devids) {
+        const auto bid = store.ReadInt(kDom0, root + "/" + gid + "/" + devid);
+        if (!bid.has_value()) {
+          continue;
+        }
+        const DomId dom = static_cast<DomId>(*bid);
+        const std::string device = StrFormat("%s%s.%s", kind, gid.c_str(), devid.c_str());
+        const auto verdict = store.Read(kDom0, DomainPath(dom) + "/health/" + device);
+        shards[dom].push_back(
+            device + "=" +
+            (verdict.has_value() ? *verdict : HealthStateName(health_.state(dom, device))));
+      }
+    }
+  }
+  if (shards.empty()) {
+    return "  (no devices placed)\n";
+  }
+  std::string out;
+  for (const auto& [dom, devices] : shards) {
+    out += StrFormat("  shard dom%-4d %2zu device(s):", dom, devices.size());
+    for (const std::string& d : devices) {
+      out += " " + d;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 bool KiteSystem::DumpTrace(const std::string& path) {
@@ -131,7 +181,8 @@ NetworkDomain* KiteSystem::CreateNetworkDomainImpl(DriverDomainConfig config,
   if (reuse_nic != nullptr) {
     nd->nic_ = std::move(reuse_nic);
   } else {
-    nd->nic_ = std::make_unique<Nic>(&executor_, "0000:03:00.0", "ixg0",
+    nd->nic_ = std::make_unique<Nic>(&executor_,
+                                     StrFormat("0000:03:00.%d", next_nic_fn_++), "ixg0",
                                      MacAddr::FromId(0x100000u + next_mac_id_++),
                                      params_.nic);
     nd->nic_->set_fault_injector(&faults_);
@@ -140,7 +191,15 @@ NetworkDomain* KiteSystem::CreateNetworkDomainImpl(DriverDomainConfig config,
 
   EnsureClient();
   if (nd->nic_->peer() == nullptr) {
-    Nic::ConnectBackToBack(nd->nic_.get(), client_->nic_.get());
+    // Pay-for-use fabric: a single network domain is direct-cabled to the
+    // client (the paper's testbed, byte-identical figures); the moment a
+    // second uplink appears everything moves behind an EtherSwitch.
+    if (switch_ == nullptr && network_domains_.empty()) {
+      Nic::ConnectBackToBack(nd->nic_.get(), client_->nic_.get());
+    } else {
+      EnsureSwitch();
+      switch_->Plug(nd->nic_.get());
+    }
   }
 
   NetworkDomain* raw = nd.get();
@@ -185,8 +244,16 @@ StorageDomain* KiteSystem::CreateStorageDomainImpl(DriverDomainConfig config,
   if (reuse_disk != nullptr) {
     sd->disk_ = std::move(reuse_disk);
   } else {
-    sd->disk_ = std::make_unique<BlockDevice>(&executor_, "0000:04:00.0", params_.disk,
-                                              params_.disk_store_data);
+    // Every storage shard ports the same dual-ported media (fabric-attached
+    // storage): per-port timing and queues stay independent, but a write
+    // acknowledged through one shard is readable through any other — the
+    // property VBD migration relies on.
+    if (shared_media_ == nullptr) {
+      shared_media_ = std::make_shared<DiskMedia>();
+    }
+    sd->disk_ = std::make_unique<BlockDevice>(
+        &executor_, StrFormat("0000:04:00.%d", next_disk_fn_++), params_.disk,
+        params_.disk_store_data, shared_media_);
     sd->disk_->set_fault_injector(&faults_);
   }
   hv_->AssignPci(sd->disk_.get(), sd->domain_, /*iommu=*/true);
@@ -219,6 +286,10 @@ GuestVm* KiteSystem::CreateGuest(const std::string& name, int vcpus, int memory_
 
 void KiteSystem::DestroyGuest(GuestVm* guest) {
   const DomId gid = guest->domain_->id();
+  hv_->store().RemoveSubtree(kDom0,
+                             StrFormat("/local/domain/0/kite/placement/vif/%d", gid));
+  hv_->store().RemoveSubtree(kDom0,
+                             StrFormat("/local/domain/0/kite/placement/vbd/%d", gid));
   // Frontend objects first (they hold watches and the Domain pointer), then
   // the domain itself. DestroyDomain removes the guest's xenstore subtree,
   // which fires the backends' frontend-death watches; the drivers reap the
@@ -251,6 +322,58 @@ void KiteSystem::EnsureClient() {
   client_->stack_->ConfigureIp(client_ip_);
 }
 
+void KiteSystem::EnsureSwitch() {
+  if (switch_ != nullptr) {
+    return;
+  }
+  switch_ = std::make_unique<EtherSwitch>(&executor_, "tor0", params_.nic);
+  // Re-cable the existing direct link (client <-> first network domain)
+  // through the switch. Frames already on the wire still arrive.
+  Nic* client_nic = client_->nic_.get();
+  Nic* existing = client_nic->peer();
+  if (existing != nullptr) {
+    Nic::Disconnect(client_nic);
+  }
+  switch_->Plug(client_nic);
+  if (existing != nullptr) {
+    switch_->Plug(existing);
+  }
+}
+
+void KiteSystem::WritePlacement(const char* kind, DomId gid, int devid, DomId bid) {
+  hv_->store().WriteInt(kDom0,
+                        StrFormat("/local/domain/0/kite/placement/%s/%d/%d", kind,
+                                  gid, devid),
+                        bid);
+}
+
+GuestVm* KiteSystem::FindGuest(DomId id) {
+  for (auto& g : guests_) {
+    if (g->domain_->id() == id) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+NetworkDomain* KiteSystem::FindNetworkDomain(DomId id) {
+  for (auto& nd : network_domains_) {
+    if (nd->domain_->id() == id) {
+      return nd.get();
+    }
+  }
+  return nullptr;
+}
+
+StorageDomain* KiteSystem::FindStorageDomain(DomId id) {
+  for (auto& sd : storage_domains_) {
+    if (sd->domain_->id() == id) {
+      return sd.get();
+    }
+  }
+  return nullptr;
+}
+
 void KiteSystem::AttachVif(GuestVm* guest, NetworkDomain* netdom, Ipv4Addr ip) {
   KITE_CHECK(guest->netfront_ == nullptr) << "guest already has a VIF";
   const int devid = 0;
@@ -267,9 +390,11 @@ void KiteSystem::AttachVif(GuestVm* guest, NetworkDomain* netdom, Ipv4Addr ip) {
   store.WriteInt(kDom0, fe + "/state", static_cast<int>(XenbusState::kInitialising));
   store.Write(kDom0, be + "/frontend", fe);
   store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/online", 1);
   store.WriteInt(kDom0, be + "/state", static_cast<int>(XenbusState::kInitialising));
   store.SetPermission(kDom0, fe, bid);
   store.SetPermission(kDom0, be, gid);
+  WritePlacement("vif", gid, devid, bid);
 
   // Guest side: netfront and the network stack on top of it.
   MacAddr mac = MacAddr::FromId(0x300000u + static_cast<uint32_t>(gid));
@@ -292,8 +417,10 @@ void KiteSystem::AttachVbd(GuestVm* guest, StorageDomain* stordom) {
   store.WriteInt(kDom0, fe + "/backend-id", bid);
   store.Write(kDom0, be + "/frontend", fe);
   store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/online", 1);
   store.SetPermission(kDom0, fe, bid);
   store.SetPermission(kDom0, be, gid);
+  WritePlacement("vbd", gid, devid, bid);
 
   guest->blkfront_ = std::make_unique<Blkfront>(guest->domain_, bid, devid);
 }
@@ -337,15 +464,46 @@ bool KiteSystem::WaitConnected(GuestVm* guest, SimDuration timeout) {
       timeout);
 }
 
-NetworkDomain* KiteSystem::RestartNetworkDomain(NetworkDomain* netdom) {
+void KiteSystem::MigrateVif(GuestVm* guest, NetworkDomain* from, NetworkDomain* to,
+                            MigrateDone done) {
+  KITE_CHECK(guest != nullptr && guest->netfront() != nullptr) << "guest has no VIF";
+  KITE_CHECK(to != nullptr);
+  (void)from;  // Documentation of intent; the engine re-resolves the source.
+  migrate_->MigrateVif(guest->domain_->id(), to->domain_->id(),
+                       MigrationEngine::Mode::kGraceful, std::move(done));
+}
+
+void KiteSystem::MigrateVbd(GuestVm* guest, StorageDomain* from, StorageDomain* to,
+                            MigrateDone done) {
+  KITE_CHECK(guest != nullptr && guest->blkfront() != nullptr) << "guest has no VBD";
+  KITE_CHECK(to != nullptr);
+  (void)from;
+  migrate_->MigrateVbd(guest->domain_->id(), to->domain_->id(),
+                       MigrationEngine::Mode::kGraceful, std::move(done));
+}
+
+int KiteSystem::migrations_in_flight() const { return migrate_->in_flight(); }
+
+NetworkDomain* KiteSystem::RestartNetworkDomain(
+    NetworkDomain* netdom, std::function<NetworkDomain*(GuestVm*)> place) {
   const DomId old_id = netdom->domain_->id();
   const DriverDomainConfig config = netdom->config_;
 
-  // Guests whose VIF pointed at the dead backend; relinked below once the
-  // replacement exists.
+  // Guests whose VIF is toolstack-linked to the dead backend; migrated below
+  // once the replacement exists. The xenstore record — not the frontend's
+  // possibly-lagging view — decides membership, so back-to-back restarts
+  // collect the right set even before the relink watches fire.
   std::vector<GuestVm*> attached;
   for (auto& g : guests_) {
-    if (g->netfront_ != nullptr && g->netfront_->backend_dom() == old_id) {
+    if (g->netfront_ == nullptr) {
+      continue;
+    }
+    const std::string fe =
+        FrontendPath(g->domain_->id(), "vif", g->netfront_->devid());
+    auto cur = hv_->store().ReadInt(kDom0, fe + "/backend-id");
+    const DomId linked =
+        cur.has_value() ? static_cast<DomId>(*cur) : g->netfront_->backend_dom();
+    if (linked == old_id) {
       attached.push_back(g.get());
     }
   }
@@ -365,19 +523,37 @@ NetworkDomain* KiteSystem::RestartNetworkDomain(NetworkDomain* netdom) {
   }
 
   NetworkDomain* fresh = CreateNetworkDomainImpl(config, std::move(nic));
+  // Restart is "migrate everyone off the corpse": forced moves (the old
+  // backend is gone) onto the caller's placement, defaulting to the
+  // replacement. The engine serializes per device, so a restart landing
+  // mid-migration waits for the move to settle instead of double-relinking.
   for (GuestVm* guest : attached) {
-    RelinkVif(guest, fresh);
+    NetworkDomain* target = place ? place(guest) : fresh;
+    if (target == nullptr) {
+      target = fresh;
+    }
+    migrate_->MigrateVif(guest->domain_->id(), target->domain_->id(),
+                         MigrationEngine::Mode::kForced);
   }
   return fresh;
 }
 
-StorageDomain* KiteSystem::RestartStorageDomain(StorageDomain* stordom) {
+StorageDomain* KiteSystem::RestartStorageDomain(
+    StorageDomain* stordom, std::function<StorageDomain*(GuestVm*)> place) {
   const DomId old_id = stordom->domain_->id();
   const DriverDomainConfig config = stordom->config_;
 
   std::vector<GuestVm*> attached;
   for (auto& g : guests_) {
-    if (g->blkfront_ != nullptr && g->blkfront_->backend_dom() == old_id) {
+    if (g->blkfront_ == nullptr) {
+      continue;
+    }
+    const std::string fe =
+        FrontendPath(g->domain_->id(), "vbd", g->blkfront_->devid());
+    auto cur = hv_->store().ReadInt(kDom0, fe + "/backend-id");
+    const DomId linked =
+        cur.has_value() ? static_cast<DomId>(*cur) : g->blkfront_->backend_dom();
+    if (linked == old_id) {
       attached.push_back(g.get());
     }
   }
@@ -396,7 +572,12 @@ StorageDomain* KiteSystem::RestartStorageDomain(StorageDomain* stordom) {
 
   StorageDomain* fresh = CreateStorageDomainImpl(config, std::move(disk));
   for (GuestVm* guest : attached) {
-    RelinkVbd(guest, fresh);
+    StorageDomain* target = place ? place(guest) : fresh;
+    if (target == nullptr) {
+      target = fresh;
+    }
+    migrate_->MigrateVbd(guest->domain_->id(), target->domain_->id(),
+                         MigrationEngine::Mode::kForced);
   }
   return fresh;
 }
@@ -411,6 +592,7 @@ void KiteSystem::RelinkVif(GuestVm* guest, NetworkDomain* netdom) {
   const std::string be = BackendPath(bid, "vif", gid, devid);
   store.Write(kDom0, be + "/frontend", fe);
   store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/online", 1);
   store.WriteInt(kDom0, be + "/state", static_cast<int>(XenbusState::kInitialising));
   store.SetPermission(kDom0, be, gid);
   store.SetPermission(kDom0, fe, bid);
@@ -418,6 +600,7 @@ void KiteSystem::RelinkVif(GuestVm* guest, NetworkDomain* netdom) {
   // Written last: the frontend's relink watch keys on backend-id, and by
   // then the rest of the toolstack state must already be in place.
   store.WriteInt(kDom0, fe + "/backend-id", bid);
+  WritePlacement("vif", gid, devid, bid);
 }
 
 void KiteSystem::RelinkVbd(GuestVm* guest, StorageDomain* stordom) {
@@ -430,10 +613,12 @@ void KiteSystem::RelinkVbd(GuestVm* guest, StorageDomain* stordom) {
   const std::string be = BackendPath(bid, "vbd", gid, devid);
   store.Write(kDom0, be + "/frontend", fe);
   store.WriteInt(kDom0, be + "/frontend-id", gid);
+  store.WriteInt(kDom0, be + "/online", 1);
   store.SetPermission(kDom0, be, gid);
   store.SetPermission(kDom0, fe, bid);
   store.Write(kDom0, fe + "/backend", be);
   store.WriteInt(kDom0, fe + "/backend-id", bid);
+  WritePlacement("vbd", gid, devid, bid);
 }
 
 }  // namespace kite

@@ -25,6 +25,7 @@
 #include "src/hv/hypervisor.h"
 #include "src/net/nic.h"
 #include "src/net/stack.h"
+#include "src/net/switch.h"
 #include "src/net/tcp.h"
 #include "src/netdrv/netback.h"
 #include "src/netdrv/netfront.h"
@@ -36,6 +37,8 @@
 #include "src/os/profile.h"
 
 namespace kite {
+
+class MigrationEngine;
 
 struct DriverDomainConfig {
   OsKind os = OsKind::kKiteRumprun;
@@ -170,11 +173,15 @@ class KiteSystem {
   FlightRecorder& recorder() { return recorder_; }
   // The backend health watchdog (started at construction; see Params::health).
   HealthMonitor& health() { return health_; }
-  // One-shot failure diagnostics: health table, per-domain flight-recorder
-  // tails, pending events, invariant audit, and the full metric table.
-  // Installed as the KITE_CHECK fatal handler (dumped to stderr on any
-  // assertion failure in this process) and callable on demand.
+  // One-shot failure diagnostics: health table, shard placement, per-domain
+  // flight-recorder tails, pending events, invariant audit, and the full
+  // metric table. Installed as the KITE_CHECK fatal handler (dumped to
+  // stderr on any assertion failure in this process) and callable on demand.
   void DumpDiagnostics(std::ostream& out);
+  // Per-shard placement, one line per backend domain, rebuilt from the
+  // toolstack's /local/domain/0/kite/placement/... keys with each device's
+  // published health verdict — what an operator's `xenstore-ls` would show.
+  std::string FormatPlacement();
   EventTracer& tracer() { return tracer_; }
   // Tracing is compiled in but off by default; when off the per-event cost
   // is a single branch. Setting KITE_TRACE=<path> in the environment enables
@@ -210,6 +217,16 @@ class KiteSystem {
     return storage_domains_;
   }
   const std::vector<std::unique_ptr<GuestVm>>& guests() const { return guests_; }
+  // By-id lookups (nullptr when no such domain is alive). Domain objects are
+  // destroyed and recreated across restarts, so long-lived policies (the
+  // migration engine, the rebalancer) hold DomIds and resolve per use.
+  GuestVm* FindGuest(DomId id);
+  NetworkDomain* FindNetworkDomain(DomId id);
+  StorageDomain* FindStorageDomain(DomId id);
+  // The server-side fabric. Null while at most one network domain exists
+  // (direct cable, the paper's testbed); created pay-for-use the moment a
+  // second uplink is needed.
+  EtherSwitch* ether_switch() { return switch_.get(); }
 
   // Seeded schedule exploration: randomize tie-breaking among
   // same-timestamp events (see Executor::EnableShuffle). Call before any
@@ -230,26 +247,57 @@ class KiteSystem {
   // connect.
   bool WaitConnected(GuestVm* guest, SimDuration timeout = Seconds(10));
 
+  // --- VIF/VBD migration (live shard moves). ---
+  using MigrateDone = std::function<void(bool ok)>;
+  // Gracefully moves the guest's VIF from `from` to `to`: the old backend is
+  // marked offline, drains what it already accepted, retires (releasing its
+  // grant mappings), and only then is the device relinked — so no
+  // acknowledged packet is lost across the move. Asynchronous: drive the
+  // simulation for it to progress; `done(ok)` fires when the device settles.
+  // `from` documents intent — the engine re-resolves the actual source from
+  // the toolstack record when the (possibly queued) move starts.
+  void MigrateVif(GuestVm* guest, NetworkDomain* from, NetworkDomain* to,
+                  MigrateDone done = {});
+  // Same for the guest's VBD: every acknowledged write is readable through
+  // the new path (shards port the same dual-ported media), and
+  // unacknowledged in-flight requests are requeued by the frontend.
+  void MigrateVbd(GuestVm* guest, StorageDomain* from, StorageDomain* to,
+                  MigrateDone done = {});
+  // Active plus queued migrations across all devices (0 at quiesce).
+  int migrations_in_flight() const;
+  MigrationEngine& migrator() { return *migrate_; }
+
   // --- Driver-domain restart (experiment E1 / failure recovery). ---
   // Destroys the network domain's VM and boots a fresh one with the same
   // configuration, reusing the physical NIC. Every guest VIF attached to
-  // the dead domain is relinked to the new one: the frontends detect the
-  // backend death, tear down their rings, and reconnect automatically —
-  // no manual re-attach. Returns the new domain; measures boot via
-  // boot_completed_at().
-  NetworkDomain* RestartNetworkDomain(NetworkDomain* netdom);
+  // the dead domain is migrated (forced mode — the backend is already gone)
+  // onto `place(guest)` when given, else onto the replacement: the frontends
+  // detect the backend death, tear down their rings, and reconnect
+  // automatically — no manual re-attach. Returns the new domain; measures
+  // boot via boot_completed_at().
+  NetworkDomain* RestartNetworkDomain(
+      NetworkDomain* netdom, std::function<NetworkDomain*(GuestVm*)> place = {});
   // Same for a storage domain. The physical disk is reused, so all
   // acknowledged writes survive the crash; blkfront requeues in-flight
   // requests so unacknowledged writes are retried, not lost.
-  StorageDomain* RestartStorageDomain(StorageDomain* stordom);
+  StorageDomain* RestartStorageDomain(
+      StorageDomain* stordom, std::function<StorageDomain*(GuestVm*)> place = {});
 
   const Params& params() const { return params_; }
 
  private:
+  friend class MigrationEngine;
+
   void BootDomain(Domain* dom, const OsProfile* os, std::function<void()> on_booted);
   void StartNetworkDomainServices(NetworkDomain* nd, DriverDomainConfig config);
   void StartStorageDomainServices(StorageDomain* sd, DriverDomainConfig config);
   void EnsureClient();
+  // Pay-for-use fabric: re-cables the client's direct link through a fresh
+  // EtherSwitch (no-op when the switch already exists).
+  void EnsureSwitch();
+  // Dom0 record of which shard serves each guest device, for kite_inspect:
+  // /local/domain/0/kite/placement/<kind>/<guest>/<devid> = <backend dom>.
+  void WritePlacement(const char* kind, DomId gid, int devid, DomId bid);
   // Shared by Create…Domain and Restart…Domain: when `reuse_nic`/`reuse_disk`
   // is non-null the physical device is adopted instead of constructed (PCI
   // passthrough hand-over across a driver-domain restart).
@@ -282,10 +330,19 @@ class KiteSystem {
   std::vector<std::unique_ptr<StorageDomain>> storage_domains_;
   std::vector<std::unique_ptr<GuestVm>> guests_;
   std::unique_ptr<ClientMachine> client_;
+  // Created on the second network domain (see ether_switch()).
+  std::unique_ptr<EtherSwitch> switch_;
+  // One dual-ported media shared by every storage shard's BlockDevice:
+  // timing stays per-port, content is common, so a VBD migrated to another
+  // shard reads exactly the bytes whose writes were acknowledged.
+  std::shared_ptr<DiskMedia> shared_media_;
+  std::unique_ptr<MigrationEngine> migrate_;
   Ipv4Addr gateway_ip_;
   Ipv4Addr client_ip_;
   int next_host_ = 10;
   int next_mac_id_ = 1;
+  int next_nic_fn_ = 0;   // PCI function suffix for additional NICs.
+  int next_disk_fn_ = 0;  // PCI function suffix for additional disks.
   // Non-empty when KITE_TRACE=<path> was set at construction; the trace is
   // dumped there on destruction.
   std::string trace_env_path_;

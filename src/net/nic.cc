@@ -29,6 +29,13 @@ void Nic::ConnectBackToBack(Nic* a, Nic* b) {
   b->peer_ = a;
 }
 
+void Nic::Disconnect(Nic* a) {
+  if (a->peer_ != nullptr) {
+    a->peer_->peer_ = nullptr;
+    a->peer_ = nullptr;
+  }
+}
+
 void Nic::OnAssigned(Domain* owner) { vcpu_ = owner->vcpu(0); }
 
 void Nic::OnUnassigned() { vcpu_ = nullptr; }

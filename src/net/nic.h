@@ -54,6 +54,9 @@ class Nic : public PciDevice {
 
   // Connects two NICs back to back (full duplex).
   static void ConnectBackToBack(Nic* a, Nic* b);
+  // Unplugs the cable between `a` and its peer (both ends become unpeered;
+  // no-op if already unplugged). Frames already on the wire still arrive.
+  static void Disconnect(Nic* a);
   Nic* peer() const { return peer_; }
 
   // For endpoints outside Xen (the client machine): the vCPU charged for

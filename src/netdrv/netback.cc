@@ -236,6 +236,46 @@ void NetbackInstance::BeginShutdown() {
   rx_wake_.Signal();
 }
 
+void NetbackInstance::RequestDrain() {
+  if (draining_ || stopping_) {
+    return;
+  }
+  draining_ = true;
+  // Take the vif out of the bridge's forwarding set and refuse new frames;
+  // everything already accepted (rx_pending_, consumed Tx requests) still
+  // flushes to completion.
+  SetUp(false);
+  tx_wake_.Signal();
+  rx_wake_.Signal();
+}
+
+bool NetbackInstance::ReadyToRetire() const {
+  if (!draining_) {
+    return false;
+  }
+  if (tx_ring_ == nullptr || rx_ring_ == nullptr) {
+    return true;  // Never connected: nothing mapped, nothing owed.
+  }
+  // Every consumed request must be responded and pushed; unconsumed Tx
+  // requests are unacknowledged and survive the move on the frontend side.
+  return tx_ring_->rsp_prod_pvt() == tx_ring_->req_cons() &&
+         tx_ring_->unpushed_responses() == 0 && rx_pending_.empty() &&
+         rx_ring_->rsp_prod_pvt() == rx_ring_->req_cons() &&
+         rx_ring_->unpushed_responses() == 0;
+}
+
+void NetbackInstance::RetireGracefully() {
+  KITE_CHECK(ReadyToRetire());
+  BeginShutdown();
+  // Release the ring mappings synchronously, while the frontend is still
+  // alive: its EndAccess on the ring grants must find zero active maps, or
+  // the refs are deferred forever and the grant ledger leaks.
+  tx_ring_.reset();
+  rx_ring_.reset();
+  tx_ring_map_.Unmap();
+  rx_ring_map_.Unmap();
+}
+
 void NetbackInstance::ThreadExited() {
   --threads_running_;
   if (threads_running_ == 0 && on_drained_) {
@@ -338,7 +378,7 @@ Task NetbackInstance::PusherThread() {
     }
     for (;;) {
       int batch = 0;
-      while (tx_ring_->HasUnconsumedRequests()) {
+      while (!draining_ && tx_ring_->HasUnconsumedRequests()) {
         NetTxRequest req = tx_ring_->ConsumeRequest();
         const uint32_t ring_index = tx_ring_->last_consumed_index();
         const int64_t submit_ns = tx_ring_->last_consumed_stamp_ns();
@@ -400,7 +440,7 @@ Task NetbackInstance::PusherThread() {
         break;
       }
       PushTxResponses();
-      if (!tx_ring_->FinalCheckForRequests()) {
+      if (draining_ || !tx_ring_->FinalCheckForRequests()) {
         break;
       }
     }
@@ -410,7 +450,7 @@ Task NetbackInstance::PusherThread() {
 }
 
 void NetbackInstance::Output(const EthernetFrame& frame) {
-  if (!connected_) {
+  if (!connected_ || draining_) {
     return;
   }
   if (rx_pending_.size() >= params_.rx_queue_cap) {
@@ -519,10 +559,12 @@ NetworkBackendDriver::NetworkBackendDriver(Domain* backend, std::vector<BmkSched
   scans_ = reg->counter(backend->name(), "vif-driver", "scans");
   connect_retries_ = reg->counter(backend->name(), "vif-driver", "connect_retries");
   instances_reaped_ = reg->counter(backend->name(), "vif-driver", "instances_reaped");
+  instances_retired_ = reg->counter(backend->name(), "vif-driver", "instances_retired");
   const std::string root = StrFormat("/local/domain/%d/backend/vif", backend->id());
   // The watch only wakes the scanning thread (paper §4.1).
   watch_ = backend_->StoreWatch(root, "vif-backend",
-                                [this](const std::string&, const std::string&) {
+                                [this, root](const std::string& path, const std::string&) {
+                                  NoteOnlineTouched(root, path);
                                   watch_wake_.Signal();
                                 });
   scheds_.front()->Spawn("xenwatch", [this] { return WatchThread(); });
@@ -588,6 +630,7 @@ void NetworkBackendDriver::ReapDeadInstances() {
     // Drop the backend's device nodes so rescans don't re-watch the corpse.
     hv_->store().RemoveSubtree(kDom0,
                                BackendPath(backend_->id(), "vif", key.first, key.second));
+    offline_.erase(key);
     std::unique_ptr<NetbackInstance> inst = std::move(it->second);
     it = instances_.erase(it);
     inst->set_on_drained([alive = alive_, this] {
@@ -607,10 +650,104 @@ void NetworkBackendDriver::ReapDeadInstances() {
   }
 }
 
+void NetworkBackendDriver::NoteOnlineTouched(const std::string& root,
+                                             const std::string& path) {
+  // Event-carried state: the root watch tells us *which* node's online key
+  // the toolstack touched, so the scan pays a xenstore read only for those
+  // rare writes instead of polling every node on every wakeup (polling
+  // taxes the no-migration data path — see the blkback twin).
+  if (path.size() <= root.size() + 1 || path.compare(0, root.size(), root) != 0) {
+    return;
+  }
+  const std::string rest = path.substr(root.size() + 1);  // <fdom>/<devid>/online
+  const size_t a = rest.find('/');
+  const size_t b = a == std::string::npos ? std::string::npos : rest.find('/', a + 1);
+  if (b == std::string::npos || rest.substr(b + 1) != "online") {
+    return;
+  }
+  const int64_t fdom = ParseDecimal(rest.substr(0, a));
+  const int64_t devid = ParseDecimal(rest.substr(a + 1, b - a - 1));
+  if (fdom >= 0 && devid >= 0) {
+    online_dirty_.insert({static_cast<DomId>(fdom), static_cast<int>(devid)});
+  }
+}
+
+void NetworkBackendDriver::ProcessDrains() {
+  for (const auto& key : online_dirty_) {
+    const std::string be_path =
+        BackendPath(backend_->id(), "vif", key.first, key.second);
+    auto online = backend_->StoreReadInt(be_path + "/online");
+    if (online.has_value() && *online == 0) {
+      offline_.insert(key);
+    } else {
+      offline_.erase(key);  // Rewritten to 1, or the node is gone.
+    }
+  }
+  online_dirty_.clear();
+  if (offline_.empty()) {
+    return;
+  }
+  bool pending = false;
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    const auto key = it->first;
+    if (offline_.count(key) == 0) {
+      ++it;
+      continue;
+    }
+    const std::string be_path =
+        BackendPath(backend_->id(), "vif", key.first, key.second);
+    NetbackInstance* inst = it->second.get();
+    inst->RequestDrain();
+    if (!inst->ReadyToRetire()) {
+      pending = true;
+      ++it;
+      continue;
+    }
+    KITE_LOG(Info) << "netback: " << inst->ifname() << " drained, retiring";
+    if (auto wit = paired_watches_.find(key); wit != paired_watches_.end()) {
+      hv_->store().RemoveWatch(wit->second);
+      paired_watches_.erase(wit);
+    }
+    if (on_vif_gone_) {
+      on_vif_gone_(inst);  // Unbridge before the pointer dies.
+    }
+    std::unique_ptr<NetbackInstance> owned = std::move(it->second);
+    it = instances_.erase(it);
+    owned->set_on_drained([alive = alive_, this] {
+      if (*alive) {
+        watch_wake_.Signal();
+      }
+    });
+    // Mappings must be released before the subtree goes away (the frontend's
+    // relink path EndAccesses its ring grants once the node vanishes).
+    owned->RetireGracefully();
+    hv_->store().RemoveSubtree(kDom0, be_path);
+    offline_.erase(key);
+    if (FlightRecorder* fr = hv_->recorder(); fr != nullptr) {
+      fr->Record(backend_->id(), FlightKind::kInstanceRetired, key.second,
+                 static_cast<uint64_t>(key.first));
+    }
+    if (!owned->drained()) {
+      dying_.push_back(std::move(owned));
+    }
+    instances_retired_->Inc();
+  }
+  if (pending) {
+    // Drain in progress: re-poll shortly (the worker threads make progress
+    // on simulated time, not on watch events).
+    hv_->executor()->PostAfter(Micros(50), [this, alive = alive_] {
+      if (*alive) {
+        watch_wake_.Signal();
+      }
+    });
+  }
+}
+
 void NetworkBackendDriver::ScanForFrontends() {
   scans_->Inc();
   SweepDying();
   ReapDeadInstances();
+  ProcessDrains();
   const std::string root = StrFormat("/local/domain/%d/backend/vif", backend_->id());
   auto fdoms = backend_->StoreList(root);
   if (!fdoms.has_value()) {
@@ -629,6 +766,12 @@ void NetworkBackendDriver::ScanForFrontends() {
     for (const std::string& devid_str : *devids) {
       const int64_t devid = ParseDecimal(devid_str);
       if (devid < 0 || instances_.count({static_cast<DomId>(fdom), static_cast<int>(devid)})) {
+        continue;
+      }
+      // A node marked offline is mid-drain/retire: never pair against it —
+      // the frontend republishing at this moment is relinking elsewhere.
+      // (offline_ was refreshed by ProcessDrains above; no xenstore read.)
+      if (offline_.count({static_cast<DomId>(fdom), static_cast<int>(devid)}) != 0) {
         continue;
       }
       // Pair only once the frontend has published its parameters.

@@ -78,6 +78,20 @@ class NetbackInstance : public NetIf {
   bool drained() const { return threads_running_ == 0; }
   void set_on_drained(std::function<void()> fn) { on_drained_ = std::move(fn); }
 
+  // Graceful drain (toolstack-initiated migration): stop consuming new Tx
+  // requests and stop accepting new bridge frames, but keep flushing work
+  // already accepted. Unconsumed Tx requests stay on the ring — they are
+  // unacknowledged, so the frontend retransmits them after relink.
+  void RequestDrain();
+  bool draining() const { return draining_; }
+  // True once every consumed request has a pushed response and the Rx
+  // backlog is flushed — nothing acknowledged remains only on this side.
+  bool ReadyToRetire() const;
+  // BeginShutdown plus synchronous release of the ring mappings. Must run
+  // *before* the backend's xenstore subtree is removed: the live frontend's
+  // EndAccess only succeeds once this side holds no active maps.
+  void RetireGracefully();
+
   DomId frontend_dom() const { return frontend_dom_; }
   int devid() const { return devid_; }
   bool connected() const { return connected_; }
@@ -130,6 +144,8 @@ class NetbackInstance : public NetIf {
   DomId frontend_dom_;
   int devid_;
   bool connected_ = false;
+  // Drain protocol: pusher stops consuming, Output stops accepting.
+  bool draining_ = false;
   // Shutdown protocol: checked by the worker threads after every co_await.
   bool stopping_ = false;
   int threads_running_ = 0;
@@ -214,6 +230,8 @@ class NetworkBackendDriver {
   uint64_t scans() const { return scans_->value(); }
   uint64_t connect_retries() const { return connect_retries_->value(); }
   uint64_t instances_reaped() const { return instances_reaped_->value(); }
+  // Instances retired via the graceful drain handshake (be/online = 0).
+  uint64_t instances_retired() const { return instances_retired_->value(); }
   // Frontend-state watches currently held while waiting for publication
   // (leak accounting: must drop back to zero once everything is paired).
   int pending_fe_watch_count() const { return static_cast<int>(fe_watches_.size()); }
@@ -226,6 +244,12 @@ class NetworkBackendDriver {
   // Tears down instances whose frontend reached Closing/Closed or vanished
   // from xenstore (frontend domain destroyed).
   void ReapDeadInstances();
+  // Drives the graceful drain handshake for instances whose backend node
+  // carries online = 0 (set by the toolstack before a migration).
+  void ProcessDrains();
+  // Root-watch helper: records nodes whose online key changed so the next
+  // scan reads only those (keeps the no-migration path free of xenstore ops).
+  void NoteOnlineTouched(const std::string& root, const std::string& path);
   // Frees reaped instances whose worker threads have exited.
   void SweepDying();
 
@@ -248,12 +272,18 @@ class NetworkBackendDriver {
   // Post-pairing frontend-death watches, one per live instance (kept apart
   // from fe_watches_, whose emptiness tests assert after pairing).
   std::map<std::pair<DomId, int>, WatchId> paired_watches_;
+  // Nodes whose online key the toolstack touched since the last scan
+  // (paths carried by the root watch); read — and charged — only for these.
+  std::set<std::pair<DomId, int>> online_dirty_;
+  // Nodes currently marked online = 0: mid-drain/retire.
+  std::set<std::pair<DomId, int>> offline_;
   // Reaped but not yet drained (worker frames still parked in the shared
   // scheduler); swept on scan wakeups.
   std::vector<std::unique_ptr<NetbackInstance>> dying_;
   Counter* scans_;
   Counter* connect_retries_;
   Counter* instances_reaped_;
+  Counter* instances_retired_;
   // Outlives `this` so posted retries can detect destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -135,12 +135,31 @@ void HealthMonitor::ProbeInstance(Instance& inst) {
     }
     const HealthState old = inst.state;
     inst.state = next;
-    (void)old;
     if (publisher_) {
       publisher_(inst.dom, inst.device, next);
     }
+    if (!subscribers_.empty()) {
+      // Snapshot so an Unsubscribe posted (not executed) by a callback can
+      // never invalidate the iteration; ids keep dispatch order stable.
+      std::vector<const Subscriber*> order;
+      order.reserve(subscribers_.size());
+      for (const auto& [id, fn] : subscribers_) {
+        order.push_back(&fn);
+      }
+      for (const Subscriber* fn : order) {
+        (*fn)(inst.dom, inst.device, old, next);
+      }
+    }
   }
 }
+
+int64_t HealthMonitor::Subscribe(Subscriber subscriber) {
+  const int64_t id = next_subscriber_id_++;
+  subscribers_[id] = std::move(subscriber);
+  return id;
+}
+
+void HealthMonitor::Unsubscribe(int64_t id) { subscribers_.erase(id); }
 
 void HealthMonitor::UpdateAggregates() {
   int healthy = 0;

@@ -64,6 +64,10 @@ class HealthMonitor {
   // (backend dom, device, new state) — KiteSystem publishes into xenstore.
   using Publisher = std::function<void(int32_t dom, const std::string& device,
                                        HealthState state)>;
+  // Transition subscribers additionally see the state being left, which is
+  // what a policy engine needs for hysteresis decisions.
+  using Subscriber = std::function<void(int32_t dom, const std::string& device,
+                                        HealthState old_state, HealthState new_state)>;
 
   HealthMonitor(Executor* executor, MetricRegistry* metrics, FlightRecorder* recorder,
                 HealthParams params);
@@ -72,6 +76,15 @@ class HealthMonitor {
   HealthMonitor& operator=(const HealthMonitor&) = delete;
 
   void set_publisher(Publisher publisher) { publisher_ = std::move(publisher); }
+
+  // Observes every state transition without displacing the publisher or any
+  // other subscriber. Dispatch order is deterministic: the publisher first,
+  // then subscribers in subscription order. Callbacks run inside the probe —
+  // they must not Register/Unregister/Subscribe synchronously; defer any
+  // reaction through the executor. The returned id unsubscribes.
+  int64_t Subscribe(Subscriber subscriber);
+  void Unsubscribe(int64_t id);
+  int subscriber_count() const { return static_cast<int>(subscribers_.size()); }
 
   // Registers an instance; the returned id unregisters it. `domain_name` and
   // `device` key the per-instance gauges ("<domain>/<device>/health_state");
@@ -139,6 +152,9 @@ class HealthMonitor {
   FlightRecorder* recorder_;
   HealthParams params_;
   Publisher publisher_;
+  // Subscription order == dispatch order (std::map iterates ids ascending).
+  std::map<int64_t, Subscriber> subscribers_;
+  int64_t next_subscriber_id_ = 1;
   bool started_ = false;
   int64_t next_id_ = 1;
   uint64_t probes_run_ = 0;

@@ -42,6 +42,12 @@ const char* FlightKindName(FlightKind kind) {
       return "instance-reaped";
     case FlightKind::kHealthTransition:
       return "health-transition";
+    case FlightKind::kMigrateStart:
+      return "migrate-start";
+    case FlightKind::kMigrateDone:
+      return "migrate-done";
+    case FlightKind::kInstanceRetired:
+      return "instance-retired";
   }
   return "?";
 }

@@ -41,6 +41,9 @@ enum class FlightKind : uint8_t {
   kFaultTripped,      // dev=FaultSite (numeric), a=total trips at that site
   kInstanceReaped,    // dev=devid, a=dead frontend dom
   kHealthTransition,  // dev=devid, a=old HealthState, b=new HealthState
+  kMigrateStart,      // dev=devid, a=from dom, b=to dom (guest's ring)
+  kMigrateDone,       // dev=devid, a=to dom, b=1 success / 0 failure
+  kInstanceRetired,   // dev=devid, a=frontend dom (graceful drain complete)
 };
 
 const char* FlightKindName(FlightKind kind);

@@ -624,5 +624,60 @@ TEST(HealthMonitorTest, DisconnectedOrDrainedInstanceNeverStalls) {
   EXPECT_EQ(metrics.counter("obs", "health", "transitions")->value(), 0u);
 }
 
+TEST(HealthMonitorTest, SubscribersDispatchInDeterministicOrder) {
+  Executor ex;
+  MetricRegistry metrics;
+  FlightRecorder rec(&ex);
+  HealthParams hp;
+  hp.probe_period = Millis(1);
+  hp.degraded_after = Millis(2);
+  hp.stalled_after = Millis(100);
+  HealthMonitor hm(&ex, &metrics, &rec, hp);
+
+  // The publisher and every subscriber see each transition; dispatch order is
+  // publisher first, then subscribers in subscription order — the Rebalancer
+  // relies on this determinism across schedule-shuffled explore runs.
+  std::vector<std::string> order;
+  hm.set_publisher([&](int32_t dom, const std::string& device, HealthState state) {
+    order.push_back(StrFormat("pub:%d/%s=%s", dom, device.c_str(),
+                              HealthStateName(state)));
+  });
+  const int64_t a = hm.Subscribe([&](int32_t dom, const std::string& device,
+                                     HealthState old_state, HealthState new_state) {
+    order.push_back(StrFormat("a:%d/%s %s->%s", dom, device.c_str(),
+                              HealthStateName(old_state), HealthStateName(new_state)));
+  });
+  const int64_t b = hm.Subscribe([&](int32_t dom, const std::string& device,
+                                     HealthState old_state, HealthState new_state) {
+    order.push_back(StrFormat("b:%d/%s %s->%s", dom, device.c_str(),
+                              HealthStateName(old_state), HealthStateName(new_state)));
+  });
+  EXPECT_NE(a, b);
+  EXPECT_EQ(hm.subscriber_count(), 2);
+
+  HealthSample s;
+  s.connected = true;
+  hm.Register(9, "fake-dom", "dev2", 2, [&] { return s; });
+  hm.Start();
+  s.req_prod = 1;  // Stuck request: degraded after 2ms.
+  ex.RunFor(Millis(5));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "pub:9/dev2=degraded");
+  EXPECT_EQ(order[1], "a:9/dev2 healthy->degraded");
+  EXPECT_EQ(order[2], "b:9/dev2 healthy->degraded");
+
+  // Unsubscribing one leaves the other: progress collapses back to healthy
+  // and only `b` (plus the publisher) observes it.
+  hm.Unsubscribe(a);
+  order.clear();
+  s.req_cons = 1;
+  s.rsp_prod = 1;
+  ex.RunFor(Millis(2));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "pub:9/dev2=healthy");
+  EXPECT_EQ(order[1], "b:9/dev2 degraded->healthy");
+  EXPECT_EQ(hm.subscriber_count(), 1);
+}
+
 }  // namespace
 }  // namespace kite
