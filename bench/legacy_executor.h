@@ -1,0 +1,176 @@
+// Pre-timer-wheel event engine, kept verbatim (minus diagnostics) as the
+// baseline for bench_engine: a binary heap of std::function events, one heap
+// pop + one heap allocation per post. BENCH_engine.json records both engines
+// in the same file so the speedup is measured, not remembered.
+//
+// Bench-only code: nothing outside bench/bench_engine.cc may include this.
+#ifndef BENCH_LEGACY_EXECUTOR_H_
+#define BENCH_LEGACY_EXECUTOR_H_
+
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/time.h"
+
+namespace kite::bench {
+
+class LegacyExecutor {
+ public:
+  LegacyExecutor() = default;
+  ~LegacyExecutor() {
+    for (Event& ev : queue_) {
+      if (ev.coro) {
+        ev.coro.destroy();
+      }
+    }
+    queue_.clear();
+  }
+
+  LegacyExecutor(const LegacyExecutor&) = delete;
+  LegacyExecutor& operator=(const LegacyExecutor&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  void PostAt(SimTime when, std::function<void()> fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr});
+  }
+  void PostAfter(SimDuration delay, std::function<void()> fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostAt(now_ + delay, std::move(fn));
+  }
+  void Post(std::function<void()> fn) { PostAt(now_, std::move(fn)); }
+
+  void PostDaemonAt(SimTime when, std::function<void()> fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr, /*daemon=*/true});
+  }
+  void PostDaemonAfter(SimDuration delay, std::function<void()> fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostDaemonAt(now_ + delay, std::move(fn));
+  }
+
+  void ResumeAt(SimTime when, std::coroutine_handle<> handle) {
+    if (when < now_) {
+      when = now_;
+    }
+    Push(Event{when, NextTie(), next_seq_++, nullptr, handle});
+  }
+  void ResumeAfter(SimDuration delay, std::coroutine_handle<> handle) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    ResumeAt(now_ + delay, handle);
+  }
+
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    Event ev = Pop();
+    RunEvent(ev);
+    return true;
+  }
+
+  void RunUntilIdle() {
+    while (non_daemon_pending_ > 0) {
+      Step();
+    }
+  }
+
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty() && queue_.front().at <= deadline) {
+      Event ev = Pop();
+      RunEvent(ev);
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  void EnableShuffle(uint64_t seed) {
+    shuffle_ = true;
+    shuffle_rng_ = Rng(seed);
+  }
+
+  uint64_t steps_executed() const { return steps_; }
+  bool idle() const { return non_daemon_pending_ == 0; }
+  size_t queue_size() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t tie;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::coroutine_handle<> coro;
+    bool daemon = false;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      if (a.tie != b.tie) {
+        return a.tie > b.tie;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  uint64_t NextTie() { return shuffle_ ? shuffle_rng_.NextU64() : next_seq_; }
+
+  void Push(Event ev) {
+    if (!ev.daemon) {
+      ++non_daemon_pending_;
+    }
+    queue_.push_back(std::move(ev));
+    std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+  }
+
+  Event Pop() {
+    std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    if (!ev.daemon) {
+      --non_daemon_pending_;
+    }
+    return ev;
+  }
+
+  void RunEvent(Event& ev) {
+    now_ = ev.at;
+    ++steps_;
+    if (ev.coro) {
+      ev.coro.resume();
+    } else {
+      ev.fn();
+    }
+  }
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  uint64_t steps_ = 0;
+  size_t non_daemon_pending_ = 0;
+  bool shuffle_ = false;
+  Rng shuffle_rng_{0};
+  std::vector<Event> queue_;
+};
+
+}  // namespace kite::bench
+
+#endif  // BENCH_LEGACY_EXECUTOR_H_

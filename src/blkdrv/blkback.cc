@@ -236,6 +236,9 @@ Page* BlkbackInstance::ResolvePage(GrantRef gref, bool write_access,
 }
 
 Task BlkbackInstance::RequestThread() {
+  // Hoisted run accumulator: capacity persists across wakeups (FlushRun
+  // refills it from the run pool after handing its storage to the device).
+  std::vector<ResolvedSeg> run;
   while (!stopping_) {
     co_await wake_.Wait();
     if (stopping_) {
@@ -255,7 +258,6 @@ Task BlkbackInstance::RequestThread() {
     }
     for (;;) {
       int batch = 0;
-      std::vector<ResolvedSeg> run;
       BlkOp run_op = BlkOp::kRead;
       while (!stopping_ && !draining_ && ring_->HasUnconsumedRequests()) {
         BlkRequest req = ring_->ConsumeRequest();
@@ -329,9 +331,11 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
   state->ring_index = ring_index;
   state->popped_ns = popped_ns;
 
-  // Resolve the segment list.
+  // Resolve the segment list into the reusable scratch (no suspension point
+  // below touches it, so one per instance suffices).
   BlkOp op = req.op;
-  std::vector<BlkSegment> segments;
+  std::vector<BlkSegment>& segments = seg_scratch_;
+  segments.clear();
   if (req.op == BlkOp::kIndirect) {
     if (!params_.indirect_segments) {
       // Indirect was never advertised; a frontend sending it anyway is
@@ -454,12 +458,28 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
   }
 }
 
+std::vector<BlkbackInstance::ResolvedSeg> BlkbackInstance::TakeRun() {
+  if (run_pool_.empty()) {
+    return {};
+  }
+  std::vector<ResolvedSeg> run = std::move(run_pool_.back());
+  run_pool_.pop_back();
+  return run;
+}
+
+void BlkbackInstance::RecycleRun(std::vector<ResolvedSeg>&& run) {
+  run.clear();
+  if (run_pool_.size() < 8) {
+    run_pool_.push_back(std::move(run));
+  }
+}
+
 void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
   if (run->empty()) {
     return;
   }
   std::vector<ResolvedSeg> segs = std::move(*run);
-  run->clear();
+  *run = TakeRun();
 
   const int64_t offset = segs.front().disk_offset;
   size_t total = 0;
@@ -493,12 +513,13 @@ void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
     if (done_ns >= dev_submit_ns) {
       device_ns_->Record(static_cast<uint64_t>(done_ns - dev_submit_ns));
     }
-    CompletePart(std::move(*segs_ptr), op, ok, data);
+    CompletePart(*segs_ptr, op, ok, data);
+    RecycleRun(std::move(*segs_ptr));
   };
   disk_->Submit(std::move(dev));
 }
 
-void BlkbackInstance::CompletePart(std::vector<ResolvedSeg> segs, BlkOp op, bool ok,
+void BlkbackInstance::CompletePart(std::vector<ResolvedSeg>& segs, BlkOp op, bool ok,
                                    const Buffer& data) {
   // Completion-side CPU cost (response handling).
   backend_->vcpu(0)->Charge(Nanos(600));

@@ -125,7 +125,12 @@ class BlkbackInstance {
   void FlushRun(std::vector<ResolvedSeg>* run, BlkOp op);
   Page* ResolvePage(GrantRef gref, bool write_access, MappedGrant* transient_out);
   void SendResponse(const std::shared_ptr<ReqState>& req);
-  void CompletePart(std::vector<ResolvedSeg> segs, BlkOp op, bool ok, const Buffer& data);
+  void CompletePart(std::vector<ResolvedSeg>& segs, BlkOp op, bool ok, const Buffer& data);
+  // Run-vector pool: FlushRun hands each run's storage to the device
+  // completion, which returns it here so steady-state request processing
+  // stops allocating segment arrays.
+  std::vector<ResolvedSeg> TakeRun();
+  void RecycleRun(std::vector<ResolvedSeg>&& run);
 
   Domain* backend_;
   Hypervisor* hv_;
@@ -160,6 +165,11 @@ class BlkbackInstance {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::map<GrantRef, MappedGrant> persistent_;
+
+  // Reusable request-processing scratch (RequestThread is the only writer;
+  // ProcessRequest never suspends while these hold live data).
+  std::vector<BlkSegment> seg_scratch_;
+  std::vector<std::vector<ResolvedSeg>> run_pool_;
 
   // Registry-backed under (backend domain, vbdX.Y, <name>).
   Counter* requests_handled_;

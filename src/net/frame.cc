@@ -47,20 +47,28 @@ size_t EthernetFrame::WireBytes() const {
 
 // --- UDP. ---
 
-Buffer SerializeUdp(const UdpDatagram& udp, Ipv4Addr src, Ipv4Addr dst) {
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeUdpInto(const UdpDatagram& udp, Ipv4Addr src, Ipv4Addr dst, Buffer* out) {
+  const size_t base = out->size();
+  ByteWriter w(out);
   w.U16(udp.src_port);
   w.U16(udp.dst_port);
   w.U16(static_cast<uint16_t>(kUdpHeaderBytes + udp.payload.size()));
   w.U16(0);  // Checksum placeholder.
   w.Raw(udp.payload);
-  uint16_t csum = ChecksumWithPseudo(out, src, dst, kIpProtoUdp);
+  uint16_t csum = ChecksumWithPseudo(
+      std::span<const uint8_t>(out->data() + base, out->size() - base), src, dst,
+      kIpProtoUdp);
   if (csum == 0) {
     csum = 0xffff;  // RFC 768: transmitted as all-ones.
   }
-  out[6] = static_cast<uint8_t>(csum >> 8);
-  out[7] = static_cast<uint8_t>(csum);
+  (*out)[base + 6] = static_cast<uint8_t>(csum >> 8);
+  (*out)[base + 7] = static_cast<uint8_t>(csum);
+}
+
+Buffer SerializeUdp(const UdpDatagram& udp, Ipv4Addr src, Ipv4Addr dst) {
+  Buffer out;
+  out.reserve(udp.ByteSize());
+  SerializeUdpInto(udp, src, dst, &out);
   return out;
 }
 
@@ -90,18 +98,25 @@ std::optional<UdpDatagram> ParseUdp(std::span<const uint8_t> data, Ipv4Addr src,
 
 // --- ICMP. ---
 
-Buffer SerializeIcmp(const IcmpMessage& icmp) {
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeIcmpInto(const IcmpMessage& icmp, Buffer* out) {
+  const size_t base = out->size();
+  ByteWriter w(out);
   w.U8(icmp.is_echo_request ? 8 : 0);
   w.U8(0);   // Code.
   w.U16(0);  // Checksum placeholder.
   w.U16(icmp.ident);
   w.U16(icmp.sequence);
   w.Raw(icmp.payload);
-  uint16_t csum = InternetChecksum(out);
-  out[2] = static_cast<uint8_t>(csum >> 8);
-  out[3] = static_cast<uint8_t>(csum);
+  uint16_t csum = InternetChecksum(
+      std::span<const uint8_t>(out->data() + base, out->size() - base));
+  (*out)[base + 2] = static_cast<uint8_t>(csum >> 8);
+  (*out)[base + 3] = static_cast<uint8_t>(csum);
+}
+
+Buffer SerializeIcmp(const IcmpMessage& icmp) {
+  Buffer out;
+  out.reserve(icmp.ByteSize());
+  SerializeIcmpInto(icmp, &out);
   return out;
 }
 
@@ -132,9 +147,9 @@ std::optional<IcmpMessage> ParseIcmp(std::span<const uint8_t> data, bool verify_
 
 // --- TCP. ---
 
-Buffer SerializeTcp(const TcpSegment& tcp, Ipv4Addr src, Ipv4Addr dst) {
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeTcpInto(const TcpSegment& tcp, Ipv4Addr src, Ipv4Addr dst, Buffer* out) {
+  const size_t base = out->size();
+  ByteWriter w(out);
   w.U16(tcp.src_port);
   w.U16(tcp.dst_port);
   w.U32(tcp.seq);
@@ -150,9 +165,17 @@ Buffer SerializeTcp(const TcpSegment& tcp, Ipv4Addr src, Ipv4Addr dst) {
   w.U16(0);  // Checksum placeholder.
   w.U16(0);  // Urgent pointer.
   w.Raw(tcp.payload);
-  uint16_t csum = ChecksumWithPseudo(out, src, dst, kIpProtoTcp);
-  out[16] = static_cast<uint8_t>(csum >> 8);
-  out[17] = static_cast<uint8_t>(csum);
+  uint16_t csum = ChecksumWithPseudo(
+      std::span<const uint8_t>(out->data() + base, out->size() - base), src, dst,
+      kIpProtoTcp);
+  (*out)[base + 16] = static_cast<uint8_t>(csum >> 8);
+  (*out)[base + 17] = static_cast<uint8_t>(csum);
+}
+
+Buffer SerializeTcp(const TcpSegment& tcp, Ipv4Addr src, Ipv4Addr dst) {
+  Buffer out;
+  out.reserve(tcp.ByteSize());
+  SerializeTcpInto(tcp, src, dst, &out);
   return out;
 }
 
@@ -191,28 +214,12 @@ std::optional<TcpSegment> ParseTcp(std::span<const uint8_t> data, Ipv4Addr src,
 
 // --- IPv4. ---
 
-Buffer SerializeIpv4(const Ipv4Packet& packet) {
-  Buffer l4;
-  std::visit(
-      [&](const auto& p) {
-        using T = std::decay_t<decltype(p)>;
-        if constexpr (std::is_same_v<T, UdpDatagram>) {
-          l4 = SerializeUdp(p, packet.src, packet.dst);
-        } else if constexpr (std::is_same_v<T, IcmpMessage>) {
-          l4 = SerializeIcmp(p);
-        } else if constexpr (std::is_same_v<T, TcpSegment>) {
-          l4 = SerializeTcp(p, packet.src, packet.dst);
-        } else {
-          l4 = p.bytes;
-        }
-      },
-      packet.l4);
-
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeIpv4Into(const Ipv4Packet& packet, Buffer* out) {
+  const size_t base = out->size();
+  ByteWriter w(out);
   w.U8(0x45);  // Version 4, IHL 5.
   w.U8(0);     // DSCP/ECN.
-  w.U16(static_cast<uint16_t>(kIpv4HeaderBytes + l4.size()));
+  w.U16(0);    // Total length placeholder (patched after the L4 append).
   w.U16(packet.id);
   uint16_t frag_field = static_cast<uint16_t>((packet.frag_offset / 8) & 0x1fff);
   if (packet.more_frags) {
@@ -224,10 +231,34 @@ Buffer SerializeIpv4(const Ipv4Packet& packet) {
   w.U16(0);  // Header checksum placeholder.
   w.U32(packet.src.value);
   w.U32(packet.dst.value);
-  uint16_t csum = InternetChecksum(std::span<const uint8_t>(out.data(), kIpv4HeaderBytes));
-  out[10] = static_cast<uint8_t>(csum >> 8);
-  out[11] = static_cast<uint8_t>(csum);
-  w.Raw(l4);
+  // Serialize the L4 straight into the output (no intermediate buffer).
+  std::visit(
+      [&](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, UdpDatagram>) {
+          SerializeUdpInto(p, packet.src, packet.dst, out);
+        } else if constexpr (std::is_same_v<T, IcmpMessage>) {
+          SerializeIcmpInto(p, out);
+        } else if constexpr (std::is_same_v<T, TcpSegment>) {
+          SerializeTcpInto(p, packet.src, packet.dst, out);
+        } else {
+          out->insert(out->end(), p.bytes.begin(), p.bytes.end());
+        }
+      },
+      packet.l4);
+  const uint16_t total_len = static_cast<uint16_t>(out->size() - base);
+  (*out)[base + 2] = static_cast<uint8_t>(total_len >> 8);
+  (*out)[base + 3] = static_cast<uint8_t>(total_len);
+  uint16_t csum = InternetChecksum(
+      std::span<const uint8_t>(out->data() + base, kIpv4HeaderBytes));
+  (*out)[base + 10] = static_cast<uint8_t>(csum >> 8);
+  (*out)[base + 11] = static_cast<uint8_t>(csum);
+}
+
+Buffer SerializeIpv4(const Ipv4Packet& packet) {
+  Buffer out;
+  out.reserve(packet.ByteSize());
+  SerializeIpv4Into(packet, &out);
   return out;
 }
 
@@ -298,9 +329,8 @@ std::optional<Ipv4Packet> ParseIpv4(std::span<const uint8_t> data, bool verify_c
 
 // --- ARP. ---
 
-Buffer SerializeArp(const ArpPacket& arp) {
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeArpInto(const ArpPacket& arp, Buffer* out) {
+  ByteWriter w(out);
   w.U16(1);       // Hardware type: Ethernet.
   w.U16(0x0800);  // Protocol type: IPv4.
   w.U8(6);
@@ -310,6 +340,12 @@ Buffer SerializeArp(const ArpPacket& arp) {
   w.U32(arp.sender_ip.value);
   w.Raw(arp.target_mac.octets);
   w.U32(arp.target_ip.value);
+}
+
+Buffer SerializeArp(const ArpPacket& arp) {
+  Buffer out;
+  out.reserve(arp.ByteSize());
+  SerializeArpInto(arp, &out);
   return out;
 }
 
@@ -336,17 +372,22 @@ std::optional<ArpPacket> ParseArp(std::span<const uint8_t> data) {
 
 // --- Ethernet. ---
 
-Buffer SerializeEthernet(const EthernetFrame& frame) {
-  Buffer out;
-  ByteWriter w(&out);
+void SerializeEthernetInto(const EthernetFrame& frame, Buffer* out) {
+  ByteWriter w(out);
   w.Raw(frame.dst.octets);
   w.Raw(frame.src.octets);
   w.U16(frame.ethertype);
   if (const ArpPacket* arp = frame.arp()) {
-    w.Raw(SerializeArp(*arp));
+    SerializeArpInto(*arp, out);
   } else {
-    w.Raw(SerializeIpv4(*frame.ip()));
+    SerializeIpv4Into(*frame.ip(), out);
   }
+}
+
+Buffer SerializeEthernet(const EthernetFrame& frame) {
+  Buffer out;
+  out.reserve(kEthernetHeaderBytes + frame.PayloadBytes());
+  SerializeEthernetInto(frame, &out);
   return out;
 }
 
@@ -388,15 +429,16 @@ std::vector<Ipv4Packet> FragmentIpv4(const Ipv4Packet& packet, size_t mtu) {
   // Serialize the transport payload once, then slice into 8-byte-aligned
   // fragments (the IP fragment-offset unit).
   Buffer l4;
+  l4.reserve(packet.L4Bytes());
   std::visit(
       [&](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         if constexpr (std::is_same_v<T, UdpDatagram>) {
-          l4 = SerializeUdp(p, packet.src, packet.dst);
+          SerializeUdpInto(p, packet.src, packet.dst, &l4);
         } else if constexpr (std::is_same_v<T, IcmpMessage>) {
-          l4 = SerializeIcmp(p);
+          SerializeIcmpInto(p, &l4);
         } else if constexpr (std::is_same_v<T, TcpSegment>) {
-          l4 = SerializeTcp(p, packet.src, packet.dst);
+          SerializeTcpInto(p, packet.src, packet.dst, &l4);
         } else {
           l4 = p.bytes;
         }

@@ -398,7 +398,10 @@ Task NetbackInstance::PusherThread() {
         if (!in_bounds) {
           tx_bad_requests_->Inc();
         }
-        Buffer bytes(in_bounds ? req.size : 0);
+        // Stage the packet in the per-thread scratch buffer (no per-packet
+        // allocation once its capacity reaches one page).
+        Buffer& bytes = tx_scratch_;
+        bytes.resize(in_bounds ? req.size : 0);
         const bool ok = in_bounds && CopyFromGuest(req.gref, req.offset, bytes);
         if (in_bounds && !ok) {
           tx_copy_fails_->Inc();
@@ -499,7 +502,9 @@ Task NetbackInstance::SoftStartThread() {
                      MakeFlowId(FlowKind::kNetRx, frontend_dom_, devid_, ring_index),
                      per_packet);
       }
-      Buffer bytes = SerializeEthernet(frame);
+      Buffer& bytes = rx_scratch_;
+      bytes.clear();
+      SerializeEthernetInto(frame, &bytes);
       KITE_CHECK(bytes.size() <= kPageSize);
       const bool ok = CopyToGuest(req.gref, bytes);
       co_await sched_->Run(per_packet);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/bytes.h"
 #include "src/bmk/sched.h"
 #include "src/hv/domain.h"
 #include "src/hv/hypervisor.h"
@@ -171,6 +172,12 @@ class NetbackInstance : public NetIf {
     int64_t arrival_ns;
   };
   std::deque<PendingRx> rx_pending_;
+
+  // Per-thread scratch buffers (pusher owns tx_scratch_, soft_start owns
+  // rx_scratch_): packet bytes are staged here instead of allocating a fresh
+  // Buffer per packet. Capacity sticks at the high-water mark (≤ one page).
+  Buffer tx_scratch_;
+  Buffer rx_scratch_;
 
   SimTime pusher_last_active_;
   SimTime soft_start_last_active_;

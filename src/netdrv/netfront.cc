@@ -221,7 +221,11 @@ void Netfront::Output(const EthernetFrame& frame) {
   Slot& slot = tx_slots_[id];
   slot.in_use = true;
 
-  Buffer bytes = SerializeEthernet(frame);
+  // Serialize into the reusable scratch buffer (Output is synchronous, so
+  // one per device suffices) — no per-packet allocation.
+  Buffer& bytes = tx_scratch_;
+  bytes.clear();
+  SerializeEthernetInto(frame, &bytes);
   KITE_CHECK(bytes.size() <= kPageSize) << "frame exceeds page";
   std::copy(bytes.begin(), bytes.end(), slot.page->data.begin());
 

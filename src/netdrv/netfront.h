@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/bytes.h"
 #include "src/hv/domain.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/xenbus.h"
@@ -101,6 +102,9 @@ class Netfront : public NetIf {
   std::vector<uint16_t> tx_free_ids_;
   std::vector<Slot> rx_slots_;
   std::vector<uint16_t> rx_free_ids_;
+  // TX serialization scratch: Output() is synchronous, so one reusable
+  // buffer replaces a per-packet allocation.
+  Buffer tx_scratch_;
 
   EvtPort port_ = kInvalidPort;
   SimDuration frame_cost_ = Nanos(400);

@@ -1,77 +1,283 @@
 #include "src/sim/executor.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
 
 namespace kite {
+namespace {
+
+constexpr size_t kEventsPerChunk = 256;
+
+// Heap comparator for the overflow min-heap: true when a fires *later* than
+// b (std::push_heap builds a max-heap w.r.t. the comparator).
+struct EventLater {
+  template <typename E>
+  bool operator()(const E* a, const E* b) const {
+    if (a->at != b->at) {
+      return a->at > b->at;
+    }
+    if (a->tie != b->tie) {
+      return a->tie > b->tie;
+    }
+    return a->seq > b->seq;
+  }
+};
+
+// Total dispatch order, ascending — identical to the order the pre-wheel
+// binary heap popped events in.
+struct EventEarlier {
+  template <typename E>
+  bool operator()(const E* a, const E* b) const {
+    if (a->at != b->at) {
+      return a->at < b->at;
+    }
+    if (a->tie != b->tie) {
+      return a->tie < b->tie;
+    }
+    return a->seq < b->seq;
+  }
+};
+
+}  // namespace
 
 Executor::~Executor() {
-  // Destroy coroutine frames still parked in the queue so long-lived server
-  // loops suspended on a timer do not leak when a simulation is torn down.
-  for (Event& ev : queue_) {
-    if (ev.coro) {
-      ev.coro.destroy();
+  // Drain-and-destroy until nothing is left. A coroutine frame (or callback
+  // capture) may post new events from its own destructor; swapping the whole
+  // pending set into a local list each round means those posts land in the
+  // now-empty wheel instead of invalidating what we iterate, and the next
+  // round reclaims them too.
+  std::vector<Event*> doomed;
+  while (pending_count_ > 0) {
+    doomed.clear();
+    for (size_t i = batch_pos_; i < batch_.size(); ++i) {
+      doomed.push_back(batch_[i]);
+    }
+    batch_.clear();
+    batch_pos_ = 0;
+    for (int l = 0; l < kLevels; ++l) {
+      uint64_t bits = occupied_[l];
+      occupied_[l] = 0;
+      while (bits != 0) {
+        const int s = std::countr_zero(bits);
+        bits &= bits - 1;
+        for (Event* e = wheel_[l][s]; e != nullptr; e = e->next) {
+          doomed.push_back(e);
+        }
+        wheel_[l][s] = nullptr;
+      }
+    }
+    doomed.insert(doomed.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    pending_count_ = 0;
+    non_daemon_pending_ = 0;
+    for (Event* ev : doomed) {
+      if (ev->coro) {
+        ev->coro.destroy();
+      } else if (ev->destroy != nullptr) {
+        ev->destroy(ev);
+      }
+      FreeEvent(ev);
     }
   }
-  queue_.clear();
 }
 
-void Executor::Push(Event ev) {
-  if (!ev.daemon) {
-    ++non_daemon_pending_;
+Executor::Event* Executor::NewEvent(SimTime when, bool daemon) {
+  if (when < now_) {
+    when = now_;
   }
-  queue_.push_back(std::move(ev));
-  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
-}
-
-Executor::Event Executor::Pop() {
-  std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  if (!ev.daemon) {
-    --non_daemon_pending_;
+  Event* ev = free_list_;
+  if (ev != nullptr) {
+    free_list_ = ev->next;
+  } else {
+    auto chunk = std::make_unique<Event[]>(kEventsPerChunk);
+    for (size_t i = 1; i < kEventsPerChunk; ++i) {
+      chunk[i].next = free_list_;
+      free_list_ = &chunk[i];
+    }
+    ev = &chunk[0];
+    chunks_.push_back(std::move(chunk));
   }
+  ev->at = when;
+  ev->seq = next_seq_++;
+  // Future events draw a shuffled tie; events due *now* keep seq so the
+  // Post() FIFO contract ("after already-queued same-time events") holds in
+  // shuffle mode too. With shuffle off, tie == seq always — byte-identical
+  // schedules to the pre-wheel executor.
+  ev->tie = (shuffle_ && when > now_) ? shuffle_rng_.NextU64() : ev->seq;
+  ev->next = nullptr;
+  ev->coro = nullptr;
+  ev->invoke = nullptr;
+  ev->destroy = nullptr;
+  ev->daemon = daemon;
   return ev;
 }
 
-void Executor::PostAt(SimTime when, std::function<void()> fn) {
-  KITE_CHECK(fn != nullptr);
-  if (when < now_) {
-    when = now_;
-  }
-  Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr});
+void Executor::FreeEvent(Event* ev) {
+  ev->next = free_list_;
+  free_list_ = ev;
 }
 
-void Executor::PostAfter(SimDuration delay, std::function<void()> fn) {
-  if (delay < SimDuration(0)) {
-    delay = SimDuration(0);
+void Executor::Insert(Event* ev) {
+  ++pending_count_;
+  if (!ev->daemon) {
+    ++non_daemon_pending_;
   }
-  PostAt(now_ + delay, std::move(fn));
+  WheelInsert(ev);
 }
 
-void Executor::PostDaemonAt(SimTime when, std::function<void()> fn) {
-  KITE_CHECK(fn != nullptr);
-  if (when < now_) {
-    when = now_;
+void Executor::WheelInsert(Event* ev) {
+  const uint64_t t = static_cast<uint64_t>(ev->at.ns());
+  const uint64_t c = static_cast<uint64_t>(cursor_ns_);
+  const uint64_t diff = t ^ c;
+  if ((diff >> kHorizonBits) != 0) {
+    // Different 2^42 ns era: park in the overflow heap until the cursor gets
+    // there.
+    overflow_.push_back(ev);
+    std::push_heap(overflow_.begin(), overflow_.end(), EventLater{});
+    return;
   }
-  Push(Event{when, NextTie(), next_seq_++, std::move(fn), nullptr, /*daemon=*/true});
+  const int level = diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kLevelBits;
+  const int slot = static_cast<int>((t >> (level * kLevelBits)) & kSlotMask);
+  ev->next = wheel_[level][slot];
+  wheel_[level][slot] = ev;
+  occupied_[level] |= uint64_t{1} << slot;
 }
 
-void Executor::PostDaemonAfter(SimDuration delay, std::function<void()> fn) {
-  if (delay < SimDuration(0)) {
-    delay = SimDuration(0);
+void Executor::PromoteOverflow() {
+  const uint64_t era = static_cast<uint64_t>(cursor_ns_) >> kHorizonBits;
+  while (!overflow_.empty() &&
+         (static_cast<uint64_t>(overflow_.front()->at.ns()) >> kHorizonBits) == era) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), EventLater{});
+    Event* ev = overflow_.back();
+    overflow_.pop_back();
+    WheelInsert(ev);
   }
-  PostDaemonAt(now_ + delay, std::move(fn));
+}
+
+bool Executor::LoadNextBatch(SimTime limit) {
+  batch_.clear();
+  batch_pos_ = 0;
+  if (pending_count_ == 0) {
+    return false;
+  }
+  for (;;) {
+    // Overflow events whose era the cursor has entered belong in the wheel
+    // before any "earliest slot" decision is made.
+    if (!overflow_.empty()) {
+      PromoteOverflow();
+    }
+    const uint64_t c = static_cast<uint64_t>(cursor_ns_);
+    // Level 0: each slot is one exact nanosecond of the cursor's current
+    // 64 ns window, so the first occupied slot at or past the cursor digit
+    // IS the next batch.
+    const int d0 = static_cast<int>(c & kSlotMask);
+    const uint64_t m0 = occupied_[0] & (~uint64_t{0} << d0);
+    if (m0 != 0) {
+      const int s = std::countr_zero(m0);
+      const int64_t t = static_cast<int64_t>((c & ~kSlotMask) | static_cast<uint64_t>(s));
+      if (t > limit.ns()) {
+        return false;
+      }
+      cursor_ns_ = t;
+      Event* e = wheel_[0][s];
+      wheel_[0][s] = nullptr;
+      occupied_[0] &= ~(uint64_t{1} << s);
+      for (; e != nullptr; e = e->next) {
+        batch_.push_back(e);
+      }
+      // All batch events share one timestamp; (tie, seq) gives the exact
+      // order the old heap would have popped them in. Singleton batches (the
+      // common case for spread-out timers) skip the sort call entirely.
+      if (batch_.size() > 1) {
+        std::sort(batch_.begin(), batch_.end(), [](const Event* a, const Event* b) {
+          return a->tie != b->tie ? a->tie < b->tie : a->seq < b->seq;
+        });
+      }
+      return true;
+    }
+    // Level 0 empty: cascade the earliest occupied higher-level slot down.
+    // Wheel invariant: at level l > 0, slots below the cursor digit are
+    // empty, and lower levels always hold earlier times than higher ones, so
+    // the first hit scanning levels upward is the earliest remaining window.
+    bool cascaded = false;
+    for (int l = 1; l < kLevels; ++l) {
+      const int d = static_cast<int>((c >> (l * kLevelBits)) & kSlotMask);
+      const uint64_t m = occupied_[l] & (~uint64_t{0} << d);
+      if (m == 0) {
+        continue;
+      }
+      const int s = std::countr_zero(m);
+      const uint64_t below = (uint64_t{1} << ((l + 1) * kLevelBits)) - 1;
+      const uint64_t start =
+          (c & ~below) | (static_cast<uint64_t>(s) << (l * kLevelBits));
+      if (static_cast<int64_t>(start) > limit.ns()) {
+        return false;  // Every remaining event starts past the limit.
+      }
+      if (static_cast<int64_t>(start) > cursor_ns_) {
+        cursor_ns_ = static_cast<int64_t>(start);
+      }
+      Event* e = wheel_[l][s];
+      wheel_[l][s] = nullptr;
+      occupied_[l] &= ~(uint64_t{1} << s);
+      while (e != nullptr) {
+        Event* next = e->next;
+        WheelInsert(e);  // Lands strictly below level l.
+        e = next;
+      }
+      cascaded = true;
+      break;
+    }
+    if (cascaded) {
+      continue;
+    }
+    // Wheel fully empty: jump the cursor into the next overflow era.
+    if (!overflow_.empty()) {
+      Event* top = overflow_.front();
+      if (top->at.ns() > limit.ns()) {
+        return false;
+      }
+      cursor_ns_ = top->at.ns();
+      continue;
+    }
+    return false;
+  }
+}
+
+void Executor::JumpCursor(int64_t to_ns) {
+  if (to_ns <= cursor_ns_) {
+    return;
+  }
+  cursor_ns_ = to_ns;
+  // The cursor may have landed inside higher-level slots that still hold
+  // events (all later than to_ns). Cascade them down now so the level-by-
+  // level scan in LoadNextBatch stays ordered: a stale slot at the cursor's
+  // own digit shares the lower levels' time window and would otherwise be
+  // scanned after them.
+  const uint64_t c = static_cast<uint64_t>(cursor_ns_);
+  for (int l = 1; l < kLevels; ++l) {
+    const int d = static_cast<int>((c >> (l * kLevelBits)) & kSlotMask);
+    if ((occupied_[l] & (uint64_t{1} << d)) == 0) {
+      continue;
+    }
+    Event* e = wheel_[l][d];
+    wheel_[l][d] = nullptr;
+    occupied_[l] &= ~(uint64_t{1} << d);
+    while (e != nullptr) {
+      Event* next = e->next;
+      WheelInsert(e);
+      e = next;
+    }
+  }
 }
 
 void Executor::ResumeAt(SimTime when, std::coroutine_handle<> handle) {
   KITE_CHECK(handle != nullptr);
-  if (when < now_) {
-    when = now_;
-  }
-  Push(Event{when, NextTie(), next_seq_++, nullptr, handle});
+  Event* ev = NewEvent(when, /*daemon=*/false);
+  ev->coro = handle;
+  Insert(ev);
 }
 
 void Executor::ResumeAfter(SimDuration delay, std::coroutine_handle<> handle) {
@@ -81,23 +287,29 @@ void Executor::ResumeAfter(SimDuration delay, std::coroutine_handle<> handle) {
   ResumeAt(now_ + delay, handle);
 }
 
-void Executor::RunEvent(Event& ev) {
-  now_ = ev.at;
-  ++steps_;
-  if (ev.coro) {
-    ev.coro.resume();
-  } else {
-    ev.fn();
+void Executor::DispatchOne(Event* ev) {
+  --pending_count_;
+  if (!ev->daemon) {
+    --non_daemon_pending_;
   }
+  now_ = ev->at;
+  ++steps_;
+  if (ev->coro) {
+    ev->coro.resume();
+  } else {
+    ev->invoke(ev);
+    if (ev->destroy != nullptr) {
+      ev->destroy(ev);
+    }
+  }
+  FreeEvent(ev);
 }
 
 bool Executor::Step() {
-  if (queue_.empty()) {
+  if (batch_pos_ >= batch_.size() && !LoadNextBatch(SimTime::Max())) {
     return false;
   }
-  // Move out of the queue before running: the handler may push new events.
-  Event ev = Pop();
-  RunEvent(ev);
+  DispatchOne(batch_[batch_pos_++]);
   return true;
 }
 
@@ -110,26 +322,53 @@ void Executor::RunUntilIdle() {
 }
 
 void Executor::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.front().at <= deadline) {
-    Event ev = Pop();
-    RunEvent(ev);
+  for (;;) {
+    if (batch_pos_ < batch_.size()) {
+      Event* ev = batch_[batch_pos_];
+      if (ev->at > deadline) {
+        break;  // A batch left over from Step(); all of it shares ev->at.
+      }
+      ++batch_pos_;
+      DispatchOne(ev);
+      continue;
+    }
+    if (!LoadNextBatch(deadline)) {
+      break;
+    }
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
+  JumpCursor(deadline.ns());
+}
+
+void Executor::CollectPending(std::vector<const Event*>* out) const {
+  for (size_t i = batch_pos_; i < batch_.size(); ++i) {
+    out->push_back(batch_[i]);
+  }
+  for (int l = 0; l < kLevels; ++l) {
+    uint64_t bits = occupied_[l];
+    while (bits != 0) {
+      const int s = std::countr_zero(bits);
+      bits &= bits - 1;
+      for (const Event* e = wheel_[l][s]; e != nullptr; e = e->next) {
+        out->push_back(e);
+      }
+    }
+  }
+  out->insert(out->end(), overflow_.begin(), overflow_.end());
 }
 
 std::vector<Executor::PendingEvent> Executor::PendingEvents(size_t max) const {
-  std::vector<Event const*> ptrs;
-  ptrs.reserve(queue_.size());
-  for (const Event& ev : queue_) {
-    ptrs.push_back(&ev);
-  }
-  std::sort(ptrs.begin(), ptrs.end(),
-            [](const Event* a, const Event* b) { return EventOrder{}(*b, *a); });
-  if (ptrs.size() > max) {
-    ptrs.resize(max);
-  }
+  std::vector<const Event*> ptrs;
+  ptrs.reserve(pending_count_);
+  CollectPending(&ptrs);
+  // Only the first `max` elements are needed in order: partial_sort over
+  // pointers instead of copying and fully sorting the queue.
+  const size_t n = std::min(max, ptrs.size());
+  std::partial_sort(ptrs.begin(), ptrs.begin() + static_cast<ptrdiff_t>(n), ptrs.end(),
+                    EventEarlier{});
+  ptrs.resize(n);
   std::vector<PendingEvent> out;
   out.reserve(ptrs.size());
   for (const Event* ev : ptrs) {
@@ -139,7 +378,7 @@ std::vector<Executor::PendingEvent> Executor::PendingEvents(size_t max) const {
 }
 
 std::string Executor::FormatPendingEvents(size_t max) const {
-  std::string out = StrFormat("%zu pending event(s) at t=%.9fs", queue_.size(),
+  std::string out = StrFormat("%zu pending event(s) at t=%.9fs", pending_count_,
                               now_.seconds());
   for (const PendingEvent& ev : PendingEvents(max)) {
     out += StrFormat("\n  at=%.9fs seq=%llu %s%s", ev.at.seconds(),
@@ -147,8 +386,8 @@ std::string Executor::FormatPendingEvents(size_t max) const {
                      ev.is_coro ? "coroutine" : "callback",
                      ev.is_daemon ? " (daemon)" : "");
   }
-  if (queue_.size() > max) {
-    out += StrFormat("\n  ... %zu more", queue_.size() - max);
+  if (pending_count_ > max) {
+    out += StrFormat("\n  ... %zu more", pending_count_ - max);
   }
   return out;
 }

@@ -1,6 +1,16 @@
 // Discrete-event executor: the heart of the simulation. Single-threaded;
 // events fire in (time, insertion-order) order, so runs are deterministic.
 //
+// Engine internals (DESIGN.md §13): events live in pool-allocated nodes with
+// a small-buffer callback slot (no per-event heap allocation for callbacks up
+// to kInlineCallbackBytes), keyed into a hierarchical timer wheel — 7 levels
+// of 64 slots covering 2^42 ns (~73 simulated minutes) from the cursor — with
+// a far-future overflow heap beyond the horizon. Dispatch drains one exact-
+// timestamp slot at a time into a batch instead of heap-popping per event.
+// The dispatch order is the total order (at, tie, seq), which is exactly what
+// the old binary heap produced, so schedules are byte-identical with shuffle
+// off.
+//
 // Schedule-shuffle mode (deterministic simulation testing): when enabled,
 // same-timestamp events are ordered by a seeded RNG draw instead of
 // insertion order. The set of events that fire at each instant is unchanged
@@ -9,13 +19,27 @@
 // sweeping seeds, and any failing schedule replays exactly from its seed.
 // Off by default: with shuffle off the tie key equals the insertion
 // sequence number and runs are byte-identical to the pre-shuffle executor.
+//
+// Events scheduled *at the current time* (Post, PostAfter(0), a PostAt in
+// the past) are exempt from shuffle tie randomization: they keep their
+// insertion sequence number as the tie key and are dispatched after the
+// already-queued same-time events, in post order. This is the documented
+// Post() FIFO contract; randomizing those ties used to let a Post() fire
+// before events queued earlier at the same instant, breaking callers (wake
+// ordering in WaitChannel, response-before-wake in the backends) that rely
+// on "post now" meaning "after everything already due now".
 #ifndef SRC_SIM_EXECUTOR_H_
 #define SRC_SIM_EXECUTOR_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -25,6 +49,12 @@ namespace kite {
 
 class Executor {
  public:
+  // Callbacks whose captures fit in this many bytes are stored inline in the
+  // pooled event node; larger ones fall back to one heap allocation. 64 bytes
+  // covers this+shared_ptr+a few words, i.e. every hot-path lambda in the
+  // drivers.
+  static constexpr size_t kInlineCallbackBytes = 64;
+
   Executor() = default;
   ~Executor();
 
@@ -33,12 +63,29 @@ class Executor {
 
   SimTime Now() const { return now_; }
 
-  // Schedules fn at the given absolute time (>= Now()).
-  void PostAt(SimTime when, std::function<void()> fn);
+  // Schedules fn at the given absolute time (>= Now(); earlier times clamp
+  // to Now()). Accepts any nullary callable; the common small lambdas are
+  // stored inline in the event node (zero heap allocations on this path).
+  template <typename Fn>
+  void PostAt(SimTime when, Fn&& fn) {
+    Event* ev = NewEvent(when, /*daemon=*/false);
+    InstallCallback(ev, std::forward<Fn>(fn));
+    Insert(ev);
+  }
   // Schedules fn after a relative delay (clamped at >= 0).
-  void PostAfter(SimDuration delay, std::function<void()> fn);
-  // Schedules fn at the current time, after already-queued same-time events.
-  void Post(std::function<void()> fn) { PostAt(now_, std::move(fn)); }
+  template <typename Fn>
+  void PostAfter(SimDuration delay, Fn&& fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostAt(now_ + delay, std::forward<Fn>(fn));
+  }
+  // Schedules fn at the current time, after already-queued same-time events
+  // (FIFO — the contract holds in shuffle mode too, see the header comment).
+  template <typename Fn>
+  void Post(Fn&& fn) {
+    PostAt(now_, std::forward<Fn>(fn));
+  }
 
   // Daemon events: background housekeeping (the health watchdog's periodic
   // probe) that must not keep the simulation alive. They fire like normal
@@ -46,8 +93,19 @@ class Executor {
   // only non-daemon events — a self-reposting daemon loop therefore cannot
   // turn RunUntilIdle into an infinite loop, and a quiesced system still
   // quiesces with the watchdog armed.
-  void PostDaemonAt(SimTime when, std::function<void()> fn);
-  void PostDaemonAfter(SimDuration delay, std::function<void()> fn);
+  template <typename Fn>
+  void PostDaemonAt(SimTime when, Fn&& fn) {
+    Event* ev = NewEvent(when, /*daemon=*/true);
+    InstallCallback(ev, std::forward<Fn>(fn));
+    Insert(ev);
+  }
+  template <typename Fn>
+  void PostDaemonAfter(SimDuration delay, Fn&& fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostDaemonAt(now_ + delay, std::forward<Fn>(fn));
+  }
 
   // Schedules resumption of a coroutine. The executor owns the handle while
   // queued: if the executor is destroyed first, the coroutine frame is
@@ -55,7 +113,8 @@ class Executor {
   void ResumeAt(SimTime when, std::coroutine_handle<> handle);
   void ResumeAfter(SimDuration delay, std::coroutine_handle<> handle);
 
-  // Runs a single event; returns false if the queue is empty.
+  // Runs a single event; returns false if the queue is empty. Not reentrant:
+  // handlers must not call Step/RunUntil themselves (they never have).
   bool Step();
   // Runs until no non-daemon events remain (daemon events scheduled earlier
   // than the last non-daemon event still fire in order).
@@ -69,6 +128,7 @@ class Executor {
   // Randomizes tie-breaking among same-timestamp events from a seeded RNG.
   // Call before scheduling anything for full coverage; enabling mid-run only
   // affects events queued afterwards. Same seed → same schedule, always.
+  // Events posted at the current instant are exempt (Post FIFO contract).
   void EnableShuffle(uint64_t seed) {
     shuffle_ = true;
     shuffle_rng_ = Rng(seed);
@@ -81,7 +141,7 @@ class Executor {
   // it represents the watchdog watching, not the simulation doing.
   bool idle() const { return non_daemon_pending_ == 0; }
   // Pending events (diagnostics, e.g. "why did WaitUntil time out?").
-  size_t queue_size() const { return queue_.size(); }
+  size_t queue_size() const { return pending_count_; }
 
   // --- Pending-queue diagnostics. ---
   // Snapshot of queued events in firing order (earliest first), truncated to
@@ -99,41 +159,103 @@ class Executor {
   std::string FormatPendingEvents(size_t max = 16) const;
 
  private:
+  // Timer-wheel geometry: 7 levels of 64 slots, 1 ns per level-0 tick. A
+  // level-l slot covers 64^l ns; the whole wheel spans 2^42 ns past the
+  // cursor. Anything further out waits in the overflow heap until the cursor
+  // enters its 2^42 ns era.
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;          // 64
+  static constexpr int kLevels = 7;
+  static constexpr int kHorizonBits = kLevelBits * kLevels;       // 42
+  static constexpr uint64_t kSlotMask = kSlotsPerLevel - 1;
+
+  // A pooled event node. Exactly one of {invoke, coro} is set. The node never
+  // moves while queued, so inline callbacks need no move support.
   struct Event {
     SimTime at;
-    uint64_t tie;  // == seq normally; an RNG draw in shuffle mode.
+    uint64_t tie;  // == seq normally; an RNG draw for shuffled future events.
     uint64_t seq;
-    std::function<void()> fn;
-    std::coroutine_handle<> coro;  // Exactly one of fn/coro is set.
-    bool daemon = false;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      if (a.tie != b.tie) {
-        return a.tie > b.tie;
-      }
-      return a.seq > b.seq;
-    }
+    Event* next;   // Wheel-slot chain / pool free list.
+    std::coroutine_handle<> coro;
+    void (*invoke)(Event*);   // Runs the stored callable.
+    void (*destroy)(Event*);  // Destroys it (null if trivially destructible).
+    bool daemon;
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
   };
 
-  uint64_t NextTie() { return shuffle_ ? shuffle_rng_.NextU64() : next_seq_; }
-  void Push(Event ev);
-  Event Pop();
-  void RunEvent(Event& ev);
+  template <typename Fn>
+  static void InstallCallback(Event* ev, Fn&& fn) {
+    using F = std::decay_t<Fn>;
+    static_assert(std::is_invocable_v<F&>, "executor callbacks take no arguments");
+    if constexpr (sizeof(F) <= kInlineCallbackBytes &&
+                  alignof(F) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(ev->storage)) F(std::forward<Fn>(fn));
+      ev->invoke = [](Event* e) { (*std::launder(reinterpret_cast<F*>(e->storage)))(); };
+      if constexpr (std::is_trivially_destructible_v<F>) {
+        ev->destroy = nullptr;
+      } else {
+        ev->destroy = [](Event* e) {
+          std::launder(reinterpret_cast<F*>(e->storage))->~F();
+        };
+      }
+    } else {
+      F* boxed = new F(std::forward<Fn>(fn));
+      std::memcpy(ev->storage, &boxed, sizeof(boxed));
+      ev->invoke = [](Event* e) {
+        F* f;
+        std::memcpy(&f, e->storage, sizeof(f));
+        (*f)();
+      };
+      ev->destroy = [](Event* e) {
+        F* f;
+        std::memcpy(&f, e->storage, sizeof(f));
+        delete f;
+      };
+    }
+  }
+
+  Event* NewEvent(SimTime when, bool daemon);
+  void FreeEvent(Event* ev);
+  void Insert(Event* ev);       // Counts the event, then places it.
+  void WheelInsert(Event* ev);  // Placement only (also used by cascades).
+  void PromoteOverflow();
+  // Extracts the next exact-timestamp slot (≤ limit) into batch_, advancing
+  // the cursor and cascading higher wheel levels as needed. Returns false if
+  // nothing is due at or before the limit.
+  bool LoadNextBatch(SimTime limit);
+  // Moves the cursor forward without dispatching (RunUntil deadline), then
+  // cascades any level-l slot the cursor landed in so lower levels stay
+  // authoritative for "earliest event".
+  void JumpCursor(int64_t to_ns);
+  void DispatchOne(Event* ev);
+  // Appends every queued event (batch remainder, wheel, overflow) to *out.
+  void CollectPending(std::vector<const Event*>* out) const;
 
   SimTime now_;
+  // The wheel's reference point: no undelivered event is earlier. Equal to
+  // now_ whenever user code can observe the executor; runs ahead of now_
+  // only transiently inside LoadNextBatch cascades.
+  int64_t cursor_ns_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t steps_ = 0;
+  size_t pending_count_ = 0;
   size_t non_daemon_pending_ = 0;
   bool shuffle_ = false;
   Rng shuffle_rng_{0};
-  // A binary heap ordered by EventOrder (std::push_heap/pop_heap — the same
-  // algorithm std::priority_queue wraps, kept as a plain vector so the
-  // diagnostics above can walk the pending events).
-  std::vector<Event> queue_;
+
+  Event* wheel_[kLevels][kSlotsPerLevel] = {};
+  uint64_t occupied_[kLevels] = {};  // Bit s set ⇔ wheel_[l][s] non-empty.
+  std::vector<Event*> overflow_;     // Min-heap by (at, tie, seq).
+
+  // The slot currently being dispatched, sorted by (tie, seq). Events at
+  // [batch_pos_, size) are still pending; same-time events posted during the
+  // batch land back in the slot and form the next batch.
+  std::vector<Event*> batch_;
+  size_t batch_pos_ = 0;
+
+  // Node pool: chunked storage plus a free list threaded through `next`.
+  Event* free_list_ = nullptr;
+  std::vector<std::unique_ptr<Event[]>> chunks_;
 };
 
 }  // namespace kite

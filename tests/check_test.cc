@@ -3,6 +3,8 @@
 // protocol-fuzzer sessions, and the explore harness itself.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/check/explore.h"
@@ -23,9 +25,11 @@ struct RunFingerprint {
   std::vector<Violation> violations;
 };
 
-RunFingerprint RunFig06Style(uint64_t seed) {
+RunFingerprint RunFig06Style(uint64_t seed, bool shuffle = true) {
   KiteSystem sys;
-  sys.EnableScheduleShuffle(seed);
+  if (shuffle) {
+    sys.EnableScheduleShuffle(seed);
+  }
   NetworkDomain* netdom = sys.CreateNetworkDomain();
   GuestVm* guest = sys.CreateGuest("fig06-guest");
   sys.AttachVif(guest, netdom, Ipv4Addr::FromOctets(10, 0, 0, 10));
@@ -52,6 +56,30 @@ TEST(DeterminismRegressionTest, SameSeedSameScheduleByteIdentical) {
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_TRUE(a.violations.empty()) << InvariantChecker::Format(a.violations);
+}
+
+TEST(DeterminismRegressionTest, ShuffleOffRunsAreByteIdentical) {
+  // With shuffle off the executor's tie key degenerates to the post sequence
+  // number, so two runs must agree to the byte — this is the contract the
+  // timer-wheel engine has to preserve for seed benches to reproduce.
+  const RunFingerprint a = RunFig06Style(0, /*shuffle=*/false);
+  const RunFingerprint b = RunFig06Style(0, /*shuffle=*/false);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_TRUE(a.violations.empty()) << InvariantChecker::Format(a.violations);
+
+  // CI determinism guard: when KITE_CHECK_METRICS_OUT is set, dump the run
+  // fingerprints so two separate check_test invocations can be byte-diffed.
+  if (const char* path = std::getenv("KITE_CHECK_METRICS_OUT")) {
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr) << path;
+    std::fprintf(f, "plain steps=%llu\n%s\n", static_cast<unsigned long long>(a.steps),
+                 a.metrics.c_str());
+    const RunFingerprint s = RunFig06Style(42);
+    std::fprintf(f, "shuffle42 steps=%llu\n%s\n",
+                 static_cast<unsigned long long>(s.steps), s.metrics.c_str());
+    std::fclose(f);
+  }
 }
 
 TEST(DeterminismRegressionTest, DifferentSeedStillPassesInvariants) {

@@ -2,6 +2,8 @@
 // channels, and the vCPU cost model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/sim/cpu.h"
@@ -259,6 +261,213 @@ TEST(ExecutorShuffleTest, ShuffleRandomizesOnlyTies) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(ExecutorShuffleTest, PostAtNowKeepsFifoUnderShuffle) {
+  // Regression: Post() promises FIFO for work queued "now" (the run-loop /
+  // softirq idiom). Shuffle must randomize only *timer* ties, or shuffled
+  // runs break causality inside a single logical tick.
+  Executor ex;
+  ex.EnableShuffle(99);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    ex.Post([&order, i] { order.push_back(i); });
+  }
+  ex.RunUntilIdle();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+
+  // Same contract when a handler fans out at-now work mid-run.
+  order.clear();
+  ex.PostAfter(Micros(5), [&] {
+    for (int i = 0; i < 16; ++i) {
+      ex.Post([&order, i] { order.push_back(i); });
+    }
+  });
+  ex.RunUntilIdle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ExecutorShuffleTest, DelayedTiesStillShuffle) {
+  // The FIFO carve-out is only for at-now posts: same-timestamp *timer*
+  // events must still reorder under some seed, or shuffle lost its power.
+  const std::vector<int> fifo{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  bool any_reordered = false;
+  for (uint64_t seed = 1; seed <= 8 && !any_reordered; ++seed) {
+    any_reordered = ShuffledOrder(seed) != fifo;
+  }
+  EXPECT_TRUE(any_reordered);
+}
+
+// Posts a doomed event whose destruction posts another, `depth` deep — the
+// pattern of coroutine frames whose locals re-arm timers from destructors.
+void PostDoomed(Executor* ex, int* drops, int depth);
+
+struct PostOnDrop {
+  Executor* ex;
+  int* drops;
+  int depth;
+  bool armed = true;
+  PostOnDrop(Executor* e, int* d, int n) : ex(e), drops(d), depth(n) {}
+  PostOnDrop(PostOnDrop&& o) noexcept : ex(o.ex), drops(o.drops), depth(o.depth) {
+    o.armed = false;
+  }
+  ~PostOnDrop() {
+    if (armed) {
+      ++*drops;
+      if (depth > 0) {
+        PostDoomed(ex, drops, depth - 1);
+      }
+    }
+  }
+};
+
+void PostDoomed(Executor* ex, int* drops, int depth) {
+  ex->PostAfter(Micros(1), [g = PostOnDrop(ex, drops, depth)] {});
+}
+
+TEST(ExecutorTest, TeardownSurvivesEventsPostedFromDestructors) {
+  // Regression: ~Executor used to iterate the queue while destroying events;
+  // a destructor posting back into the executor invalidated the iteration.
+  // The drain must keep collecting until nothing new appears.
+  int drops = 0;
+  {
+    Executor ex;
+    PostDoomed(&ex, &drops, 3);
+  }
+  EXPECT_EQ(drops, 4);  // Chain of 4 doomed events, each reaped untriggered.
+}
+
+Task ParkedWithGuard(Executor* ex, int* drops) {
+  PostOnDrop guard(ex, drops, 0);
+  co_await SleepFor(ex, Seconds(100));
+}
+
+TEST(ExecutorTest, TeardownSurvivesCoroutineFramePostingOnDestroy) {
+  int drops = 0;
+  {
+    Executor ex;
+    ParkedWithGuard(&ex, &drops);
+  }  // Frame destroyed while parked; its guard posts into the dying executor.
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(ExecutorDeterminismTest, WheelBoundaryScheduleByteIdentity) {
+  // A schedule straddling slot and level boundaries of the timer wheel plus
+  // the far-future overflow, replayed twice (shuffle off and shuffle on with
+  // the same seed), must reproduce the exact (time, id) firing sequence.
+  auto run = [](bool shuffle, uint64_t seed) {
+    Executor ex;
+    if (shuffle) {
+      ex.EnableShuffle(seed);
+    }
+    std::vector<std::pair<int64_t, int>> fired;
+    auto record = [&fired](int id, SimTime t) { fired.emplace_back(t.ns(), id); };
+    int id = 0;
+    // Straddle level-0 slots (64 ns), level boundaries (2^6, 2^12, ... ns),
+    // and duplicate timestamps at each.
+    for (int64_t base : {1, 63, 64, 65, 4095, 4096, 262144, 16777216, 1073741824}) {
+      for (int64_t off : {0, 0, 1}) {
+        const int eid = id++;
+        ex.PostAt(SimTime(base + off), [&, eid] { record(eid, ex.Now()); });
+      }
+    }
+    // Far-future: beyond the 2^42 ns wheel horizon.
+    for (int i = 0; i < 3; ++i) {
+      const int eid = id++;
+      ex.PostAfter(Seconds(5000 + i), [&, eid] { record(eid, ex.Now()); });
+    }
+    // A self-reposting chain that hops across slots as it goes.
+    struct Chain {
+      Executor* ex;
+      decltype(record)* rec;
+      int id;
+      uint64_t state;
+      int left;
+      void operator()() {
+        (*rec)(id, ex->Now());
+        if (--left > 0) {
+          state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+          ex->PostAfter(Nanos(1 + static_cast<int64_t>((state >> 40) % 100000)), *this);
+        }
+      }
+    };
+    ex.Post(Chain{&ex, &record, id++, 0x1234, 64});
+    ex.RunUntilIdle();
+    return fired;
+  };
+
+  const auto plain_a = run(false, 0);
+  const auto plain_b = run(false, 0);
+  EXPECT_EQ(plain_a, plain_b);
+  const auto shuf_a = run(true, 42);
+  const auto shuf_b = run(true, 42);
+  EXPECT_EQ(shuf_a, shuf_b);
+  // Shuffle permutes ties but fires the same multiset of events.
+  EXPECT_EQ(shuf_a.size(), plain_a.size());
+}
+
+TEST(ExecutorTest, FarFutureEventsPromoteInOrder) {
+  // Events past the wheel horizon live in the overflow heap and must promote
+  // era by era, interleaved correctly with near-term work.
+  Executor ex;
+  std::vector<int> order;
+  ex.PostAfter(Seconds(10000), [&] { order.push_back(4); });
+  ex.PostAfter(Seconds(5000), [&] {
+    order.push_back(2);
+    // Posting further far-future work from inside a promoted event.
+    ex.PostAfter(Seconds(2500), [&] { order.push_back(3); });
+  });
+  ex.PostAfter(Micros(1), [&] { order.push_back(1); });
+  ex.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(ex.Now().ns(), Seconds(10000).ns());
+}
+
+TEST(ExecutorTest, DaemonOnlyQueueCountsAsIdle) {
+  // A self-reposting daemon probe must not keep RunUntilIdle spinning once
+  // all real work is done.
+  Executor ex;
+  int daemon_fires = 0;
+  int work_fires = 0;
+  std::function<void()> probe = [&] {
+    ++daemon_fires;
+    ex.PostDaemonAfter(Micros(10), probe);
+  };
+  ex.PostDaemonAfter(Micros(10), probe);
+  ex.PostAfter(Micros(35), [&] { ++work_fires; });
+  ex.RunUntilIdle();
+  EXPECT_EQ(work_fires, 1);
+  EXPECT_EQ(daemon_fires, 3);  // t=10,20,30 fire before the last real event.
+  EXPECT_TRUE(ex.idle());
+  EXPECT_GE(ex.queue_size(), 1u);  // The daemon stays parked, not dropped.
+}
+
+TEST(ExecutorTest, RunUntilClampsAcrossEmptyStretches) {
+  Executor ex;
+  // No events at all: time still advances to the deadline.
+  ex.RunUntil(SimTime(Seconds(1).ns()));
+  EXPECT_EQ(ex.Now().ns(), Seconds(1).ns());
+  // Deadline short of the next event: nothing fires, nothing is lost.
+  int fired = 0;
+  ex.PostAfter(Seconds(10), [&] { ++fired; });
+  ex.RunFor(Seconds(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(ex.Now().ns(), Seconds(6).ns());
+  // Deadline exactly at the event: it fires once.
+  ex.RunUntil(SimTime(Seconds(11).ns()));
+  EXPECT_EQ(fired, 1);
+  // Far-future event still reachable after the cursor jumped around.
+  ex.PostAfter(Seconds(9000), [&] { ++fired; });
+  ex.RunFor(Seconds(100));
+  EXPECT_EQ(fired, 1);
+  ex.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(ex.Now().ns(), Seconds(11).ns() + Seconds(9000).ns());
+}
+
 TEST(ExecutorDiagnosticsTest, PendingEventsSnapshotInFiringOrder) {
   Executor ex;
   ex.PostAfter(Micros(30), [] {});
@@ -273,6 +482,33 @@ TEST(ExecutorDiagnosticsTest, PendingEventsSnapshotInFiringOrder) {
   EXPECT_NE(dump.find("3 pending"), std::string::npos) << dump;
   ex.RunUntilIdle();
   EXPECT_NE(ex.FormatPendingEvents().find("0 pending"), std::string::npos);
+}
+
+TEST(ExecutorDiagnosticsTest, PendingEventsPrefixIsGloballyOrdered) {
+  // A truncated snapshot must be the true head of the schedule — the first
+  // `max` events in firing order — not an arbitrary subset. (Regression: the
+  // old full-sort-then-truncate was replaced by a partial sort; both must
+  // agree.)
+  Executor ex;
+  for (int i = 0; i < 48; ++i) {
+    // Scattered times with duplicates, posted out of order.
+    ex.PostAfter(Micros(((i * 37) % 12) * 10), [] {});
+  }
+  const auto full = ex.PendingEvents(48);
+  ASSERT_EQ(full.size(), 48u);
+  for (size_t i = 1; i < full.size(); ++i) {
+    const bool ordered = full[i - 1].at < full[i].at ||
+                         (full[i - 1].at == full[i].at && full[i - 1].seq < full[i].seq);
+    EXPECT_TRUE(ordered) << "position " << i;
+  }
+  const auto prefix = ex.PendingEvents(8);
+  ASSERT_EQ(prefix.size(), 8u);
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i].at, full[i].at);
+    EXPECT_EQ(prefix[i].seq, full[i].seq);
+  }
+  const std::string dump = ex.FormatPendingEvents(8);
+  EXPECT_NE(dump.find("... 40 more"), std::string::npos) << dump;
 }
 
 }  // namespace
