@@ -72,4 +72,48 @@ BlkRequest ProtocolFuzzer::MutateBlk(BlkRequest valid, uint64_t capacity_sectors
   return valid;
 }
 
+TcpSegment ProtocolFuzzer::MutateTcp(TcpSegment valid) {
+  switch (rng_.NextBelow(12)) {
+    case 0:  // Illegal flag soup (e.g. SYN+FIN, SYN+RST).
+      valid.syn = rng_.NextBool(0.5);
+      valid.fin = rng_.NextBool(0.5);
+      valid.rst = rng_.NextBool(0.5);
+      valid.ack_flag = rng_.NextBool(0.5);
+      break;
+    case 1:  // Near-miss seq: lands just inside/outside the window edge.
+      valid.seq += static_cast<uint32_t>(rng_.NextBelow(8192)) - 4096u;
+      break;
+    case 2:  // Far-off seq, including wraparound territory.
+      valid.seq ^= 1u << (16 + rng_.NextBelow(16));
+      break;
+    case 3:  // Near-miss ack: acks data never sent, or re-acks old data.
+      valid.ack_flag = true;
+      valid.ack += static_cast<uint32_t>(rng_.NextBelow(8192)) - 4096u;
+      break;
+    case 4:  // Far-future ack.
+      valid.ack_flag = true;
+      valid.ack += 1u << (20 + rng_.NextBelow(10));
+      break;
+    case 5:  // Window collapse / shrink to a sliver.
+      valid.window = static_cast<uint32_t>(rng_.NextBelow(2));
+      break;
+    case 6:  // Payload truncation (header promises more than arrives).
+      if (!valid.payload.empty()) {
+        valid.payload.resize(rng_.NextBelow(valid.payload.size()));
+      }
+      break;
+    case 7:  // Duplicate-looking bare ACK (dup-ack generator food).
+      valid.payload.clear();
+      valid.syn = valid.fin = valid.rst = false;
+      valid.ack_flag = true;
+      break;
+    case 8:  // Port corruption: steered at a different (likely closed) flow.
+      valid.dst_port ^= static_cast<uint16_t>(1u << rng_.NextBelow(16));
+      break;
+    default:  // Cases 9-11: pass through valid.
+      break;
+  }
+  return valid;
+}
+
 }  // namespace kite

@@ -13,6 +13,7 @@
 
 #include "src/base/rng.h"
 #include "src/blk/blkif.h"
+#include "src/net/frame.h"
 #include "src/netdrv/netif_ring.h"
 
 namespace kite {
@@ -27,6 +28,10 @@ class ProtocolFuzzer {
   // `capacity_sectors` lets the fuzzer aim at the exact end-of-disk
   // boundary, where off-by-one capacity checks live.
   BlkRequest MutateBlk(BlkRequest valid, uint64_t capacity_sectors);
+  // TCP segment mutations: flag-combination corruption, near-miss and
+  // far-off seq/ack perturbations (the near ones probe the window-edge
+  // acceptance checks), window collapse, and payload truncation.
+  TcpSegment MutateTcp(TcpSegment valid);
 
   Rng& rng() { return rng_; }
 

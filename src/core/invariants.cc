@@ -1,5 +1,7 @@
 #include "src/core/invariants.h"
 
+#include <map>
+
 #include "src/base/strings.h"
 
 namespace kite {
@@ -20,6 +22,7 @@ std::vector<Violation> InvariantChecker::Check() {
   CheckNetInstances();
   CheckBlkInstances();
   CheckDiskLedger();
+  CheckTcpLedger();
   CheckInstanceHealth();
   CheckMigrationsQuiesced();
   return std::move(violations_);
@@ -195,6 +198,66 @@ void InvariantChecker::CheckDiskLedger() {
     Fail("disk-ledger", StrFormat("device_ops submitted=%llu != completed=%llu",
                                   static_cast<unsigned long long>(submitted),
                                   static_cast<unsigned long long>(completed)));
+  }
+}
+
+void InvariantChecker::CheckTcpLedger() {
+  // Per-flow conservation over live endpoint stacks (ledgers survive conn
+  // teardown but die with their stack, so only live pairs are cross-checked).
+  std::vector<EtherStack*> stacks;
+  if (sys_->client() != nullptr && sys_->client()->stack() != nullptr) {
+    stacks.push_back(sys_->client()->stack());
+  }
+  for (const auto& guest : sys_->guests()) {
+    if (guest->stack() != nullptr) {
+      stacks.push_back(guest->stack());
+    }
+  }
+  std::map<uint32_t, EtherStack*> by_ip;
+  for (EtherStack* stack : stacks) {
+    by_ip[stack->ip().value] = stack;
+  }
+  for (EtherStack* stack : stacks) {
+    for (const auto& [key, ledger] : stack->tcp_ledgers()) {
+      const std::string flow =
+          StrFormat("%s:%u<->%s:%u", stack->ip().ToString().c_str(),
+                    static_cast<unsigned>(key.local_port),
+                    Ipv4Addr{key.peer_ip}.ToString().c_str(),
+                    static_cast<unsigned>(key.peer_port));
+      if (ledger.acked_in > ledger.payload_sent) {
+        Fail("tcp-ledger",
+             StrFormat("%s: bytes acked (%llu) exceed bytes sent (%llu)",
+                       flow.c_str(),
+                       static_cast<unsigned long long>(ledger.acked_in),
+                       static_cast<unsigned long long>(ledger.payload_sent)));
+      }
+      auto peer_it = by_ip.find(key.peer_ip);
+      if (peer_it == by_ip.end()) {
+        continue;  // Peer stack gone (guest death): nothing to cross-check.
+      }
+      const auto& peer_ledgers = peer_it->second->tcp_ledgers();
+      auto peer_ledger_it = peer_ledgers.find(EtherStack::TcpFlowKey{
+          stack->ip().value, key.local_port, key.peer_port});
+      if (peer_ledger_it == peer_ledgers.end()) {
+        if (ledger.acked_in > 0) {
+          Fail("tcp-ledger",
+               StrFormat("%s: %llu bytes acked but peer has no flow record",
+                         flow.c_str(),
+                         static_cast<unsigned long long>(ledger.acked_in)));
+        }
+        continue;
+      }
+      // No acked byte lost: everything the sender saw acknowledged was
+      // delivered in order on the receive side.
+      if (ledger.acked_in > peer_ledger_it->second.delivered) {
+        Fail("tcp-ledger",
+             StrFormat("%s: %llu bytes acked but peer delivered only %llu",
+                       flow.c_str(),
+                       static_cast<unsigned long long>(ledger.acked_in),
+                       static_cast<unsigned long long>(
+                           peer_ledger_it->second.delivered)));
+      }
+    }
   }
 }
 

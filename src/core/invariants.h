@@ -53,6 +53,10 @@ class InvariantChecker {
   void CheckBlkInstances();
   // Disk-op conservation across every vbd ever connected.
   void CheckDiskLedger();
+  // TCP flow conservation: no stack acks more than it sent, every stack
+  // delivers exactly what it acked, and no byte a sender saw acknowledged
+  // was lost by the receiver (audited per flow across live stack pairs).
+  void CheckTcpLedger();
   // Watchdog verdicts: at quiesce (after a fresh probe) every registered
   // instance must be healthy — a degraded/stalled verdict that survives
   // quiesce means recovery never actually happened.

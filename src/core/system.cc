@@ -317,8 +317,13 @@ void KiteSystem::EnsureClient() {
                                         MacAddr::FromId(0x200000u), client_nic);
   client_->nic_->set_fault_injector(&faults_);
   client_->nic_->SetProcessingVcpu(client_->vcpu_.get());
+  StackParams client_stack;
+  if (params_.tcp_metrics) {
+    client_stack.metrics = &metrics_;
+    client_stack.metrics_domain = "client";
+  }
   client_->stack_ = std::make_unique<EtherStack>(&executor_, client_->vcpu_.get(),
-                                                 client_->nic_->netif());
+                                                 client_->nic_->netif(), client_stack);
   client_->stack_->ConfigureIp(client_ip_);
 }
 
@@ -399,8 +404,13 @@ void KiteSystem::AttachVif(GuestVm* guest, NetworkDomain* netdom, Ipv4Addr ip) {
   // Guest side: netfront and the network stack on top of it.
   MacAddr mac = MacAddr::FromId(0x300000u + static_cast<uint32_t>(gid));
   guest->netfront_ = std::make_unique<Netfront>(guest->domain_, bid, devid, mac);
+  StackParams guest_stack;
+  if (params_.tcp_metrics) {
+    guest_stack.metrics = &metrics_;
+    guest_stack.metrics_domain = guest->domain_->name();
+  }
   guest->stack_ = std::make_unique<EtherStack>(&executor_, guest->domain_->vcpu(0),
-                                               guest->netfront_.get());
+                                               guest->netfront_.get(), guest_stack);
   guest->stack_->ConfigureIp(ip);
 }
 

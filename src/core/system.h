@@ -147,6 +147,10 @@ class KiteSystem {
     uint64_t fault_seed = 0xfa0170ULL;
     // Watchdog probe cadence and stall thresholds (always on).
     HealthParams health;
+    // Publish per-stack TCP counters (segs, retransmits, acked/delivered
+    // bytes) into the registry. Off by default so metric snapshots of
+    // TCP-free configurations stay byte-identical to historical output.
+    bool tcp_metrics = false;
   };
 
   KiteSystem() : KiteSystem(Params{}) {}

@@ -18,6 +18,7 @@ void Bridge::RemoveIf(NetIf* netif) {
     return;
   }
   ports_.erase(it);
+  queues_.erase(netif);
   netif->SetInputHandler(nullptr);
   // Flush FDB entries pointing at the removed port.
   for (auto fdb_it = fdb_.begin(); fdb_it != fdb_.end();) {
@@ -38,6 +39,36 @@ NetIf* Bridge::LookupFdb(MacAddr mac) const {
   return it == fdb_.end() ? nullptr : it->second;
 }
 
+void Bridge::EnablePortQueue(Executor* executor, NetIf* port,
+                             EgressQueueParams params,
+                             std::unique_ptr<DropPolicy> policy) {
+  KITE_CHECK(HasIf(port));
+  queues_[port] =
+      std::make_unique<EgressQueue>(executor, port, params, std::move(policy));
+}
+
+EgressQueue* Bridge::port_queue(NetIf* port) const {
+  auto it = queues_.find(port);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Bridge::queue_drops() const {
+  uint64_t drops = 0;
+  for (const auto& [port, queue] : queues_) {
+    drops += queue->dropped();
+  }
+  return drops;
+}
+
+void Bridge::SendOut(NetIf* port, const EthernetFrame& frame) {
+  auto it = queues_.find(port);
+  if (it == queues_.end()) {
+    port->Output(frame);
+    return;
+  }
+  it->second->Offer(frame);
+}
+
 void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
   if (vcpu_ != nullptr) {
     vcpu_->Charge(forward_cost_);
@@ -56,7 +87,7 @@ void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
     if (it != fdb_.end()) {
       if (it->second != ingress && it->second->up()) {
         ++forwarded_;
-        it->second->Output(frame);
+        SendOut(it->second, frame);
       }
       return;
     }
@@ -69,7 +100,7 @@ void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
   }
   for (NetIf* port : ports_) {
     if (port != ingress && port->up()) {
-      port->Output(frame);
+      SendOut(port, frame);
     }
   }
 }

@@ -8,10 +8,12 @@
 #define SRC_NET_BRIDGE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/net/netif.h"
+#include "src/net/queue.h"
 #include "src/sim/cpu.h"
 
 namespace kite {
@@ -40,8 +42,20 @@ class Bridge {
     local_sink_ = std::move(fn);
   }
 
+  // Attaches a bounded egress queue to a member port: frames the bridge
+  // forwards out `port` pass the queue's DropPolicy and serialize at its
+  // drain rate instead of being delivered synchronously. Ports without a
+  // queue (the default) keep the synchronous model. Re-enabling replaces
+  // the old queue.
+  void EnablePortQueue(Executor* executor, NetIf* port, EgressQueueParams params,
+                       std::unique_ptr<DropPolicy> policy = nullptr);
+  // The port's egress queue, or nullptr if none was enabled.
+  EgressQueue* port_queue(NetIf* port) const;
+
   uint64_t forwarded() const { return forwarded_; }
   uint64_t flooded() const { return flooded_; }
+  // Frames dropped at port egress queues (all ports).
+  uint64_t queue_drops() const;
   size_t fdb_size() const { return fdb_.size(); }
 
   // Test hook: the port the FDB learned for a MAC (nullptr if unknown).
@@ -49,11 +63,13 @@ class Bridge {
 
  private:
   void Input(NetIf* ingress, const EthernetFrame& frame);
+  void SendOut(NetIf* port, const EthernetFrame& frame);
 
   std::string name_;
   Vcpu* vcpu_;
   SimDuration forward_cost_;
   std::vector<NetIf*> ports_;
+  std::map<NetIf*, std::unique_ptr<EgressQueue>> queues_;
   std::map<MacAddr, NetIf*> fdb_;
   MacAddr local_mac_;
   std::function<void(const EthernetFrame&)> local_sink_;

@@ -40,15 +40,26 @@ void Nic::OnAssigned(Domain* owner) { vcpu_ = owner->vcpu(0); }
 
 void Nic::OnUnassigned() { vcpu_ = nullptr; }
 
+void Nic::SetTxDropPolicy(std::unique_ptr<DropPolicy> policy) {
+  tx_policy_ = policy != nullptr ? std::move(policy)
+                                 : std::make_unique<DropTailPolicy>();
+}
+
+void Nic::SetRxDropPolicy(std::unique_ptr<DropPolicy> policy) {
+  rx_policy_ = policy != nullptr ? std::move(policy)
+                                 : std::make_unique<DropTailPolicy>();
+}
+
 void Nic::Transmit(const EthernetFrame& frame) {
   if (peer_ == nullptr) {
     ++tx_dropped_;
     return;
   }
-  // Bounded transmit queue: if the backlog exceeds the queue, drop (what a
-  // real NIC ring does under overload).
+  // Bounded transmit queue: if the policy rejects the frame (drop-tail: the
+  // backlog exceeds the ring), drop — what a real NIC does under overload.
   const SimTime now = executor_->Now();
-  if (tx_inflight_ >= params_.tx_queue_frames) {
+  if (tx_policy_->ShouldDrop(tx_inflight_, params_.tx_queue_frames,
+                             frame.WireBytes())) {
     ++tx_dropped_;
     return;
   }
@@ -79,7 +90,8 @@ void Nic::Arrive(EthernetFrame frame) {
       return;
     }
   }
-  if (rx_queue_.size() >= params_.rx_queue_frames) {
+  if (rx_policy_->ShouldDrop(rx_queue_.size(), params_.rx_queue_frames,
+                             frame.WireBytes())) {
     ++rx_dropped_;
     return;
   }

@@ -14,6 +14,7 @@
 #include "src/fault/fault.h"
 #include "src/hv/pci.h"
 #include "src/net/netif.h"
+#include "src/net/queue.h"
 #include "src/sim/cpu.h"
 #include "src/sim/executor.h"
 
@@ -72,6 +73,12 @@ class Nic : public PciDevice {
   // Wire-side: queues the frame for transmission at line rate.
   void Transmit(const EthernetFrame& frame);
 
+  // Replaces the admission policy of the tx/rx ring (drop-tail by default,
+  // with the same depth limits as before; see src/net/queue.h for RED-style
+  // alternatives). Passing null restores drop-tail.
+  void SetTxDropPolicy(std::unique_ptr<DropPolicy> policy);
+  void SetRxDropPolicy(std::unique_ptr<DropPolicy> policy);
+
   uint64_t tx_dropped() const { return tx_dropped_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
   uint64_t rx_delivered() const { return rx_delivered_; }
@@ -96,6 +103,8 @@ class Nic : public PciDevice {
   size_t tx_inflight_ = 0;
   std::deque<EthernetFrame> rx_queue_;
   bool rx_drain_scheduled_ = false;
+  std::unique_ptr<DropPolicy> tx_policy_ = std::make_unique<DropTailPolicy>();
+  std::unique_ptr<DropPolicy> rx_policy_ = std::make_unique<DropTailPolicy>();
 
   uint64_t tx_dropped_ = 0;
   uint64_t rx_dropped_ = 0;

@@ -1,0 +1,67 @@
+#include "src/net/queue.h"
+
+#include <utility>
+
+namespace kite {
+
+EgressQueue::EgressQueue(Executor* executor, NetIf* port, EgressQueueParams params,
+                         std::unique_ptr<DropPolicy> policy)
+    : executor_(executor),
+      port_(port),
+      params_(params),
+      policy_(policy != nullptr ? std::move(policy)
+                                : std::make_unique<DropTailPolicy>()) {}
+
+EgressQueue::~EgressQueue() { *alive_ = false; }
+
+bool EgressQueue::Offer(const EthernetFrame& frame) {
+  if (params_.limit_frames == 0) {
+    // Bypass: the unqueued synchronous model.
+    ++forwarded_;
+    port_->Output(frame);
+    return true;
+  }
+  if (policy_->ShouldDrop(queue_.size(), params_.limit_frames, frame.WireBytes())) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(frame);
+  const SimTime now = executor_->Now();
+  if (!drain_scheduled_) {
+    ScheduleDrain(busy_until_ > now ? busy_until_ : now);
+  }
+  return true;
+}
+
+void EgressQueue::ScheduleDrain(SimTime at) {
+  drain_scheduled_ = true;
+  executor_->PostAt(at, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    if (queue_.empty()) {
+      drain_scheduled_ = false;
+      return;
+    }
+    EthernetFrame frame = std::move(queue_.front());
+    queue_.pop_front();
+    const double bits = static_cast<double>(frame.WireBytes()) * 8.0;
+    busy_until_ =
+        executor_->Now() + Nanos(static_cast<int64_t>(bits / params_.drain_gbps));
+    ++forwarded_;
+    // drain_scheduled_ stays true across Output: delivery is synchronous and
+    // can reenter Offer (ACK -> new data -> same queue); clearing the flag
+    // first would let that reentrant Offer start a second drain chain and
+    // the port would serialize above its line rate.
+    if (port_->up()) {
+      port_->Output(frame);
+    }
+    if (!queue_.empty()) {
+      ScheduleDrain(busy_until_);
+    } else {
+      drain_scheduled_ = false;
+    }
+  });
+}
+
+}  // namespace kite

@@ -1,0 +1,97 @@
+// Bounded L2 queue models (drop-tail today, RED-ready by construction).
+//
+// Real switches and NICs drop frames at finite queues; the transport's
+// congestion response (src/net/tcp.h) is only honest if loss happens at the
+// same places. This header provides the two pieces every queueing point
+// shares:
+//
+//   - DropPolicy: the admission decision, separated from the queue itself so
+//     a RED/ECN policy can be swapped in without touching device code. The
+//     hook sees instantaneous depth, the configured limit, and the arriving
+//     frame's wire size — everything RED's EWMA needs.
+//   - EgressQueue: a depth-bounded FIFO in front of a NetIf that serializes
+//     frames out at a configured line rate. The bridge attaches one per
+//     bottleneck port; with limit 0 it bypasses entirely (synchronous
+//     forward, byte-identical to the unqueued model).
+#ifndef SRC_NET_QUEUE_H_
+#define SRC_NET_QUEUE_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/net/netif.h"
+#include "src/sim/executor.h"
+
+namespace kite {
+
+// Admission decision for a bounded frame queue. Stateless for drop-tail;
+// a RED implementation would carry its average-depth EWMA here.
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  // Called once per arriving frame, before it is queued. `limit_frames == 0`
+  // means unbounded (never drop). Returning true drops the frame.
+  virtual bool ShouldDrop(size_t depth_frames, size_t limit_frames,
+                          size_t frame_wire_bytes) = 0;
+};
+
+// Classic drop-tail: admit until the queue is full.
+class DropTailPolicy : public DropPolicy {
+ public:
+  bool ShouldDrop(size_t depth_frames, size_t limit_frames,
+                  size_t /*frame_wire_bytes*/) override {
+    return limit_frames != 0 && depth_frames >= limit_frames;
+  }
+};
+
+struct EgressQueueParams {
+  // Queue depth in frames. 0 = bypass: frames forward synchronously with no
+  // serialization model — exactly the pre-queue behaviour.
+  size_t limit_frames = 0;
+  // Serialization rate of the port while queueing is enabled.
+  double drain_gbps = 10.0;
+};
+
+// A bounded egress queue in front of a NetIf. Frames admitted by the policy
+// serialize out one at a time at drain_gbps; arrivals the policy rejects are
+// counted and discarded — where a real switch drops under overload.
+class EgressQueue {
+ public:
+  // `policy` may be null: drop-tail.
+  EgressQueue(Executor* executor, NetIf* port, EgressQueueParams params,
+              std::unique_ptr<DropPolicy> policy = nullptr);
+  ~EgressQueue();
+
+  EgressQueue(const EgressQueue&) = delete;
+  EgressQueue& operator=(const EgressQueue&) = delete;
+
+  // Queues (or, with limit 0, directly forwards) the frame.
+  // Returns false if the policy dropped it.
+  bool Offer(const EthernetFrame& frame);
+
+  NetIf* port() const { return port_; }
+  size_t depth() const { return queue_.size(); }
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t dropped() const { return dropped_; }
+  const EgressQueueParams& params() const { return params_; }
+
+ private:
+  void ScheduleDrain(SimTime at);
+
+  Executor* executor_;
+  NetIf* port_;
+  EgressQueueParams params_;
+  std::unique_ptr<DropPolicy> policy_;
+  std::deque<EthernetFrame> queue_;
+  SimTime busy_until_;
+  bool drain_scheduled_ = false;
+  uint64_t forwarded_ = 0;
+  uint64_t dropped_ = 0;
+  // Drain events capture this flag; a destroyed queue (port removed from the
+  // bridge mid-run) turns them into no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace kite
+
+#endif  // SRC_NET_QUEUE_H_

@@ -48,6 +48,17 @@ EtherStack::EtherStack(Executor* executor, Vcpu* vcpu, NetIf* netif, StackParams
   ping_ident_ = static_cast<uint16_t>(netif->mac().octets[4] << 8 | netif->mac().octets[5]);
   netif_->SetInputHandler([this](const EthernetFrame& frame) { Input(frame); });
   netif_->SetUp(true);
+  if (params_.metrics != nullptr) {
+    MetricRegistry* reg = params_.metrics;
+    const std::string& dom = params_.metrics_domain;
+    tcp_counters_.segs_out = reg->counter(dom, "tcp", "segs_out");
+    tcp_counters_.segs_in = reg->counter(dom, "tcp", "segs_in");
+    tcp_counters_.retransmits = reg->counter(dom, "tcp", "retransmits");
+    tcp_counters_.fast_retransmits = reg->counter(dom, "tcp", "fast_retransmits");
+    tcp_counters_.rto_fires = reg->counter(dom, "tcp", "rto_fires");
+    tcp_counters_.bytes_acked = reg->counter(dom, "tcp", "bytes_acked");
+    tcp_counters_.bytes_delivered = reg->counter(dom, "tcp", "bytes_delivered");
+  }
 }
 
 EtherStack::~EtherStack() {
@@ -252,6 +263,11 @@ void EtherStack::HandleIp(const Ipv4Packet& packet) {
       rst.dst_port = tcp->src_port;
       rst.rst = true;
       rst.seq = tcp->ack;
+      // Echo an ack covering the offending segment so a SYN_SENT receiver
+      // can prove the reset is genuine (its RST validation demands it).
+      rst.ack_flag = true;
+      rst.ack = tcp->seq + static_cast<uint32_t>(tcp->payload.size()) +
+                (tcp->syn ? 1 : 0) + (tcp->fin ? 1 : 0);
       rst_packet.l4 = rst;
       SendIp(std::move(rst_packet));
     }
@@ -312,6 +328,12 @@ TcpConn* EtherStack::CreateConn(Ipv4Addr peer_ip, uint16_t peer_port, uint16_t l
   TcpConn* raw = conn.get();
   conns_[ConnKey{peer_ip.value, peer_port, local_port}] = std::move(conn);
   return raw;
+}
+
+EtherStack::TcpFlowLedger* EtherStack::LedgerFor(Ipv4Addr peer_ip,
+                                                 uint16_t peer_port,
+                                                 uint16_t local_port) {
+  return &tcp_ledgers_[TcpFlowKey{peer_ip.value, peer_port, local_port}];
 }
 
 void EtherStack::RemoveConn(TcpConn* conn) {

@@ -14,6 +14,7 @@
 
 #include "src/net/frame.h"
 #include "src/net/netif.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cpu.h"
 #include "src/sim/executor.h"
 
@@ -23,9 +24,30 @@ class EtherStack;
 class TcpConn;
 class TcpListener;
 
+// TCP congestion/retransmission knobs (defaults follow RFC 5681/6298, with
+// the simulator's historical 10 ms initial RTO and a low floor because
+// simulated RTTs are microseconds, not the internet's milliseconds).
+struct TcpParams {
+  uint32_t initial_cwnd_segments = 10;   // RFC 6928 IW10.
+  uint32_t dupack_threshold = 3;         // Fast retransmit trigger.
+  SimDuration initial_rto = Millis(10);  // Before the first RTT sample.
+  SimDuration min_rto = Millis(1);       // Floor for the computed RTO.
+  SimDuration max_rto = Seconds(4);      // Exponential-backoff ceiling.
+  uint32_t max_retransmits = 30;         // Consecutive timeouts before abort.
+};
+
 struct StackParams {
   SimDuration per_packet_cost = Nanos(550);  // Per-packet protocol processing.
   SimDuration icmp_reply_cost = Nanos(700);
+  TcpParams tcp;
+  // Optional observability. With `metrics` set the stack exports aggregate
+  // TCP counters under (metrics_domain, "tcp", <name>); with
+  // `per_flow_metrics` additionally per-connection cwnd/ssthresh/srtt/
+  // retransmit gauges under a flow-id device. Per-flow is off by default —
+  // connection-churning workloads would grow the registry without bound.
+  MetricRegistry* metrics = nullptr;
+  std::string metrics_domain;
+  bool per_flow_metrics = false;
 };
 
 // Connectionless datagram socket.
@@ -100,6 +122,25 @@ class EtherStack {
   // --- Internals shared with TCP and sockets. ---
   void SendIp(Ipv4Packet&& packet);
   uint16_t AllocEphemeralPort() { return next_ephemeral_++; }
+  const StackParams& params() const { return params_; }
+
+  // --- TCP flow ledgers (checker's tcp-ledger invariant). ---
+  // Lifetime payload totals per flow. Entries survive connection teardown:
+  // the checker audits them after the conn objects are gone.
+  struct TcpFlowKey {
+    uint32_t peer_ip;
+    uint16_t peer_port;
+    uint16_t local_port;
+    auto operator<=>(const TcpFlowKey&) const = default;
+  };
+  struct TcpFlowLedger {
+    uint64_t payload_sent = 0;  // New payload bytes transmitted (first send).
+    uint64_t acked_in = 0;      // Our payload bytes cumulatively acked by peer.
+    uint64_t delivered = 0;     // In-order payload bytes consumed (== acked out).
+  };
+  const std::map<TcpFlowKey, TcpFlowLedger>& tcp_ledgers() const {
+    return tcp_ledgers_;
+  }
 
   // --- Stats. ---
   uint64_t ip_tx_packets() const { return ip_tx_; }
@@ -121,6 +162,19 @@ class EtherStack {
   void Transmit(MacAddr dst, Ipv4Packet&& packet);
   void RemoveConn(TcpConn* conn);
   TcpConn* CreateConn(Ipv4Addr peer_ip, uint16_t peer_port, uint16_t local_port);
+  TcpFlowLedger* LedgerFor(Ipv4Addr peer_ip, uint16_t peer_port, uint16_t local_port);
+
+  // Aggregate TCP counters under (metrics_domain, "tcp", <name>); all null
+  // when StackParams::metrics is unset.
+  struct TcpStackCounters {
+    Counter* segs_out = nullptr;
+    Counter* segs_in = nullptr;
+    Counter* retransmits = nullptr;       // Retransmitted segments.
+    Counter* fast_retransmits = nullptr;  // Fast-retransmit events.
+    Counter* rto_fires = nullptr;         // Retransmission timeouts.
+    Counter* bytes_acked = nullptr;
+    Counter* bytes_delivered = nullptr;
+  };
 
   struct PendingPing {
     SimTime sent_at;
@@ -156,6 +210,8 @@ class EtherStack {
   };
   std::map<ConnKey, std::unique_ptr<TcpConn>> conns_;
   std::map<uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  std::map<TcpFlowKey, TcpFlowLedger> tcp_ledgers_;
+  TcpStackCounters tcp_counters_;
 
   uint64_t ip_tx_ = 0;
   uint64_t ip_rx_ = 0;

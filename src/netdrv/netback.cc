@@ -456,7 +456,8 @@ void NetbackInstance::Output(const EthernetFrame& frame) {
   if (!connected_ || draining_) {
     return;
   }
-  if (rx_pending_.size() >= params_.rx_queue_cap) {
+  if (rx_policy_->ShouldDrop(rx_pending_.size(), params_.rx_queue_cap,
+                             frame.WireBytes())) {
     rx_queue_drops_->Inc();
     return;
   }
@@ -464,6 +465,11 @@ void NetbackInstance::Output(const EthernetFrame& frame) {
   // The stack callback only wakes soft_start (paper §4.2 "Multiple
   // Threads"); the copy work happens on the thread.
   rx_wake_.Signal();
+}
+
+void NetbackInstance::SetRxDropPolicy(std::unique_ptr<DropPolicy> policy) {
+  rx_policy_ = policy != nullptr ? std::move(policy)
+                                 : std::make_unique<DropTailPolicy>();
 }
 
 Task NetbackInstance::SoftStartThread() {

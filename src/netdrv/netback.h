@@ -28,6 +28,7 @@
 #include "src/hv/hypervisor.h"
 #include "src/hv/xenbus.h"
 #include "src/net/netif.h"
+#include "src/net/queue.h"
 #include "src/netdrv/netif_ring.h"
 #include "src/os/profile.h"
 #include "src/sim/wait.h"
@@ -62,6 +63,10 @@ class NetbackInstance : public NetIf {
 
   // NetIf: bridge → guest direction (enqueue for soft_start).
   void Output(const EthernetFrame& frame) override;
+
+  // Replaces the admission policy of the backend-side Rx queue (drop-tail at
+  // rx_queue_cap by default). Passing null restores drop-tail.
+  void SetRxDropPolicy(std::unique_ptr<DropPolicy> policy);
 
   // Advertises Connected in xenstore. As on real Xen, where the hotplug
   // script must bridge the vif before the state switch, the network
@@ -172,6 +177,7 @@ class NetbackInstance : public NetIf {
     int64_t arrival_ns;
   };
   std::deque<PendingRx> rx_pending_;
+  std::unique_ptr<DropPolicy> rx_policy_ = std::make_unique<DropTailPolicy>();
 
   // Per-thread scratch buffers (pusher owns tx_scratch_, soft_start owns
   // rx_scratch_): packet bytes are staged here instead of allocating a fresh
