@@ -60,13 +60,13 @@ uint64_t Bridge::queue_drops() const {
   return drops;
 }
 
-void Bridge::SendOut(NetIf* port, const EthernetFrame& frame) {
+bool Bridge::SendOut(NetIf* port, const EthernetFrame& frame) {
   auto it = queues_.find(port);
   if (it == queues_.end()) {
     port->Output(frame);
-    return;
+    return true;
   }
-  it->second->Offer(frame);
+  return it->second->Offer(frame);
 }
 
 void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
@@ -86,8 +86,12 @@ void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
     auto it = fdb_.find(frame.dst);
     if (it != fdb_.end()) {
       if (it->second != ingress && it->second->up()) {
-        ++forwarded_;
-        SendOut(it->second, frame);
+        // Count only frames the egress queue admitted: a drop-tail rejection
+        // already shows up in queue_drops(), and a frame must not appear in
+        // both tallies.
+        if (SendOut(it->second, frame)) {
+          ++forwarded_;
+        }
       }
       return;
     }

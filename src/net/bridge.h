@@ -52,6 +52,8 @@ class Bridge {
   // The port's egress queue, or nullptr if none was enabled.
   EgressQueue* port_queue(NetIf* port) const;
 
+  // Unicast frames actually admitted toward their egress port; frames a
+  // port queue's DropPolicy rejects count in queue_drops() instead.
   uint64_t forwarded() const { return forwarded_; }
   uint64_t flooded() const { return flooded_; }
   // Frames dropped at port egress queues (all ports).
@@ -63,7 +65,8 @@ class Bridge {
 
  private:
   void Input(NetIf* ingress, const EthernetFrame& frame);
-  void SendOut(NetIf* port, const EthernetFrame& frame);
+  // Returns false if the port's egress queue dropped the frame.
+  bool SendOut(NetIf* port, const EthernetFrame& frame);
 
   std::string name_;
   Vcpu* vcpu_;

@@ -39,6 +39,8 @@ struct NicParams {
   SimDuration rx_frame_cost = Nanos(250);  // Driver per-frame receive cost.
   SimDuration tx_frame_cost = Nanos(200);  // Driver per-frame transmit cost.
   SimDuration irq_latency = Micros(1);
+  // Ring depths, in frames. Per the DropPolicy convention (src/net/queue.h),
+  // 0 means unbounded — never drop — not "drop everything".
   size_t tx_queue_frames = 1024;
   size_t rx_queue_frames = 1024;
 };

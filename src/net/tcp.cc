@@ -115,9 +115,15 @@ void TcpConn::Abort() {
   if (state_ == TcpState::kClosed) {
     return;
   }
+  // The RST must pass the peer's RFC 5961-style checks: a SYN_SENT peer
+  // wants its sequence echoed in the ack, an established peer wants an
+  // in-window sequence. Use the highest sequence ever sent — after a
+  // go-back-N rewind snd_nxt_ can sit below the peer's rcv_nxt_.
   TcpSegment rst;
   rst.rst = true;
-  rst.seq = snd_nxt_;
+  rst.ack_flag = true;
+  rst.ack = rcv_nxt_;
+  rst.seq = snd_max_ + (fin_ever_sent_ ? 1 : 0);
   EmitSegment(std::move(rst));
   EnterClosed(/*deliver_close=*/false);
 }
@@ -200,16 +206,24 @@ void TcpConn::OnSegment(const TcpSegment& seg) {
 
 void TcpConn::OnAck(const TcpSegment& seg) {
   // A rewound sender (go-back-N) may be acked past snd_nxt_ when the receiver
-  // already held the tail out of order — accept anything up to snd_max_.
-  const uint32_t snd_limit = snd_max_ + (fin_sent_ ? 1 : 0);
+  // already held the tail out of order — accept anything up to snd_max_, plus
+  // the FIN octet if a FIN was *ever* sent: the rewind clears fin_sent_, but
+  // a receiver holding tail + FIN still acks past it, and rejecting that ack
+  // would livelock the connection into an RTO-retry abort.
+  const uint32_t snd_limit = snd_max_ + (fin_ever_sent_ ? 1 : 0);
   const int32_t acked = SeqDiff(seg.ack, snd_una_);
   if (acked > 0 && SeqDiff(seg.ack, snd_limit) <= 0) {
     if (SeqDiff(seg.ack, snd_nxt_) > 0) {
       snd_nxt_ = seg.ack;
     }
     uint32_t fin_seq_bump = 0;
-    if (fin_sent_ && seg.ack == snd_limit) {
+    if (fin_ever_sent_ && seg.ack == snd_limit) {
       fin_acked_ = true;
+      // A rewound FIN acked before its re-emission counts as sent again.
+      fin_sent_ = true;
+      if (state_ == TcpState::kEstablished) {
+        state_ = TcpState::kFinSent;
+      }
       fin_seq_bump = 1;
     }
     const size_t payload_acked = static_cast<size_t>(acked) - fin_seq_bump;
@@ -348,7 +362,10 @@ bool TcpConn::HandleData(const TcpSegment& seg) {
         it->second.data = seg.payload;
         ooo_bytes_ += len;
       }
-      if (seg.fin) {
+      // The FIN rides on the buffered copy only when both copies agree where
+      // the stream ends: a forged same-seq segment with a different length
+      // must not relocate the FIN onto the buffered entry's shorter end.
+      if (seg.fin && it->second.data.size() == seg.payload.size()) {
         it->second.fin = true;
       }
     }
@@ -501,6 +518,7 @@ void TcpConn::PumpSend() {
     fin.ack = rcv_nxt_;
     ++snd_nxt_;
     fin_sent_ = true;
+    fin_ever_sent_ = true;
     state_ = TcpState::kFinSent;
     EmitSegment(std::move(fin));
     sent_any = true;

@@ -148,6 +148,10 @@ class TcpConn {
   bool fin_pending_ = false;
   bool fin_sent_ = false;
   bool fin_acked_ = false;
+  // True once a FIN has been emitted at least once, even if a go-back-N
+  // rewind cleared fin_sent_: a receiver that held the tail + FIN out of
+  // order may ack past snd_max_ before the FIN is re-emitted.
+  bool fin_ever_sent_ = false;
 
   // Congestion control (byte-counted, RFC 5681).
   uint32_t cwnd_ = 0;      // Initialized from TcpParams in the constructor.

@@ -46,7 +46,8 @@ struct NetbackParams {
   // Packets processed per CPU quantum before yielding.
   int batch_limit = 64;
   // Backend-side queue toward a guest; overflow drops (observable as UDP
-  // loss in the nuttcp benchmark).
+  // loss in the nuttcp benchmark). Per the DropPolicy convention
+  // (src/net/queue.h), 0 means unbounded — never drop.
   size_t rx_queue_cap = 512;
 };
 

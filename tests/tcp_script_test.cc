@@ -474,6 +474,86 @@ TEST_F(TcpScriptTest, BlindRstOutsideWindowIsIgnored) {
   });
 }
 
+// Regression: a FIN rewound by go-back-N (the RTO clears fin_sent_) must
+// still accept the ack that covers it. The receiver already held the tail +
+// FIN out of order, so the retransmitted head completes the stream and the
+// ack lands one past snd_max_ before the FIN is ever re-emitted — with the
+// post-timeout cwnd of one MSS and more than one MSS buffered, PumpSend can
+// never reach the FIN again. Rejecting that ack would strand snd_una_ and
+// abort the connection after max_retransmits backed-off RTOs.
+TEST_F(TcpScriptTest, RewoundFinAckedFromOooTailCompletes) {
+  Establish();
+  Run({
+      {.op = Op::kSend, .payload = 2 * kMssBytes},
+      {.op = Op::kExpectOut, .note = "seg 1", .seq = 1, .ack = 1,
+       .payload = kMssBytes},
+      {.op = Op::kExpectOut, .note = "seg 2", .seq = 1 + kMssBytes,
+       .payload = kMssBytes},
+      {.op = Op::kClose},
+      {.op = Op::kExpectOut, .note = "FIN after queued data", .fin = true,
+       .seq = 1 + 2 * kMssBytes, .payload = 0},
+      {.op = Op::kExpectState, .state = TcpState::kFinSent},
+      // Timeout: go-back-N rewinds to snd_una_; cwnd collapses to one MSS,
+      // so only the head goes back out and the FIN is not re-emitted.
+      {.op = Op::kAdvance, .dur = Millis(10)},
+      {.op = Op::kExpectOut, .note = "head retransmitted", .seq = 1,
+       .payload = kMssBytes},
+      {.op = Op::kExpectNoOut, .note = "cwnd=1 MSS: no room for tail or FIN"},
+      {.op = Op::kExpectRtoFires, .payload = 1},
+      // The peer held seg 2 + FIN out of order: the head completes the
+      // stream and it acks one past the (never re-emitted) FIN.
+      {.op = Op::kIn, .note = "ack covering data + rewound FIN", .seq = 1,
+       .ack = 2 + 2 * kMssBytes},
+      {.op = Op::kExpectState, .note = "FIN acked, no livelock",
+       .state = TcpState::kFinSent},
+      {.op = Op::kIn, .note = "peer FIN", .fin = true, .seq = 1,
+       .ack = 2 + 2 * kMssBytes},
+      {.op = Op::kExpectOut, .note = "final ACK", .seq = 2 + 2 * kMssBytes,
+       .ack = 2, .payload = 0},
+      {.op = Op::kExpectClosed},
+  });
+}
+
+// Abort's RST must survive the peer's RFC 5961-style validation: ack_flag
+// with ack = rcv_nxt_, sequence at the top of everything sent (snd_nxt_ may
+// sit below the peer's rcv_nxt_ after a go-back-N rewind).
+TEST_F(TcpScriptTest, AbortRstAcksPeerAndUsesHighestSentSeq) {
+  Establish();
+  Run({
+      {.op = Op::kSend, .payload = kMssBytes},
+      {.op = Op::kExpectOut, .seq = 1, .payload = kMssBytes},
+  });
+  conn_->Abort();
+  Run({
+      {.op = Op::kExpectOut, .note = "RST carries ack and in-window seq",
+       .rst = true, .seq = 1 + kMssBytes, .ack = 1, .payload = 0},
+  });
+}
+
+// A forged same-seq segment with a different length must not relocate its
+// FIN onto the buffered out-of-order entry: the FIN would otherwise be
+// consumed at the buffered copy's (different) end sequence.
+TEST_F(TcpScriptTest, ForgedSameSeqFinDoesNotRideBufferedEntry) {
+  Establish();
+  Run({
+      {.op = Op::kIn, .note = "tail held out of order", .seq = 1001, .ack = 1,
+       .payload = 1000},
+      {.op = Op::kExpectOut, .note = "dup-ACK at the hole", .seq = 1, .ack = 1,
+       .payload = 0},
+      {.op = Op::kIn, .note = "forged same-seq shorter segment with FIN",
+       .fin = true, .seq = 1001, .ack = 1, .payload = 500},
+      {.op = Op::kExpectOut, .note = "another dup-ACK", .seq = 1, .ack = 1,
+       .payload = 0},
+      {.op = Op::kIn, .note = "hole filled", .seq = 1, .ack = 1,
+       .payload = 1000},
+      {.op = Op::kExpectOut, .note = "ack past reassembly, no FIN consumed",
+       .seq = 1, .ack = 2001, .payload = 0},
+      {.op = Op::kExpectDelivered, .payload = 2000},
+      {.op = Op::kExpectState, .note = "still open: the forged FIN is inert",
+       .state = TcpState::kEstablished},
+  });
+}
+
 TEST_F(TcpScriptTest, SynSentRstMustProveItsAck) {
   Connect();
   Run({
