@@ -18,8 +18,13 @@
 //                 (idle guests' watchdogs and timers) under 4k active timers.
 //                 Every legacy push/pop sifts through the whole cold heap;
 //                 the wheel never touches parked events until they are due.
+// Telemetry workload (new engine only): the timer shape again but bumping
+// registry counters through tagged sites, run with the dispatch profiler +
+// 1 ms MetricSampler on and off — `telemetry_overhead_percent` is the price
+// of turning continuous telemetry on (CI bounds it at 10%).
 // Macro workload (new engine only): a fig06-style multi-guest ping sweep
-// through the full hypervisor/driver-domain stack, reported as events/sec.
+// through the full hypervisor/driver-domain stack (profiled; its top-site
+// table prints after the run), reported as events/sec.
 //
 // Flags: --events=N (per micro workload), --parked=N (scale workload),
 //        --guests=N --pings=N (macro), --skip-macro.
@@ -33,6 +38,9 @@
 
 #include "bench/common.h"
 #include "bench/legacy_executor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/sampler.h"
 #include "src/sim/executor.h"
 
 namespace kite {
@@ -214,10 +222,70 @@ double RunMixed(const BenchConfig& cfg) {
   return static_cast<double>(fired) / DrainSeconds(t0);
 }
 
+// --- Telemetry overhead: the same timer workload, instrumented. -----------
+
+// 40-byte self-reposting timer that bumps a registry counter each firing and
+// reposts through a tagged site — the shape of an instrumented driver
+// callback. New engine only (the legacy one has no sites or profiler).
+struct TelemetryCb {
+  Executor* ex;
+  uint64_t* fired;
+  uint64_t limit;
+  uint64_t state;
+  Counter* counter;
+  void operator()() {
+    counter->Inc();
+    if (++*fired >= limit) {
+      return;
+    }
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    ex->PostAfter(Nanos(100 + static_cast<int64_t>((state >> 33) % 10000)),
+                  KITE_POST_SITE("bench/telemetry-timer"), *this);
+  }
+};
+
+// With `enabled` the dispatch profiler runs at its default sampling rate and
+// a MetricSampler ticks every simulated millisecond; without, both stay at
+// their pointer-test-disabled cost. Everything else — sites registered,
+// counters bumped, identical schedule — is shared, so the rate difference is
+// the price of turning telemetry on (CI keeps it loose: within 10%).
+double RunTelemetry(const BenchConfig& cfg, bool enabled) {
+  Executor ex;
+  MetricRegistry metrics;
+  SamplerParams sp;
+  sp.period = Millis(1);
+  MetricSampler sampler(&ex, &metrics, sp);
+  if (enabled) {
+    ex.EnableDispatchProfiler();
+    sampler.Start();
+  }
+  uint64_t fired = 0;
+  for (int i = 0; i < 512; ++i) {
+    ex.PostAfter(Nanos(100 + i),
+                 TelemetryCb{&ex, &fired, cfg.events, 0x9e3779b97f4a7c15ULL * (i + 1),
+                             metrics.counter("bench", "telemetry",
+                                             "c" + std::to_string(i % 8))});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  while (fired < cfg.events) {
+    ex.Step();
+  }
+  const double rate = static_cast<double>(fired) / DrainSeconds(t0);
+  if (enabled) {
+    sampler.Stop();
+  }
+  return rate;
+}
+
 // --- Macro: fig06-style multi-guest sweep on the real stack. --------------
 
-double RunMacro(int guests, int pings_per_guest, uint64_t* steps_out) {
+double RunMacro(int guests, int pings_per_guest, uint64_t* steps_out,
+                std::string* profile_table) {
   KiteSystem sys;
+  // The macro runs profiled: its dispatch-time table shows where a full-stack
+  // run spends its time, and the sampling profiler's cost is part of the
+  // honest events/sec number.
+  sys.executor().EnableDispatchProfiler();
   DriverDomainConfig config;
   config.os = OsKind::kKiteRumprun;
   NetworkDomain* netdom = sys.CreateNetworkDomain(config);
@@ -248,6 +316,7 @@ double RunMacro(int guests, int pings_per_guest, uint64_t* steps_out) {
     std::abort();
   }
   *steps_out = sys.executor().steps_executed();
+  *profile_table = FormatDispatchProfile(sys.executor());
   return static_cast<double>(*steps_out) / DrainSeconds(t0);
 }
 
@@ -346,11 +415,41 @@ int Main(int argc, char** argv) {
   std::printf("geometric-mean speedup: %.2fx\n", geo);
   report.Value("speedup", "geomean", geo);
 
+  // Telemetry overhead: the timer workload with the sampling profiler and a
+  // 1 ms MetricSampler on vs off, paired median-of-3 like the engine rounds.
+  {
+    BenchConfig warm = cfg;
+    warm.events = cfg.events / 10;
+    (void)RunTelemetry(warm, false);
+    (void)RunTelemetry(warm, true);
+    struct Pair {
+      double off, on;
+      double overhead() const { return (off / on - 1.0) * 100.0; }
+    };
+    Pair r[3];
+    for (Pair& p : r) {
+      p.off = RunTelemetry(cfg, false);
+      p.on = RunTelemetry(cfg, true);
+    }
+    if (r[0].overhead() > r[1].overhead()) std::swap(r[0], r[1]);
+    if (r[1].overhead() > r[2].overhead()) std::swap(r[1], r[2]);
+    if (r[0].overhead() > r[1].overhead()) std::swap(r[0], r[1]);
+    const Pair m = r[1];
+    std::printf("telemetry on/off: %15.0f %15.0f ev/s — overhead %+.1f%%\n", m.on,
+                m.off, m.overhead());
+    report.Value("events_per_sec", "telemetry:off", m.off);
+    report.Value("events_per_sec", "telemetry:on", m.on);
+    report.Value("telemetry_overhead_percent", "timers", m.overhead());
+  }
+
   if (!skip_macro) {
     uint64_t steps = 0;
-    const double macro = RunMacro(guests, pings, &steps);
+    std::string profile_table;
+    const double macro = RunMacro(guests, pings, &steps, &profile_table);
     std::printf("macro: %d guests x %d pings — %.0f events/s (%llu events)\n", guests,
                 pings, macro, static_cast<unsigned long long>(steps));
+    std::printf("\n---- macro dispatch profile (top 10 sites) ----\n%s",
+                profile_table.c_str());
     report.Value("events_per_sec", "wheel:macro", macro);
     report.Value("macro_events", "wheel:macro", static_cast<double>(steps));
   }

@@ -4,8 +4,11 @@
 // domains, DESIGN.md §12) under steady aggregate UDP load. Mid-run one
 // network shard is wedged to `stalled` (the stall-demo kick-swallow), the
 // health watchdog flags it, and the Rebalancer force-evacuates its guests
-// onto the healthy shards. The bench records the client-side throughput
-// time-series in 10 ms bins and reports the failover figures of merit:
+// onto the healthy shards. The client-side throughput time-series comes from
+// the MetricSampler (DESIGN.md §15): the recv callback bumps a registry
+// counter and the sampler's 10 ms ticks difference it into bins — the same
+// code path every timeline uses. The bench reports the failover figures of
+// merit:
 //
 //   pre_fault_pps      steady-state aggregate throughput before the wedge
 //   min_post_fault_pps the bottom of the dip
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/obs/profile.h"
 
 int main() {
   using namespace kite;
@@ -44,7 +48,11 @@ int main() {
   params.health.probe_period = Millis(1);
   params.health.degraded_after = Millis(5);
   params.health.stalled_after = Millis(20);
+  // One tick per bin; started manually at t0 so warmup stays out of the
+  // series (Start()'s baseline snapshot absorbs everything before it).
+  params.sampler.period = Millis(kBinMs);
   KiteSystem sys(params);
+  sys.executor().EnableDispatchProfiler();
 
   DomainPool pool(&sys);
   for (int i = 0; i < kNetShards; ++i) {
@@ -84,15 +92,15 @@ int main() {
   auto server = sys.client()->stack()->OpenUdp();
   server->Bind(9000);
   // Bins are relative to the moment the send schedule is posted (warmup and
-  // connection setup happen before t0 and are not part of the series).
-  const double t0_s = sys.Now().seconds();
-  std::vector<uint64_t> bins(kNumBins, 0);
-  server->SetRecvCallback([&](Ipv4Addr, uint16_t, const Buffer&) {
-    const int bin = static_cast<int>((sys.Now().seconds() - t0_s) * 1000.0) / kBinMs;
-    if (bin >= 0 && bin < kNumBins) {
-      ++bins[bin];
-    }
-  });
+  // connection setup happen before t0 and are not part of the series). The
+  // recv callback only counts; binning is the sampler's job. A tick lands
+  // exactly on each bin edge and dispatches before any same-instant arrival
+  // (it was posted a full period earlier), so an arrival at edge k falls in
+  // bin k — the floor semantics the hand-rolled bins had.
+  const int64_t t0_ns = sys.Now().ns();
+  Counter* rx_counter = sys.metric_registry().counter("bench", "client", "udp_rx");
+  server->SetRecvCallback(
+      [rx_counter](Ipv4Addr, uint16_t, const Buffer&) { rx_counter->Inc(); });
 
   bool paused = false;
   std::vector<std::unique_ptr<UdpSocket>> socks;
@@ -110,6 +118,7 @@ int main() {
       });
     }
   }
+  sys.sampler().Start();
 
   // The kill: quiesce the fabric for a moment, swallow the one TX kick that
   // crosses the victim's req_event, and let the watchdog do the rest.
@@ -125,7 +134,25 @@ int main() {
   sys.executor().PostAfter(Millis(kFaultMs + 6), [&] { paused = false; });
 
   sys.RunFor(Millis(kDurationMs));
+  // Freeze the series at the duration mark: arrivals after it are out of the
+  // measurement window (the old binning dropped them the same way).
+  sys.sampler().Stop();
   sys.RunUntilIdle();
+
+  // Rebuild the bins from the sampled udp_rx timeline: the tick at
+  // t0 + (k+1)·P carries bin k's delta.
+  std::vector<uint64_t> bins(kNumBins, 0);
+  for (const MetricSampler::Timeline& tl : sys.sampler().Timelines()) {
+    if (tl.key.domain != "bench" || tl.key.name != "udp_rx") {
+      continue;
+    }
+    for (const auto& [at, delta] : tl.points) {
+      const int64_t bin = (at.ns() - t0_ns) / Millis(kBinMs).ns() - 1;
+      if (bin >= 0 && bin < kNumBins) {
+        bins[static_cast<size_t>(bin)] = static_cast<uint64_t>(delta);
+      }
+    }
+  }
 
   // Figures of merit. Pre-fault window skips the first bins (ramp).
   double pre = 0;
@@ -186,6 +213,25 @@ int main() {
                static_cast<double>(sys.migrator().completed()));
   report.Counters("failover", &sys);
   if (!report.Write()) {
+    return 1;
+  }
+
+  // The full sampled run — throughput, queue/ring gauges, health states —
+  // as BENCH_timeline.json; `kite_inspect BENCH_timeline.json` renders the
+  // kill-recovery dip from this file alone.
+  BenchReport timeline_report("timeline", "bench_failover telemetry timelines");
+  timeline_report.Param("bin_ms", kBinMs);
+  timeline_report.Param("fault_ms", kFaultMs);
+  timeline_report.Param("t0_ns", static_cast<double>(t0_ns));
+  timeline_report.Timelines("failover", sys.sampler());
+  if (!timeline_report.Write()) {
+    return 1;
+  }
+
+  std::printf("\n---- dispatch profile (top 10 sites) ----\n%s",
+              FormatDispatchProfile(sys.executor()).c_str());
+  // Machine-readable twin of the table above; the CI smoke job validates it.
+  if (!WriteBenchArtifact("BENCH_profile.json", DispatchProfileJson(sys.executor()))) {
     return 1;
   }
   if (reb.evacuations() < 1) {

@@ -31,6 +31,7 @@
 #include "src/net/stack.h"
 #include "src/net/tcp.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/sim/executor.h"
 
 namespace kite {
@@ -68,7 +69,13 @@ struct PointResult {
   uint64_t retransmits = 0;
 };
 
-PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) {
+// With `report` non-null this point additionally records telemetry: per-flow
+// TCP gauges (cwnd/ssthresh/srtt) for the first few flows plus the
+// bottleneck queue depth, sampled every 1 ms into `report`'s timelines —
+// the cwnd-over-time sawtooth the congestion-control story rests on.
+PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed,
+                     BenchReport* report = nullptr) {
+  constexpr int kTracedFlows = 3;
   Executor ex;
   ex.EnableShuffle(seed);
   MetricRegistry metrics;
@@ -90,6 +97,10 @@ PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) 
   EgressQueueParams qp;
   qp.limit_frames = queue_frames;
   qp.drain_gbps = kLineGbps;
+  if (report != nullptr) {
+    qp.metrics = &metrics;
+    qp.metrics_domain = "bottleneck";
+  }
   bridge.EnablePortQueue(&ex, &server_port, qp);
 
   std::vector<std::unique_ptr<PatchIf>> client_ifs;
@@ -106,6 +117,8 @@ PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) 
     StackParams sp;
     sp.metrics = &metrics;
     sp.metrics_domain = "client" + std::to_string(i);
+    // Trace the leading flows' congestion state when telemetry is on.
+    sp.per_flow_metrics = report != nullptr && i < kTracedFlows;
     auto stack = std::make_unique<EtherStack>(&ex, nullptr, cif.get(), sp);
     const Ipv4Addr ip = Ipv4Addr::FromOctets(10, 0, 0, static_cast<uint8_t>(2 + i));
     stack->ConfigureIp(ip);
@@ -136,6 +149,21 @@ PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) 
     }
   }
 
+  // Telemetry point: sample the traced flows' congestion gauges and the
+  // bottleneck queue depth every 1 ms for the whole window.
+  SamplerParams samp;
+  samp.period = Millis(1);
+  samp.ring_points = 1024;
+  for (int i = 0; i < kTracedFlows; ++i) {
+    samp.prefixes.push_back("client" + std::to_string(i) + "/");
+  }
+  samp.prefixes.push_back("bottleneck/");
+  std::unique_ptr<MetricSampler> sampler;
+  if (report != nullptr) {
+    sampler = std::make_unique<MetricSampler>(&ex, &metrics, samp);
+    sampler->Start();
+  }
+
   // Paced application writes: per flow, offered_x_line * line / kFlows.
   const double per_flow_bps = offered_x_line * kLineGbps * 1e9 / kFlows;
   const size_t chunk =
@@ -161,6 +189,13 @@ PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) 
 
   const SimTime start = ex.Now();
   ex.RunUntil(start + kWindow);
+  if (sampler != nullptr) {
+    sampler->Stop();
+    const std::string label =
+        StrFormat("q%zu/load%.2f/seed%llu", queue_frames, offered_x_line,
+                  static_cast<unsigned long long>(seed));
+    report->Timelines(label, *sampler);
+  }
 
   PointResult r;
   uint64_t total = 0;
@@ -181,7 +216,10 @@ PointResult RunPoint(double offered_x_line, size_t queue_frames, uint64_t seed) 
   r.max_over_mean = mean > 0 ? static_cast<double>(max_bytes) / mean : 0;
   r.queue_drops = bridge.queue_drops();
   for (const auto& s : metrics.Snapshot(/*skip_zero=*/true)) {
-    if (s.key.name == "retransmits" || s.key.name == "fast_retransmits") {
+    // Counters only: with per-flow telemetry on, the same retransmits also
+    // appear as per-connection gauges and must not be double-counted.
+    if (s.kind == MetricRegistry::Kind::kCounter &&
+        (s.key.name == "retransmits" || s.key.name == "fast_retransmits")) {
       r.retransmits += static_cast<uint64_t>(s.value);
     }
   }
@@ -209,10 +247,16 @@ int main() {
 
   std::printf("%-6s %-6s %-5s %10s %10s %10s %10s %10s\n", "load", "queue",
               "seed", "goodput", "min/mean", "max/mean", "drops", "retrans");
+  // One representative overloaded point (shallow queue, at line rate,
+  // first seed) records cwnd/queue-depth timelines into the report.
+  const auto traced = [](size_t depth, double load, uint64_t seed) {
+    return depth == 64 && load == 1.0 && seed == 1;
+  };
   for (size_t depth : kDepths) {
     for (double load : kLoads) {
       for (uint64_t seed : kSeeds) {
-        const PointResult r = RunPoint(load, depth, seed);
+        const PointResult r =
+            RunPoint(load, depth, seed, traced(depth, load, seed) ? &report : nullptr);
         std::printf("%-6.2f %-6zu %-5llu %9.3f %10.3f %10.3f %10llu %10llu\n",
                     load, depth, static_cast<unsigned long long>(seed),
                     r.goodput_gbps, r.min_over_mean, r.max_over_mean,

@@ -185,6 +185,25 @@ inline LatencyHistogram HistogramFromMsSamples(const Stats& s) {
   return h;
 }
 
+// Writes an auxiliary machine-readable artifact (e.g. BENCH_profile.json,
+// already-serialized JSON) next to the BenchReport output, honouring
+// $KITE_BENCH_DIR the same way Write() does.
+inline bool WriteBenchArtifact(const std::string& filename, const std::string& content) {
+  std::string path = filename;
+  if (const char* dir = std::getenv("KITE_BENCH_DIR"); dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 class BenchReport {
  public:
   BenchReport(std::string figure, std::string title)
@@ -244,6 +263,31 @@ class BenchReport {
     }
   }
 
+  // Records every timeline a sampler captured, one row per metric series.
+  // Points are [t_ns, value] pairs; counter values are per-period deltas
+  // (see src/obs/sampler.h). `label` distinguishes runs in one figure.
+  void Timelines(const std::string& label, const MetricSampler& sampler) {
+    for (const MetricSampler::Timeline& tl : sampler.Timelines()) {
+      const std::string key = tl.key.domain + "/" + tl.key.device + "/" + tl.key.name;
+      std::string points;
+      for (size_t i = 0; i < tl.points.size(); ++i) {
+        const double v = tl.points[i].second;
+        points += StrFormat("%s[%lld,%s]", i == 0 ? "" : ",",
+                            static_cast<long long>(tl.points[i].first.ns()),
+                            v == static_cast<double>(static_cast<long long>(v))
+                                ? StrFormat("%lld", static_cast<long long>(v)).c_str()
+                                : StrFormat("%.10g", v).c_str());
+      }
+      timelines_.push_back(StrFormat(
+          "{\"label\":\"%s\",\"key\":\"%s\",\"kind\":\"%s\",\"period_ns\":%lld,"
+          "\"dropped\":%llu,\"points\":[%s]}",
+          JsonEscape(label).c_str(), JsonEscape(key).c_str(),
+          tl.kind == MetricRegistry::Kind::kCounter ? "counter" : "gauge",
+          static_cast<long long>(sampler.params().period.ns()),
+          static_cast<unsigned long long>(tl.dropped), points.c_str()));
+    }
+  }
+
   // Writes BENCH_<figure>.json; prints the path so humans can find it too.
   bool Write() const {
     std::string path = "BENCH_" + figure_ + ".json";
@@ -263,7 +307,12 @@ class BenchReport {
     AppendArray(&json, "series", series_, /*trailing_comma=*/true);
     AppendArray(&json, "latency", latency_, /*trailing_comma=*/true);
     AppendArray(&json, "stage_latency_ns", stage_latency_, /*trailing_comma=*/true);
-    AppendArray(&json, "counters", counters_, /*trailing_comma=*/false);
+    AppendArray(&json, "counters", counters_, /*trailing_comma=*/!timelines_.empty());
+    // Only present when a sampler was attached, so figures that never record
+    // timelines produce byte-identical JSON to the pre-sampler format.
+    if (!timelines_.empty()) {
+      AppendArray(&json, "timelines", timelines_, /*trailing_comma=*/false);
+    }
     json += "}\n";
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -294,6 +343,7 @@ class BenchReport {
   std::vector<std::string> latency_;
   std::vector<std::string> stage_latency_;
   std::vector<std::string> counters_;
+  std::vector<std::string> timelines_;
 };
 
 }  // namespace kite

@@ -61,7 +61,7 @@ void BlockDevice::TryStart() {
     SimTime transfer_start = bw_free_at_ > now ? bw_free_at_ : now;
     bw_free_at_ = transfer_start + transfer;
     const SimTime completion = bw_free_at_ + latency;
-    executor_->PostAt(completion,
+    executor_->PostAt(completion, KITE_POST_SITE("disk/io-complete"),
                       [this, req = std::move(req)]() mutable { Complete(std::move(req)); });
   }
 }
@@ -110,7 +110,8 @@ void BlockDevice::ReleaseHungIo() {
   std::deque<DiskRequest> revived = std::move(hung_);
   hung_.clear();
   for (DiskRequest& req : revived) {
-    executor_->Post([this, req = std::move(req)]() mutable { Complete(std::move(req)); });
+    executor_->Post(KITE_POST_SITE("disk/hung-io-release"),
+                    [this, req = std::move(req)]() mutable { Complete(std::move(req)); });
   }
 }
 

@@ -768,7 +768,8 @@ void StorageBackendDriver::ProcessDrains() {
   if (pending) {
     // Drain in progress: re-poll shortly (in-flight device ops complete on
     // simulated time, not on watch events).
-    hv_->executor()->PostAfter(Micros(50), [this, alive = alive_] {
+    hv_->executor()->PostAfter(Micros(50), KITE_POST_SITE("blkback/drain-poll"),
+                               [this, alive = alive_] {
       if (*alive) {
         watch_wake_.Signal();
       }
@@ -844,7 +845,8 @@ void StorageBackendDriver::Scan() {
           // rescan shortly; the frontend watch alone won't fire again.
           connect_retries_->Inc();
           KITE_LOG(Warning) << "blkback: failed to connect " << fe_path << ", retrying";
-          hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+          hv_->executor()->PostAfter(Millis(1), KITE_POST_SITE("blkback/connect-retry"),
+                                     [this, alive = alive_] {
             if (*alive) {
               watch_wake_.Signal();
             }

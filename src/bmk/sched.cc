@@ -22,7 +22,7 @@ void BmkSched::Park(std::coroutine_handle<> handle, SimTime at) {
   auto slot = std::make_shared<TimerSlot>();
   slot->handle = handle;
   slots_.insert(slot);
-  executor_->PostAt(at, [this, slot] {
+  executor_->PostAt(at, KITE_POST_SITE("bmk/timer-wake"), [this, slot] {
     if (slot->cancelled) {
       return;  // Scheduler destroyed; frame already reclaimed.
     }

@@ -51,6 +51,9 @@ ExploreReport RunExploreSeed(const ExploreOptions& opts) {
   params.health = opts.health;
   KiteSystem sys(params);
   sys.EnableScheduleShuffle(opts.seed);
+  // Liveness reports carry the dispatch-profile top sites: when a seed hangs,
+  // "which callback ate the window" is the first triage question.
+  sys.executor().EnableDispatchProfiler();
 
   auto phase = [&](const char* name) {
     report.phase = name;
@@ -334,6 +337,7 @@ ExploreReport RunFailoverSeed(const ExploreOptions& opts) {
   params.health.stalled_after = evacuate ? Millis(20) : Seconds(100);
   KiteSystem sys(params);
   sys.EnableScheduleShuffle(opts.seed);
+  sys.executor().EnableDispatchProfiler();
 
   auto phase = [&](const char* name) {
     report.phase = name;
@@ -401,7 +405,7 @@ ExploreReport RunFailoverSeed(const ExploreOptions& opts) {
       UdpSocket* sock = socks[gi].get();
       for (int i = 0; i < kPacketsPerPhase; ++i) {
         sys.executor().PostAfter(Micros(100) * i + Micros(static_cast<int64_t>(gi)),
-                                 [&sys, sock] {
+                                 KITE_POST_SITE("explore/udp-blast"), [&sys, sock] {
                                    sock->SendTo(sys.client_ip(), 9000, Buffer(256, 0x5c));
                                  });
         ++sent;
@@ -551,6 +555,9 @@ bool RunStallDemo(const std::string& dump_path) {
   params.health.degraded_after = Millis(5);
   params.health.stalled_after = Millis(20);
   KiteSystem sys(params);
+  // The stall dump doubles as the reference DumpDiagnostics artifact; run it
+  // profiled so its dispatch-profile section is populated.
+  sys.executor().EnableDispatchProfiler();
 
   NetworkDomain* netdom = sys.CreateNetworkDomain();
   StorageDomain* stordom = sys.CreateStorageDomain();

@@ -9,6 +9,7 @@
 // arrays of one-object-per-line rows. The parser below leans on exactly that
 // shape — it is a line scanner, not a general JSON parser, which keeps this
 // binary dependency-free (links kite_base only).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -91,9 +92,83 @@ struct StageRow {
   double count = 0, p50 = 0, p99 = 0;
 };
 
+struct TimelineRow {
+  std::string label;
+  std::string domain;
+  std::string device;
+  std::string name;
+  std::string kind;
+  double period_ns = 0;
+  std::vector<double> values;  // One per sample tick, time-ordered.
+};
+
+// Parses the "points":[[t_ns,v],...] pair list on a timeline row.
+void ParsePoints(const std::string& line, TimelineRow* row) {
+  const size_t at = line.find("\"points\":[");
+  if (at == std::string::npos) {
+    return;
+  }
+  const char* p = line.c_str() + at + std::strlen("\"points\":[");
+  while (*p != '\0' && *p != ']') {
+    if (*p == '[') {
+      char* end = nullptr;
+      std::strtod(p + 1, &end);  // Timestamp: implied by index * period.
+      if (end == nullptr || *end != ',') {
+        return;
+      }
+      row->values.push_back(std::strtod(end + 1, &end));
+      p = end;
+      while (*p == ']') {
+        ++p;  // Closes this pair; the loop's outer ']' closes the list.
+      }
+      if (*p == ',') {
+        ++p;
+      }
+    } else {
+      ++p;
+    }
+  }
+}
+
+// An 8-level Unicode block-bar sparkline, min..max scaled. Long series are
+// resampled down to `width` buckets (max within each bucket, so a one-tick
+// dip or spike always survives the resample).
+std::string Sparkline(const std::vector<double>& values, size_t width = 48) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return "";
+  }
+  std::vector<double> v;
+  if (values.size() <= width) {
+    v = values;
+  } else {
+    for (size_t b = 0; b < width; ++b) {
+      const size_t begin = b * values.size() / width;
+      const size_t end = std::max(begin + 1, (b + 1) * values.size() / width);
+      double m = values[begin];
+      for (size_t i = begin; i < end && i < values.size(); ++i) {
+        m = std::max(m, values[i]);
+      }
+      v.push_back(m);
+    }
+  }
+  double lo = v[0], hi = v[0];
+  for (double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::string out;
+  for (double x : v) {
+    const double norm = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+    out += kBlocks[std::min<size_t>(7, static_cast<size_t>(norm * 7.999))];
+  }
+  return out;
+}
+
 // Splits "domain/device/name" (device may contain no '/', the key always has
 // exactly two separators by construction).
-bool SplitKey(const std::string& key, CounterRow* row) {
+bool SplitKey3(const std::string& key, std::string* domain, std::string* device,
+               std::string* name) {
   const size_t a = key.find('/');
   if (a == std::string::npos) {
     return false;
@@ -102,10 +177,14 @@ bool SplitKey(const std::string& key, CounterRow* row) {
   if (b == std::string::npos) {
     return false;
   }
-  row->domain = key.substr(0, a);
-  row->device = key.substr(a + 1, b - a - 1);
-  row->name = key.substr(b + 1);
+  *domain = key.substr(0, a);
+  *device = key.substr(a + 1, b - a - 1);
+  *name = key.substr(b + 1);
   return true;
+}
+
+bool SplitKey(const std::string& key, CounterRow* row) {
+  return SplitKey3(key, &row->domain, &row->device, &row->name);
 }
 
 int InspectBenchJson(const std::string& path, std::ifstream& in) {
@@ -114,7 +193,8 @@ int InspectBenchJson(const std::string& path, std::ifstream& in) {
   std::vector<std::string> series, latency;
   std::vector<CounterRow> counters;
   std::vector<StageRow> stages;
-  enum Section { kNone, kSeries, kLatency, kStage, kCounters } section = kNone;
+  std::vector<TimelineRow> timelines;
+  enum Section { kNone, kSeries, kLatency, kStage, kCounters, kTimelines } section = kNone;
   while (std::getline(in, line)) {
     if (line.find("\"figure\":") != std::string::npos) {
       figure = FieldStr(line, "figure");
@@ -136,6 +216,8 @@ int InspectBenchJson(const std::string& path, std::ifstream& in) {
       section = kStage;
     } else if (line.find("\"counters\": [") != std::string::npos) {
       section = kCounters;
+    } else if (line.find("\"timelines\": [") != std::string::npos) {
+      section = kTimelines;
     } else if (line.find('{') != std::string::npos && section != kNone) {
       switch (section) {
         case kSeries:
@@ -172,6 +254,17 @@ int InspectBenchJson(const std::string& path, std::ifstream& in) {
           }
           break;
         }
+        case kTimelines: {
+          TimelineRow t;
+          t.label = FieldStr(line, "label");
+          t.kind = FieldStr(line, "kind");
+          t.period_ns = FieldNum(line, "period_ns");
+          if (SplitKey3(FieldStr(line, "key"), &t.domain, &t.device, &t.name)) {
+            ParsePoints(line, &t);
+            timelines.push_back(std::move(t));
+          }
+          break;
+        }
         case kNone:
           break;
       }
@@ -193,6 +286,79 @@ int InspectBenchJson(const std::string& path, std::ifstream& in) {
     std::printf("-- workload latency --\n");
     for (const std::string& s : latency) {
       std::printf("  %s\n", s.c_str());
+    }
+  }
+
+  // Sampled timelines (DESIGN.md §15): per domain, the few series that moved
+  // the most as sparklines, then the biggest movers across the whole run.
+  if (!timelines.empty()) {
+    struct Ranked {
+      const TimelineRow* row;
+      double lo = 0, hi = 0, range = 0, rel = 0;
+    };
+    auto rank = [](const TimelineRow& t) {
+      Ranked r{&t};
+      if (t.values.empty()) {
+        return r;
+      }
+      r.lo = r.hi = t.values[0];
+      for (double v : t.values) {
+        r.lo = std::min(r.lo, v);
+        r.hi = std::max(r.hi, v);
+      }
+      r.range = r.hi - r.lo;
+      const double scale = std::max(std::max(r.hi, -r.lo), 1e-12);
+      r.rel = r.range / scale;
+      return r;
+    };
+    auto moves_more = [](const Ranked& a, const Ranked& b) {
+      if (a.rel != b.rel) {
+        return a.rel > b.rel;
+      }
+      if (a.range != b.range) {
+        return a.range > b.range;
+      }
+      return a.row->device + "/" + a.row->name < b.row->device + "/" + b.row->name;
+    };
+    std::map<std::string, std::vector<Ranked>> by_domain;
+    for (const TimelineRow& t : timelines) {
+      by_domain[t.domain].push_back(rank(t));
+    }
+    std::printf("-- timelines: %zu series, %.10g ms/tick --\n", timelines.size(),
+                timelines[0].period_ns / 1e6);
+    constexpr size_t kPerDomain = 3;
+    for (auto& [domain, rows] : by_domain) {
+      std::sort(rows.begin(), rows.end(), moves_more);
+      std::printf("  %s (%zu series)\n", domain.c_str(), rows.size());
+      for (size_t i = 0; i < rows.size() && i < kPerDomain; ++i) {
+        const Ranked& r = rows[i];
+        std::printf("    %-34s %s min=%s max=%s last=%s\n",
+                    (r.row->device + "/" + r.row->name).c_str(),
+                    Sparkline(r.row->values).c_str(), HumanCount(r.lo).c_str(),
+                    HumanCount(r.hi).c_str(),
+                    HumanCount(r.row->values.empty() ? 0 : r.row->values.back()).c_str());
+      }
+      if (rows.size() > kPerDomain) {
+        std::printf("    (+%zu more series)\n", rows.size() - kPerDomain);
+      }
+    }
+    std::vector<Ranked> movers;
+    for (const auto& [domain, rows] : by_domain) {
+      for (const Ranked& r : rows) {
+        if (r.row->values.size() >= 2 && r.range > 0) {
+          movers.push_back(r);
+        }
+      }
+    }
+    std::sort(movers.begin(), movers.end(), moves_more);
+    if (!movers.empty()) {
+      std::printf("-- top movers --\n");
+      for (size_t i = 0; i < movers.size() && i < 10; ++i) {
+        const Ranked& r = movers[i];
+        std::printf("  %-40s swing %3.0f%%  %s\n",
+                    (r.row->domain + "/" + r.row->device + "/" + r.row->name).c_str(),
+                    100.0 * r.rel, Sparkline(r.row->values, 32).c_str());
+      }
     }
   }
 

@@ -164,7 +164,8 @@ bool MigrationEngine::Relink(Move* m) {
 }
 
 void MigrationEngine::SchedulePoll(const Key& key) {
-  sys_->executor().PostAfter(PollInterval(), [this, key, alive = alive_] {
+  sys_->executor().PostAfter(PollInterval(), KITE_POST_SITE("migrate/poll"),
+                             [this, key, alive = alive_] {
     if (*alive) {
       Poll(key);
     }

@@ -59,7 +59,8 @@ void Rebalancer::OnTransition(int32_t dom, const std::string& device,
   }
   // The callback runs inside the monitor's probe: defer every reaction, and
   // re-verify state at fire time (it may have changed again by then).
-  sys_->executor().Post([this, alive = alive_, dom, net, new_state] {
+  sys_->executor().Post(KITE_POST_SITE("rebalance/health-react"),
+                        [this, alive = alive_, dom, net, new_state] {
     if (!*alive) {
       return;
     }
@@ -95,6 +96,7 @@ void Rebalancer::HandleDegraded(DomId dom, bool net) {
   }
   ctl.hysteresis_armed = true;
   sys_->executor().PostAfter(params_.degraded_hysteresis,
+                             KITE_POST_SITE("rebalance/hysteresis"),
                              [this, alive = alive_, dom] {
                                if (*alive) {
                                  ConfirmDegraded(dom);
@@ -261,7 +263,9 @@ void Rebalancer::HandleStalled(DomId dom) {
   const SimTime now = sys_->executor().Now();
   if (now < ctl.next_allowed) {
     backoff_defers_->Inc();
-    sys_->executor().PostAfter(ctl.next_allowed - now, [this, alive = alive_, dom] {
+    sys_->executor().PostAfter(ctl.next_allowed - now,
+                               KITE_POST_SITE("rebalance/backoff-retry"),
+                               [this, alive = alive_, dom] {
       if (!*alive) {
         return;
       }

@@ -1,6 +1,7 @@
 #include "src/core/system.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -8,11 +9,13 @@
 #include "src/base/strings.h"
 #include "src/core/invariants.h"
 #include "src/core/migrate.h"
+#include "src/obs/profile.h"
 
 namespace kite {
 
 KiteSystem::KiteSystem(Params params)
     : params_(params),
+      sampler_(&executor_, &metrics_, params_.sampler),
       recorder_(&executor_),
       health_(&executor_, &metrics_, &recorder_, params_.health),
       faults_(params_.fault_seed, &metrics_) {
@@ -43,12 +46,40 @@ KiteSystem::KiteSystem(Params params)
     trace_env_path_ = path;
     EnableTracing();
   }
+  if (const char* path = std::getenv("KITE_TIMELINE");
+      path != nullptr && path[0] != '\0') {
+    timeline_env_path_ = path;
+  }
+  if (params_.sampler.enabled || !timeline_env_path_.empty()) {
+    sampler_.Start();
+  }
+  if (const char* path = std::getenv("KITE_PROFILE");
+      path != nullptr && path[0] != '\0') {
+    profile_env_path_ = path;
+    executor_.EnableDispatchProfiler();
+  }
 }
 
 KiteSystem::~KiteSystem() {
   SetFatalHandler(std::move(prev_fatal_));
   if (!trace_env_path_.empty()) {
     DumpTrace(trace_env_path_);
+  }
+  if (!timeline_env_path_.empty()) {
+    std::ofstream out(timeline_env_path_);
+    if (out) {
+      out << sampler_.ToJson();
+    } else {
+      KITE_LOG(Warning) << "cannot write timeline to " << timeline_env_path_;
+    }
+  }
+  if (!profile_env_path_.empty()) {
+    std::ofstream out(profile_env_path_);
+    if (out) {
+      out << DispatchProfileJson(executor_);
+    } else {
+      KITE_LOG(Warning) << "cannot write dispatch profile to " << profile_env_path_;
+    }
   }
 }
 
@@ -78,6 +109,7 @@ void KiteSystem::DumpDiagnostics(std::ostream& out) {
     out << InvariantChecker::Format(violations);
   }
   out << "---- metrics ----\n" << FormatMetrics();
+  out << "---- dispatch profile ----\n" << FormatDispatchProfile(executor_);
   out << "==== END KITE DIAGNOSTICS ====\n";
   out.flush();
 }
@@ -150,7 +182,8 @@ void KiteSystem::BootDomain(Domain* dom, const OsProfile* os,
   for (const BootPhase& phase : os->boot_phases) {
     total += phase.duration;
   }
-  executor_.PostAfter(total, [dom, on_booted = std::move(on_booted)] {
+  executor_.PostAfter(total, KITE_POST_SITE("system/boot-complete"),
+                      [dom, on_booted = std::move(on_booted)] {
     dom->set_online(true);
     on_booted();
   });

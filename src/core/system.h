@@ -33,6 +33,7 @@
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/os/profile.h"
 
@@ -151,6 +152,11 @@ class KiteSystem {
     // bytes) into the registry. Off by default so metric snapshots of
     // TCP-free configurations stay byte-identical to historical output.
     bool tcp_metrics = false;
+    // Continuous registry sampling into per-metric timelines (DESIGN.md
+    // §15). Off by default; sampler.enabled starts the daemon tick at
+    // construction. Enabling never perturbs the schedule: the tick is a
+    // daemon event and draws no shuffle ties.
+    SamplerParams sampler;
   };
 
   KiteSystem() : KiteSystem(Params{}) {}
@@ -187,6 +193,10 @@ class KiteSystem {
   // published health verdict — what an operator's `xenstore-ls` would show.
   std::string FormatPlacement();
   EventTracer& tracer() { return tracer_; }
+  // The registry sampler (armed at construction when Params::sampler.enabled
+  // or KITE_TIMELINE=<path> is set; the latter also dumps ToJson() to <path>
+  // at destruction, mirroring KITE_TRACE).
+  MetricSampler& sampler() { return sampler_; }
   // Tracing is compiled in but off by default; when off the per-event cost
   // is a single branch. Setting KITE_TRACE=<path> in the environment enables
   // tracing at construction and dumps to <path> on destruction, so any
@@ -321,6 +331,8 @@ class KiteSystem {
   // Declared before faults_/hv_: both register their counters here.
   MetricRegistry metrics_;
   EventTracer tracer_;
+  // After executor_/metrics_ (it reads both).
+  MetricSampler sampler_;
   // Declared before faults_/hv_ (which record into it) and after executor_/
   // metrics_ (which it reads).
   FlightRecorder recorder_;
@@ -350,6 +362,10 @@ class KiteSystem {
   // Non-empty when KITE_TRACE=<path> was set at construction; the trace is
   // dumped there on destruction.
   std::string trace_env_path_;
+  // Same idiom for KITE_TIMELINE (sampler JSON) and KITE_PROFILE (dispatch
+  // profile JSON).
+  std::string timeline_env_path_;
+  std::string profile_env_path_;
 };
 
 }  // namespace kite

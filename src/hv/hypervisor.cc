@@ -291,7 +291,8 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   pinfo->pending = true;
   DomId peer_id = peer->id();
   EvtPort peer_port = info->peer_port;
-  executor_->PostAfter(costs_.event_delivery, [this, peer_id, peer_port] {
+  executor_->PostAfter(costs_.event_delivery, KITE_POST_SITE("hv/evtchn-notify"),
+                       [this, peer_id, peer_port] {
     Domain* d = domain(peer_id);
     Domain::PortInfo* pi = PortOf(d, peer_port);
     if (pi == nullptr) {
@@ -463,7 +464,8 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
     return;
   }
   DomId owner_id = owner->id();
-  executor_->PostAfter(costs_.event_delivery, [this, device, owner_id] {
+  executor_->PostAfter(costs_.event_delivery, KITE_POST_SITE("hv/pci-irq"),
+                       [this, device, owner_id] {
     Domain* d = domain(owner_id);
     if (d == nullptr || device->owner_ != d) {
       return;

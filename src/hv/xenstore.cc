@@ -186,7 +186,8 @@ WatchId XenStore::AddWatch(DomId caller, const std::string& prefix, const std::s
 void XenStore::PostWatchEvent(WatchId id, const std::string& path) {
   // The callback is resolved at *fire* time: a watch removed while the event
   // was in flight (e.g. its owner was destroyed) silently expires.
-  executor_->PostAfter(op_latency_, [this, id, path] {
+  executor_->PostAfter(op_latency_, KITE_POST_SITE("xenstore/watch-fire"),
+                       [this, id, path] {
     for (const Watch& w : watches_) {
       if (w.id == id) {
         w.fn(path, w.token);

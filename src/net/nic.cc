@@ -73,7 +73,7 @@ void Nic::Transmit(const EthernetFrame& frame) {
   ++tx_inflight_;
   const SimTime arrival = tx_free_at_ + params_.propagation;
   Nic* peer = peer_;
-  executor_->PostAt(arrival, [this, peer, frame] {
+  executor_->PostAt(arrival, KITE_POST_SITE("nic/wire-arrival"), [this, peer, frame] {
     --tx_inflight_;
     peer->Arrive(frame);
   });
@@ -104,7 +104,8 @@ void Nic::ScheduleRxDrain() {
     return;
   }
   rx_drain_scheduled_ = true;
-  executor_->PostAfter(params_.irq_latency, [this] { DrainRx(); });
+  executor_->PostAfter(params_.irq_latency, KITE_POST_SITE("nic/rx-irq"),
+                       [this] { DrainRx(); });
 }
 
 void Nic::DrainRx() {

@@ -10,7 +10,14 @@ EgressQueue::EgressQueue(Executor* executor, NetIf* port, EgressQueueParams para
       port_(port),
       params_(params),
       policy_(policy != nullptr ? std::move(policy)
-                                : std::make_unique<DropTailPolicy>()) {}
+                                : std::make_unique<DropTailPolicy>()) {
+  if (params_.metrics != nullptr) {
+    const std::string device =
+        params_.metrics_device.empty() ? port_->ifname() : params_.metrics_device;
+    depth_gauge_ = params_.metrics->gauge(params_.metrics_domain, device, "depth_frames");
+    drop_counter_ = params_.metrics->counter(params_.metrics_domain, device, "queue_drops");
+  }
+}
 
 EgressQueue::~EgressQueue() { *alive_ = false; }
 
@@ -23,9 +30,15 @@ bool EgressQueue::Offer(const EthernetFrame& frame) {
   }
   if (policy_->ShouldDrop(queue_.size(), params_.limit_frames, frame.WireBytes())) {
     ++dropped_;
+    if (drop_counter_ != nullptr) {
+      drop_counter_->Inc();
+    }
     return false;
   }
   queue_.push_back(frame);
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
   const SimTime now = executor_->Now();
   if (!drain_scheduled_) {
     ScheduleDrain(busy_until_ > now ? busy_until_ : now);
@@ -35,7 +48,7 @@ bool EgressQueue::Offer(const EthernetFrame& frame) {
 
 void EgressQueue::ScheduleDrain(SimTime at) {
   drain_scheduled_ = true;
-  executor_->PostAt(at, [this, alive = alive_] {
+  executor_->PostAt(at, KITE_POST_SITE("net/queue-drain"), [this, alive = alive_] {
     if (!*alive) {
       return;
     }
@@ -45,6 +58,9 @@ void EgressQueue::ScheduleDrain(SimTime at) {
     }
     EthernetFrame frame = std::move(queue_.front());
     queue_.pop_front();
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
     const double bits = static_cast<double>(frame.WireBytes()) * 8.0;
     busy_until_ =
         executor_->Now() + Nanos(static_cast<int64_t>(bits / params_.drain_gbps));

@@ -18,8 +18,10 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "src/net/netif.h"
+#include "src/obs/metrics.h"
 #include "src/sim/executor.h"
 
 namespace kite {
@@ -50,6 +52,13 @@ struct EgressQueueParams {
   size_t limit_frames = 0;
   // Serialization rate of the port while queueing is enabled.
   double drain_gbps = 10.0;
+  // Optional registry instrumentation: publishes `depth_frames` (gauge) and
+  // `queue_drops` (counter) under (metrics_domain, metrics_device) so the
+  // metric sampler can record the queue's occupancy over time. Null = the
+  // historical untracked queue.
+  MetricRegistry* metrics = nullptr;
+  std::string metrics_domain = "net";
+  std::string metrics_device;  // Defaults to the port's name.
 };
 
 // A bounded egress queue in front of a NetIf. Frames admitted by the policy
@@ -87,6 +96,9 @@ class EgressQueue {
   bool drain_scheduled_ = false;
   uint64_t forwarded_ = 0;
   uint64_t dropped_ = 0;
+  // Registry handles (null without EgressQueueParams::metrics).
+  Gauge* depth_gauge_ = nullptr;
+  Counter* drop_counter_ = nullptr;
   // Drain events capture this flag; a destroyed queue (port removed from the
   // bridge mid-run) turns them into no-ops.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -98,7 +98,8 @@ void EtherStack::Ping(Ipv4Addr dst, size_t payload_bytes,
   packet.l4 = std::move(icmp);
   SendIp(std::move(packet));
 
-  executor_->PostAfter(timeout, [this, seq, pending, timeout] {
+  executor_->PostAfter(timeout, KITE_POST_SITE("stack/ping-timeout"),
+                       [this, seq, pending, timeout] {
     if (!pending->done) {
       pending->done = true;
       pending_pings_.erase(seq);
@@ -346,7 +347,8 @@ void EtherStack::RemoveConn(TcpConn* conn) {
   // callbacks.
   std::unique_ptr<TcpConn> doomed = std::move(it->second);
   conns_.erase(it);
-  executor_->Post([doomed = std::shared_ptr<TcpConn>(std::move(doomed))] {});
+  executor_->Post(KITE_POST_SITE("stack/conn-reap"),
+                  [doomed = std::shared_ptr<TcpConn>(std::move(doomed))] {});
 }
 
 }  // namespace kite

@@ -557,7 +557,8 @@ void TcpConn::ScheduleDelayedAck() {
     return;
   }
   delayed_ack_armed_ = true;
-  stack_->executor()->PostAfter(Micros(100), [this, alive = alive_] {
+  stack_->executor()->PostAfter(Micros(100), KITE_POST_SITE("tcp/delayed-ack"),
+                                [this, alive = alive_] {
     if (!*alive) {
       return;
     }
@@ -571,7 +572,8 @@ void TcpConn::ScheduleDelayedAck() {
 void TcpConn::ArmRto() {
   ++rto_generation_;
   rto_armed_ = true;
-  stack_->executor()->PostAfter(rto_, [this, alive = alive_, gen = rto_generation_] {
+  stack_->executor()->PostAfter(rto_, KITE_POST_SITE("tcp/rto"),
+                                [this, alive = alive_, gen = rto_generation_] {
     if (*alive) {
       OnRto(gen);
     }

@@ -746,7 +746,8 @@ void NetworkBackendDriver::ProcessDrains() {
   if (pending) {
     // Drain in progress: re-poll shortly (the worker threads make progress
     // on simulated time, not on watch events).
-    hv_->executor()->PostAfter(Micros(50), [this, alive = alive_] {
+    hv_->executor()->PostAfter(Micros(50), KITE_POST_SITE("netback/drain-poll"),
+                               [this, alive = alive_] {
       if (*alive) {
         watch_wake_.Signal();
       }
@@ -813,7 +814,8 @@ void NetworkBackendDriver::ScanForFrontends() {
         // the device dead with kClosed.
         connect_retries_->Inc();
         KITE_LOG(Warning) << "netback: failed to connect " << fe_path << ", retrying";
-        hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+        hv_->executor()->PostAfter(Millis(1), KITE_POST_SITE("netback/connect-retry"),
+                                   [this, alive = alive_] {
           if (*alive) {
             watch_wake_.Signal();
           }

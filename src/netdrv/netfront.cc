@@ -176,7 +176,8 @@ void Netfront::OnToolstackRelink() {
     }
     // The key exists but the read failed (fault injection): a missed relink
     // would strand the guest, so retry until the write is visible.
-    hv_->executor()->PostAfter(Millis(1), [this, alive = alive_] {
+    hv_->executor()->PostAfter(Millis(1), KITE_POST_SITE("netfront/relink-retry"),
+                               [this, alive = alive_] {
       if (*alive) {
         OnToolstackRelink();
       }

@@ -73,12 +73,14 @@ void HealthMonitor::Start() {
     return;
   }
   started_ = true;
-  executor_->PostDaemonAfter(params_.probe_period, [this] { Tick(); });
+  executor_->PostDaemonAfter(params_.probe_period, KITE_POST_SITE("health/probe"),
+                             [this] { Tick(); });
 }
 
 void HealthMonitor::Tick() {
   Probe();
-  executor_->PostDaemonAfter(params_.probe_period, [this] { Tick(); });
+  executor_->PostDaemonAfter(params_.probe_period, KITE_POST_SITE("health/probe"),
+                             [this] { Tick(); });
 }
 
 void HealthMonitor::ProbeNow() { Probe(); }

@@ -233,7 +233,8 @@ void DhcpServer::Reply(const DhcpMessage& reply) {
   // the CPU-completion time of the daemon's processing.
   const SimTime when = stack_->vcpu() != nullptr ? stack_->vcpu()->free_at()
                                                  : stack_->executor()->Now();
-  stack_->executor()->PostAt(when, [this, alive = alive_, bytes = SerializeDhcp(reply)] {
+  stack_->executor()->PostAt(when, KITE_POST_SITE("dhcp/reply"),
+                             [this, alive = alive_, bytes = SerializeDhcp(reply)] {
     if (*alive) {
       sock_->SendTo(Ipv4Addr::Broadcast(), kClientPort, bytes);
     }
@@ -272,7 +273,8 @@ void PerfDhcp::StartClient(int index) {
   discover.chaddr = state.mac;
   sock_->SendTo(Ipv4Addr::Broadcast(), kServerPort, SerializeDhcp(discover));
 
-  client_->executor()->PostAfter(spacing_, [this, index] { StartClient(index + 1); });
+  client_->executor()->PostAfter(spacing_, KITE_POST_SITE("dhcp/client-stagger"),
+                                 [this, index] { StartClient(index + 1); });
 }
 
 void PerfDhcp::OnReply(const Buffer& payload) {

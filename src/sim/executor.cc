@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <deque>
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
@@ -10,6 +12,19 @@ namespace kite {
 namespace {
 
 constexpr size_t kEventsPerChunk = 256;
+
+// Process-global dispatch-site registry. A deque so interned DispatchSite
+// pointers stay stable as sites register; leaked on purpose (sites are
+// consulted during static destruction by executors dying at exit).
+std::deque<DispatchSite>& SiteRegistry() {
+  static std::deque<DispatchSite>* sites = [] {
+    auto* s = new std::deque<DispatchSite>();
+    s->push_back(DispatchSite{"(untagged)", kDispatchSiteUntagged});
+    s->push_back(DispatchSite{"(coroutine)", kDispatchSiteCoroutine});
+    return s;
+  }();
+  return *sites;
+}
 
 // Heap comparator for the overflow min-heap: true when a fires *later* than
 // b (std::push_heap builds a max-heap w.r.t. the comparator).
@@ -42,6 +57,24 @@ struct EventEarlier {
 };
 
 }  // namespace
+
+const DispatchSite* RegisterDispatchSite(const char* label) {
+  auto& reg = SiteRegistry();
+  for (const DispatchSite& site : reg) {
+    if (std::strcmp(site.label, label) == 0) {
+      return &site;
+    }
+  }
+  reg.push_back(DispatchSite{label, static_cast<uint32_t>(reg.size())});
+  return &reg.back();
+}
+
+const char* DispatchSiteLabel(uint32_t index) {
+  auto& reg = SiteRegistry();
+  return index < reg.size() ? reg[index].label : "(unknown)";
+}
+
+size_t DispatchSiteCount() { return SiteRegistry().size(); }
 
 Executor::~Executor() {
   // Drain-and-destroy until nothing is left. A coroutine frame (or callback
@@ -105,13 +138,15 @@ Executor::Event* Executor::NewEvent(SimTime when, bool daemon) {
   // Future events draw a shuffled tie; events due *now* keep seq so the
   // Post() FIFO contract ("after already-queued same-time events") holds in
   // shuffle mode too. With shuffle off, tie == seq always — byte-identical
-  // schedules to the pre-wheel executor.
-  ev->tie = (shuffle_ && when > now_) ? shuffle_rng_.NextU64() : ev->seq;
+  // schedules to the pre-wheel executor. Daemon events never draw: telemetry
+  // housekeeping must not shift the RNG stream real events see (header).
+  ev->tie = (shuffle_ && !daemon && when > now_) ? shuffle_rng_.NextU64() : ev->seq;
   ev->next = nullptr;
   ev->coro = nullptr;
   ev->invoke = nullptr;
   ev->destroy = nullptr;
   ev->daemon = daemon;
+  ev->site = kDispatchSiteUntagged;
   return ev;
 }
 
@@ -294,6 +329,10 @@ void Executor::DispatchOne(Event* ev) {
   }
   now_ = ev->at;
   ++steps_;
+  if (profile_ != nullptr) [[unlikely]] {
+    ProfiledDispatch(ev);
+    return;
+  }
   if (ev->coro) {
     ev->coro.resume();
   } else {
@@ -303,6 +342,81 @@ void Executor::DispatchOne(Event* ev) {
     }
   }
   FreeEvent(ev);
+}
+
+void Executor::ProfiledDispatch(Event* ev) {
+  ProfileState& p = *profile_;
+  const uint32_t site = ev->coro ? kDispatchSiteCoroutine : ev->site;
+  if (site >= p.stats.size()) {
+    p.stats.resize(std::max<size_t>(site + 1, DispatchSiteCount()));
+  }
+  SiteStat& stat = p.stats[site];
+  ++stat.invocations;
+  const bool timed = (p.dispatch_counter++ & p.sample_mask) == 0;
+  std::chrono::steady_clock::time_point t0;
+  if (timed) {
+    t0 = std::chrono::steady_clock::now();
+  }
+  if (ev->coro) {
+    ev->coro.resume();
+  } else {
+    ev->invoke(ev);
+    if (ev->destroy != nullptr) {
+      ev->destroy(ev);
+    }
+  }
+  if (timed) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    stat.sampled_wall_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    ++stat.samples;
+  }
+  FreeEvent(ev);
+}
+
+void Executor::EnableDispatchProfiler() {
+  if (profile_ == nullptr) {
+    profile_ = std::make_unique<ProfileState>();
+  }
+  profile_->sample_mask = (uint64_t{1} << profile_sample_shift_) - 1;
+}
+
+std::vector<DispatchProfileEntry> Executor::DispatchProfile() const {
+  std::vector<DispatchProfileEntry> out;
+  if (profile_ == nullptr) {
+    return out;
+  }
+  for (uint32_t i = 0; i < profile_->stats.size(); ++i) {
+    const SiteStat& s = profile_->stats[i];
+    if (s.invocations == 0) {
+      continue;
+    }
+    DispatchProfileEntry e;
+    e.label = DispatchSiteLabel(i);
+    e.invocations = s.invocations;
+    e.samples = s.samples;
+    e.sampled_wall_ns = s.sampled_wall_ns;
+    // Scale sampled time up to the full population. With shift 0 every
+    // dispatch is timed and est == sampled exactly.
+    e.est_wall_ns =
+        s.samples == 0
+            ? 0
+            : static_cast<uint64_t>(static_cast<double>(s.sampled_wall_ns) *
+                                    static_cast<double>(s.invocations) /
+                                    static_cast<double>(s.samples));
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DispatchProfileEntry& a, const DispatchProfileEntry& b) {
+              if (a.est_wall_ns != b.est_wall_ns) {
+                return a.est_wall_ns > b.est_wall_ns;
+              }
+              if (a.invocations != b.invocations) {
+                return a.invocations > b.invocations;
+              }
+              return std::strcmp(a.label, b.label) < 0;
+            });
+  return out;
 }
 
 bool Executor::Step() {

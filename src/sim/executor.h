@@ -28,6 +28,21 @@
 // before events queued earlier at the same instant, breaking callers (wake
 // ordering in WaitChannel, response-before-wake in the backends) that rely
 // on "post now" meaning "after everything already due now".
+//
+// Daemon events are likewise exempt from shuffle tie randomization: they
+// never consume a draw from the shuffle RNG. Housekeeping (the health
+// watchdog probe, the metric sampler tick) must not perturb schedule
+// exploration — arming or disarming a daemon would otherwise shift the RNG
+// stream seen by every later real event and change which interleavings a
+// given seed reaches. With this rule, telemetry on/off leaves shuffled
+// schedules bit-identical.
+//
+// Dispatch profiler (DESIGN.md §15): posting sites can be tagged with a
+// static KITE_POST_SITE("label") id; when the profiler is enabled the
+// executor accumulates per-site invocation counts and (sampled) wall-clock
+// dispatch time in DispatchOne. All bookkeeping is host-side — it never
+// touches simulated time or event ordering — and the disabled cost is one
+// pointer test per dispatch, the same gating contract as tracing.
 #ifndef SRC_SIM_EXECUTOR_H_
 #define SRC_SIM_EXECUTOR_H_
 
@@ -46,6 +61,49 @@
 #include "src/sim/time.h"
 
 namespace kite {
+
+// A tagged event-posting site. Registered once per source location via
+// KITE_POST_SITE; the dense index keys the executor's per-site dispatch
+// statistics. Labels with the same text share one site (templated or macro-
+// stamped code collapses into a single row).
+struct DispatchSite {
+  const char* label;
+  uint32_t index;
+};
+
+// Built-in site indices: events posted through an untagged overload, and
+// coroutine resumptions (which carry no callsite).
+inline constexpr uint32_t kDispatchSiteUntagged = 0;
+inline constexpr uint32_t kDispatchSiteCoroutine = 1;
+
+// Interns `label` in the process-global site registry, returning a stable
+// pointer. Idempotent per label text. Not thread-safe — the simulator is
+// single-threaded by construction.
+const DispatchSite* RegisterDispatchSite(const char* label);
+// Label for a registered index ("(untagged)" / "(coroutine)" for builtins).
+const char* DispatchSiteLabel(uint32_t index);
+size_t DispatchSiteCount();
+
+// Tags a posting site: KITE_POST_SITE("netback/tx-complete"). Registration
+// happens once (function-local static); afterwards the macro is a load.
+#define KITE_POST_SITE(label_text)                                          \
+  ([]() -> const ::kite::DispatchSite* {                                    \
+    static const ::kite::DispatchSite* kite_site =                          \
+        ::kite::RegisterDispatchSite(label_text);                           \
+    return kite_site;                                                       \
+  }())
+
+// One row of the dispatch profile. `est_wall_ns` scales the sampled time up
+// to the full invocation count (== sampled_wall_ns when every dispatch is
+// timed, i.e. sample shift 0). Counts are exact and deterministic; wall
+// times are host-clock measurements and vary run to run.
+struct DispatchProfileEntry {
+  const char* label;
+  uint64_t invocations = 0;
+  uint64_t samples = 0;
+  uint64_t sampled_wall_ns = 0;
+  uint64_t est_wall_ns = 0;
+};
 
 class Executor {
  public:
@@ -87,6 +145,29 @@ class Executor {
     PostAt(now_, std::forward<Fn>(fn));
   }
 
+  // Site-tagged variants: identical scheduling semantics, but the event
+  // carries the site's index so the dispatch profiler can attribute its
+  // wall-clock cost. `site` comes from KITE_POST_SITE and must outlive the
+  // executor (it always does: the registry is process-global).
+  template <typename Fn>
+  void PostAt(SimTime when, const DispatchSite* site, Fn&& fn) {
+    Event* ev = NewEvent(when, /*daemon=*/false);
+    ev->site = site->index;
+    InstallCallback(ev, std::forward<Fn>(fn));
+    Insert(ev);
+  }
+  template <typename Fn>
+  void PostAfter(SimDuration delay, const DispatchSite* site, Fn&& fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostAt(now_ + delay, site, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void Post(const DispatchSite* site, Fn&& fn) {
+    PostAt(now_, site, std::forward<Fn>(fn));
+  }
+
   // Daemon events: background housekeeping (the health watchdog's periodic
   // probe) that must not keep the simulation alive. They fire like normal
   // events while anything else is scheduled, but idle()/RunUntilIdle count
@@ -105,6 +186,20 @@ class Executor {
       delay = SimDuration(0);
     }
     PostDaemonAt(now_ + delay, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void PostDaemonAt(SimTime when, const DispatchSite* site, Fn&& fn) {
+    Event* ev = NewEvent(when, /*daemon=*/true);
+    ev->site = site->index;
+    InstallCallback(ev, std::forward<Fn>(fn));
+    Insert(ev);
+  }
+  template <typename Fn>
+  void PostDaemonAfter(SimDuration delay, const DispatchSite* site, Fn&& fn) {
+    if (delay < SimDuration(0)) {
+      delay = SimDuration(0);
+    }
+    PostDaemonAt(now_ + delay, site, std::forward<Fn>(fn));
   }
 
   // Schedules resumption of a coroutine. The executor owns the handle while
@@ -158,6 +253,27 @@ class Executor {
   // per line — what WaitUntil timeouts and kite_explore aborts print.
   std::string FormatPendingEvents(size_t max = 16) const;
 
+  // --- Dispatch profiler. ---
+  // Starts attributing dispatch cost to posting sites. Invocation counts are
+  // exact; wall-clock time is measured on 1-in-2^shift dispatches (default
+  // 1/64) and scaled, keeping the enabled overhead a small fraction of the
+  // ~50 ns dispatch fast path. All accumulation is host-side: enabling the
+  // profiler never changes simulated time or event order.
+  void EnableDispatchProfiler();
+  bool dispatch_profiler_enabled() const { return profile_ != nullptr; }
+  // Sampling granularity: wall time is measured on 1-in-2^shift dispatches.
+  // 0 times every dispatch (tests); takes effect from the next Enable or
+  // immediately if already enabled.
+  void set_profile_sample_shift(int shift) {
+    profile_sample_shift_ = shift;
+    if (profile_ != nullptr) {
+      profile_->sample_mask = (uint64_t{1} << shift) - 1;
+    }
+  }
+  // Per-site rows sorted by estimated wall time (descending), label as the
+  // final tie-break. Empty when the profiler was never enabled.
+  std::vector<DispatchProfileEntry> DispatchProfile() const;
+
  private:
   // Timer-wheel geometry: 7 levels of 64 slots, 1 ns per level-0 tick. A
   // level-l slot covers 64^l ns; the whole wheel spans 2^42 ns past the
@@ -180,8 +296,10 @@ class Executor {
     void (*invoke)(Event*);   // Runs the stored callable.
     void (*destroy)(Event*);  // Destroys it (null if trivially destructible).
     bool daemon;
+    uint32_t site;  // DispatchSite index; fits in the pre-storage padding.
     alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
   };
+  static_assert(sizeof(Event) == 128, "event node must stay two cache lines");
 
   template <typename Fn>
   static void InstallCallback(Event* ev, Fn&& fn) {
@@ -228,6 +346,9 @@ class Executor {
   // authoritative for "earliest event".
   void JumpCursor(int64_t to_ns);
   void DispatchOne(Event* ev);
+  // The profiled tail of DispatchOne: runs + reclaims the event while
+  // accumulating per-site stats. Out of line so the common path stays lean.
+  void ProfiledDispatch(Event* ev);
   // Appends every queued event (batch remainder, wheel, overflow) to *out.
   void CollectPending(std::vector<const Event*>* out) const;
 
@@ -256,6 +377,21 @@ class Executor {
   // Node pool: chunked storage plus a free list threaded through `next`.
   Event* free_list_ = nullptr;
   std::vector<std::unique_ptr<Event[]>> chunks_;
+
+  // Dispatch-profiler state, allocated only when enabled: the disabled cost
+  // in DispatchOne is one null test (same contract as tracing).
+  struct SiteStat {
+    uint64_t invocations = 0;
+    uint64_t samples = 0;
+    uint64_t sampled_wall_ns = 0;
+  };
+  struct ProfileState {
+    std::vector<SiteStat> stats;  // Indexed by DispatchSite index.
+    uint64_t dispatch_counter = 0;
+    uint64_t sample_mask = 0;  // Time the dispatch when (ctr & mask) == 0.
+  };
+  std::unique_ptr<ProfileState> profile_;
+  int profile_sample_shift_ = 6;  // Default: time 1-in-64 dispatches.
 };
 
 }  // namespace kite

@@ -60,7 +60,8 @@ void HttpServer::HandleRequest(TcpConn* conn, const std::string& path) {
   const SimTime cpu_done = stack_->vcpu()->Charge(
       params_.per_request_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * size)));
   stack_->executor()->PostAt(
-      cpu_done, [conn, alive = conn->AliveGuard(), response = std::move(response)] {
+      cpu_done, KITE_POST_SITE("http/response"),
+      [conn, alive = conn->AliveGuard(), response = std::move(response)] {
         if (*alive && !conn->closed()) {
           conn->Send(response);
         }

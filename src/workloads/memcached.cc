@@ -70,7 +70,8 @@ void MemcachedServer::Process(TcpConn* conn, std::string* inbuf) {
           params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * op_bytes_)));
       op_bytes_ = 0;
       stack_->executor()->PostAt(
-          cpu_done, [conn, alive = conn->AliveGuard(), reply] {
+          cpu_done, KITE_POST_SITE("memcached/reply"),
+          [conn, alive = conn->AliveGuard(), reply] {
             if (*alive && !conn->closed()) {
               conn->Send(std::span<const uint8_t>(
                   reinterpret_cast<const uint8_t*>(reply.data()), reply.size()));

@@ -60,7 +60,8 @@ void MysqlServer::HandleQuery(uint8_t type, const Buffer& payload,
   }
   Executor* executor = stack_->executor();
   auto reply = [executor, cpu_done, respond = std::move(respond), type, response_bytes] {
-    executor->PostAt(cpu_done, [respond, type, response_bytes] {
+    executor->PostAt(cpu_done, KITE_POST_SITE("mysql/response"),
+                     [respond, type, response_bytes] {
       respond(type, Buffer(response_bytes, 0x52));
     });
   };

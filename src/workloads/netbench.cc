@@ -36,7 +36,8 @@ void NuttcpUdp::Run(std::function<void(const NuttcpResult&)> done) {
 void NuttcpUdp::SendTick() {
   if (client_->executor()->Now() >= end_at_) {
     // Allow in-flight datagrams to drain before reporting.
-    client_->executor()->PostAfter(Millis(20), [this] {
+    client_->executor()->PostAfter(Millis(20), KITE_POST_SITE("netbench/udp-drain"),
+                                   [this] {
       finished_ = true;
       result_.sent = sent_;
       result_.received = received_;
@@ -52,7 +53,8 @@ void NuttcpUdp::SendTick() {
   }
   ++sent_;
   tx_->SendTo(server_ip_, kNuttcpPort, Buffer(config_.datagram_bytes, 0x6e));
-  client_->executor()->PostAfter(interval_, [this] { SendTick(); });
+  client_->executor()->PostAfter(interval_, KITE_POST_SITE("netbench/udp-tick"),
+                                 [this] { SendTick(); });
 }
 
 // --- PingBench. ---
@@ -81,7 +83,8 @@ void PingBench::SendOne() {
       }
       return;
     }
-    client_->executor()->PostAfter(interval_, [this] { SendOne(); });
+    client_->executor()->PostAfter(interval_, KITE_POST_SITE("netbench/ping-next"),
+                                   [this] { SendOne(); });
   });
 }
 
@@ -140,7 +143,8 @@ void NetperfRr::SendOne(int seq) {
   in_flight_[static_cast<uint32_t>(seq)] = client_->executor()->Now();
   ++sent_;
   client_sock_->SendTo(server_ip_, kNetperfPort, std::move(request));
-  client_->executor()->PostAfter(config_.interval, [this, seq] { SendOne(seq + 1); });
+  client_->executor()->PostAfter(config_.interval, KITE_POST_SITE("netbench/rr-next"),
+                                 [this, seq] { SendOne(seq + 1); });
 }
 
 }  // namespace kite

@@ -151,7 +151,7 @@ void RedisServer::HandleCommand(TcpConn* conn, std::vector<std::string> args) {
   }
   const SimTime cpu_done = stack_->vcpu()->Charge(
       params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * bytes)));
-  stack_->executor()->PostAt(cpu_done,
+  stack_->executor()->PostAt(cpu_done, KITE_POST_SITE("redis/reply"),
                              [conn, alive = conn->AliveGuard(), reply = std::move(reply)] {
                                if (*alive && !conn->closed()) {
                                  conn->Send(std::span<const uint8_t>(
