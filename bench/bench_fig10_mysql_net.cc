@@ -22,9 +22,9 @@ Fig10Point RunMysql(OsKind os, int threads) {
   config.duration = Millis(400);
   SysbenchOltp sysbench(topo.client_stack(), kGuestIp, 3306, config);
 
-  Vcpu* domu_cpu = topo.guest->domain()->vcpu(0);
-  const SimDuration busy_before = domu_cpu->busy_total();
-  const SimTime t0 = topo.sys->Now();
+  // Windowed busy sampling via CpuUsageSample (DESIGN.md §16) instead of
+  // hand-diffing busy_total().
+  CpuUsageSample domu_cpu(topo.guest->domain()->vcpu(0));
 
   Fig10Point out;
   bool done = false;
@@ -34,8 +34,7 @@ Fig10Point RunMysql(OsKind os, int threads) {
     out.qps = r.queries_per_sec;
   });
   topo.sys->WaitUntil([&] { return done; }, Seconds(600));
-  const SimDuration window = topo.sys->Now() - t0;
-  out.cpu_percent = 100.0 * Vcpu::Utilization(busy_before, domu_cpu->busy_total(), window);
+  out.cpu_percent = 100.0 * domu_cpu.utilization();
   return out;
 }
 

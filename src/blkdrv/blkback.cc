@@ -275,7 +275,7 @@ Task BlkbackInstance::RequestThread() {
                       MakeFlowId(FlowKind::kBlk, frontend_dom_, devid_, ring_index),
                       req_cost);
         }
-        co_await sched_->Run(req_cost);
+        co_await sched_->Run(req_cost, KITE_CPU_CATEGORY("blkback/request"));
         if (stopping_) {
           break;
         }
@@ -421,7 +421,10 @@ void BlkbackInstance::ProcessRequest(const BlkRequest& req, std::vector<Resolved
   int64_t disk_offset = static_cast<int64_t>(req.sector_number) * kSectorSize;
   for (const BlkSegment& seg : segments) {
     segments_handled_->Inc();
-    backend_->vcpu(0)->Charge(costs_->blkback_per_segment);
+    {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("blkback/request"));
+      backend_->vcpu(0)->Charge(costs_->blkback_per_segment);
+    }
     ResolvedSeg resolved;
     resolved.req = state;
     resolved.disk_offset = disk_offset;
@@ -522,7 +525,10 @@ void BlkbackInstance::FlushRun(std::vector<ResolvedSeg>* run, BlkOp op) {
 void BlkbackInstance::CompletePart(std::vector<ResolvedSeg>& segs, BlkOp op, bool ok,
                                    const Buffer& data) {
   // Completion-side CPU cost (response handling).
-  backend_->vcpu(0)->Charge(Nanos(600));
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("blkback/request"));
+    backend_->vcpu(0)->Charge(Nanos(600));
+  }
   size_t data_pos = 0;
   for (ResolvedSeg& s : segs) {
     if (op == BlkOp::kRead && !data.empty() && s.page != nullptr) {
@@ -614,7 +620,7 @@ BlkbackInstance* StorageBackendDriver::instance(DomId frontend_dom, int devid) {
 Task StorageBackendDriver::WatchThread() {
   for (;;) {
     co_await watch_wake_.Wait();
-    co_await sched_->Run(Micros(5));
+    co_await sched_->Run(Micros(5), KITE_CPU_CATEGORY("driver/xenwatch"));
     Scan();
   }
 }

@@ -308,7 +308,10 @@ bool Blkfront::SubmitChunk(const Chunk& chunk) {
   if (ring_->Full()) {
     return false;
   }
-  guest_->vcpu(0)->Charge(per_request_cost_);
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("blkfront/io"));
+    guest_->vcpu(0)->Charge(per_request_cost_);
+  }
 
   const uint64_t id = next_req_id_++;
   BlkRequest req;
@@ -359,8 +362,11 @@ bool Blkfront::SubmitChunk(const Chunk& chunk) {
       remaining -= n;
       chunk_pos += n;
     }
-    guest_->vcpu(0)->Charge(
-        Nanos(static_cast<int64_t>(copy_ns_per_byte_ * chunk.length)));
+    {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("blkfront/io"));
+      guest_->vcpu(0)->Charge(
+          Nanos(static_cast<int64_t>(copy_ns_per_byte_ * chunk.length)));
+    }
 
     if (need_indirect) {
       const uint16_t ind_id = free_indirect_.back();
@@ -431,8 +437,11 @@ void Blkfront::CompleteRequest(uint64_t id, bool ok) {
   }
 
   if (inflight.is_read && ok) {
-    guest_->vcpu(0)->Charge(
-        Nanos(static_cast<int64_t>(copy_ns_per_byte_ * inflight.length)));
+    {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("blkfront/io"));
+      guest_->vcpu(0)->Charge(
+          Nanos(static_cast<int64_t>(copy_ns_per_byte_ * inflight.length)));
+    }
     if (inflight.op->out != nullptr) {
       size_t copied = 0;
       for (uint16_t page_id : inflight.page_ids) {

@@ -64,11 +64,22 @@ class BmkSched {
   // Consume CPU work: resumes once `cost` has executed on the vCPU.
   TimedAwaiter Run(SimDuration cost) { return TimedAwaiter(this, vcpu_->Charge(cost)); }
 
+  // Same, crediting the work to `category` in the vCPU's CPU-attribution
+  // ledger. The scope must wrap the synchronous Charge and must NOT span the
+  // co_await suspension (a CpuScope living across a suspension would leak the
+  // category onto unrelated events), which is why the overload exists: the
+  // scope dies at the end of this full expression, after Charge ran.
+  TimedAwaiter Run(SimDuration cost, const CpuCategory* category) {
+    CpuScope scope(category);
+    return TimedAwaiter(this, vcpu_->Charge(cost));
+  }
+
   // Cooperative yield, as used by Kite's configuration applications to avoid
-  // CPU monopolization (paper §4.3).
+  // CPU monopolization (paper §4.3). Charged (at zero cost) to the scheduler
+  // category so run-queue wait behind pending work is attributed to yielding.
   TimedAwaiter Yield() {
     ++yields_;
-    return Run(SimDuration(0));
+    return Run(SimDuration(0), KITE_CPU_CATEGORY("sched/yield"));
   }
 
   // Sleep without consuming CPU.

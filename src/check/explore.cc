@@ -49,6 +49,9 @@ ExploreReport RunExploreSeed(const ExploreOptions& opts) {
   KiteSystem::Params params;
   params.fault_seed = opts.seed ^ 0xfa0170ULL;
   params.health = opts.health;
+  // Attribution is accounting-only (DESIGN.md §16); running every explore
+  // seed with it on keeps the ledger paths under shuffle+fault coverage.
+  params.cpu_attribution = true;
   KiteSystem sys(params);
   sys.EnableScheduleShuffle(opts.seed);
   // Liveness reports carry the dispatch-profile top sites: when a seed hangs,
@@ -554,9 +557,11 @@ bool RunStallDemo(const std::string& dump_path) {
   params.health.probe_period = Millis(1);
   params.health.degraded_after = Millis(5);
   params.health.stalled_after = Millis(20);
-  KiteSystem sys(params);
   // The stall dump doubles as the reference DumpDiagnostics artifact; run it
-  // profiled so its dispatch-profile section is populated.
+  // profiled and attributed so its dispatch-profile and cpu sections are
+  // populated (kite_inspect renders the cpu section verbatim).
+  params.cpu_attribution = true;
+  KiteSystem sys(params);
   sys.executor().EnableDispatchProfiler();
 
   NetworkDomain* netdom = sys.CreateNetworkDomain();

@@ -409,7 +409,13 @@ int InspectDiagnosticsDump(const std::string& path, std::ifstream& in) {
   // Placement comes before health: "which shard serves whom" is the first
   // question a failover triage asks, and each row already carries the
   // per-device verdicts.
-  for (const char* verbatim : {"placement", "health", "invariants"}) {
+  for (const char* verbatim : {"placement", "health", "invariants", "cpu"}) {
+    // The cpu section only exists when the dump was taken with attribution
+    // enabled; don't print an empty header for plain dumps.
+    if (std::strcmp(verbatim, "cpu") == 0 &&
+        sections.find("cpu") == sections.end()) {
+      continue;
+    }
     std::printf("-- %s --\n", verbatim);
     for (const std::string& l : sections[verbatim]) {
       std::printf("%s\n", l.c_str());
@@ -417,7 +423,7 @@ int InspectDiagnosticsDump(const std::string& path, std::ifstream& in) {
   }
   for (const auto& [name, lines] : sections) {
     if (name == "placement" || name == "health" || name == "invariants" ||
-        name == "preamble") {
+        name == "cpu" || name == "preamble") {
       continue;
     }
     std::printf("-- %s: %zu line(s) (see %s) --\n", name.c_str(), lines.size(),

@@ -36,7 +36,10 @@ Task BlockStatusApp::MainLoop() {
       pending_.pop_front();
       // Record the device-specific information the Linux hotplug scripts
       // would have written (a few ioctl-priced operations).
-      sched_->vcpu()->Charge(Micros(12));
+      {
+        CpuScope cpu_scope(KITE_CPU_CATEGORY("app/config"));
+        sched_->vcpu()->Charge(Micros(12));
+      }
       status_.push_back({vbd->frontend_dom(), vbd->devid(), vbd->connected()});
       ++vbds_configured_;
       KITE_LOG(Info) << "block-status-app: vbd for dom " << vbd->frontend_dom()

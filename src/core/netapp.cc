@@ -10,12 +10,14 @@ IfConfig::IfConfig(BmkSched* sched) : sched_(sched) {}
 
 void IfConfig::AssignIp(NetIf* netif, Ipv4Addr ip) {
   // A couple of ioctl round trips (SIOCSIFADDR etc).
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("app/config"));
   sched_->vcpu()->Charge(Micros(8));
   netif->SetUp(true);
   assignments_.push_back({netif->ifname(), ip});
 }
 
 void IfConfig::SetUp(NetIf* netif) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("app/config"));
   sched_->vcpu()->Charge(Micros(4));
   netif->SetUp(true);
 }
@@ -25,11 +27,13 @@ void IfConfig::SetUp(NetIf* netif) {
 BrConfig::BrConfig(BmkSched* sched) : sched_(sched) {}
 
 std::unique_ptr<Bridge> BrConfig::CreateBridge(const std::string& name) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("app/config"));
   sched_->vcpu()->Charge(Micros(10));
   return std::make_unique<Bridge>(name, sched_->vcpu());
 }
 
 void BrConfig::AddIf(Bridge* bridge, NetIf* netif) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("app/config"));
   sched_->vcpu()->Charge(Micros(6));
   netif->SetUp(true);
   bridge->AddIf(netif);

@@ -50,6 +50,14 @@ KiteSystem::KiteSystem(Params params)
       path != nullptr && path[0] != '\0') {
     timeline_env_path_ = path;
   }
+  if (const char* path = std::getenv("KITE_CPU"); path != nullptr && path[0] != '\0') {
+    cpu_env_path_ = path;
+  }
+  // Attribution before the sampler starts, so the pre-tick pump is in place
+  // for the baseline snapshot.
+  if (params_.cpu_attribution || !cpu_env_path_.empty()) {
+    EnableCpuAttribution();
+  }
   if (params_.sampler.enabled || !timeline_env_path_.empty()) {
     sampler_.Start();
   }
@@ -81,6 +89,54 @@ KiteSystem::~KiteSystem() {
       KITE_LOG(Warning) << "cannot write dispatch profile to " << profile_env_path_;
     }
   }
+  if (!cpu_env_path_.empty()) {
+    std::ofstream out(cpu_env_path_);
+    if (out) {
+      out << CpuReportJson();
+    } else {
+      KITE_LOG(Warning) << "cannot write cpu report to " << cpu_env_path_;
+    }
+  }
+}
+
+void KiteSystem::EnableCpuAttribution() {
+  hv_->set_cpu_attribution(true);  // Retrofits live domains, covers new ones.
+  if (client_ != nullptr) {
+    client_->vcpu_->EnableAttribution();
+  }
+  if (cpu_pump_ == nullptr) {
+    cpu_pump_ = std::make_unique<CpuMetricsPump>(&metrics_);
+    sampler_.set_pre_tick([this] { cpu_pump_->Pump(CpuActors(), Now()); });
+  }
+}
+
+std::vector<CpuActor> KiteSystem::CpuActors() {
+  const std::vector<DomId> ids = hv_->live_domains();
+  // Two live driver domains can share a personality name ("kite-netdom");
+  // dedupe with the domain id so metric keys and report lines stay distinct.
+  std::map<std::string, int> name_count;
+  for (DomId id : ids) {
+    ++name_count[hv_->domain(id)->name()];
+  }
+  std::vector<CpuActor> actors;
+  for (DomId id : ids) {
+    Domain* dom = hv_->domain(id);
+    std::string label = dom->name();
+    if (name_count[label] > 1) {
+      label += StrFormat("#%d", static_cast<int>(id));
+    }
+    for (int i = 0; i < dom->vcpu_count(); ++i) {
+      actors.push_back({label, i, dom->vcpu(i)});
+    }
+  }
+  if (client_ != nullptr) {
+    actors.push_back({"client", 0, client_->vcpu_.get()});
+  }
+  return actors;
+}
+
+std::string KiteSystem::CpuReportJson() {
+  return kite::CpuReportJson(CpuActors(), Now());
 }
 
 std::string KiteSystem::FormatMetrics(bool skip_zero, const std::string& prefix) {
@@ -108,6 +164,7 @@ void KiteSystem::DumpDiagnostics(std::ostream& out) {
   } else {
     out << InvariantChecker::Format(violations);
   }
+  out << "---- cpu ----\n" << FormatCpuAttribution(CpuActors(), Now());
   out << "---- metrics ----\n" << FormatMetrics();
   out << "---- dispatch profile ----\n" << FormatDispatchProfile(executor_);
   out << "==== END KITE DIAGNOSTICS ====\n";
@@ -345,6 +402,9 @@ void KiteSystem::EnsureClient() {
   }
   client_ = std::make_unique<ClientMachine>();
   client_->vcpu_ = std::make_unique<Vcpu>(&executor_);
+  if (hv_->cpu_attribution()) {
+    client_->vcpu_->EnableAttribution();
+  }
   NicParams client_nic = params_.nic;
   client_->nic_ = std::make_unique<Nic>(&executor_, "client:0000:02:00.0", "enp2s0",
                                         MacAddr::FromId(0x200000u), client_nic);

@@ -30,6 +30,7 @@
 #include "src/netdrv/netback.h"
 #include "src/netdrv/netfront.h"
 #include "src/base/log.h"
+#include "src/obs/cpuattr.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
@@ -123,6 +124,7 @@ class ClientMachine {
  public:
   Nic* nic() const { return nic_.get(); }
   EtherStack* stack() const { return stack_.get(); }
+  Vcpu* vcpu() const { return vcpu_.get(); }
   Ipv4Addr ip() const { return stack_->ip(); }
 
  private:
@@ -157,6 +159,11 @@ class KiteSystem {
     // construction. Enabling never perturbs the schedule: the tick is a
     // daemon event and draws no shuffle ties.
     SamplerParams sampler;
+    // Per-category CPU attribution on every vCPU (DESIGN.md §16). Off by
+    // default: the disabled cost in Vcpu::Charge is one pointer test, and
+    // enabling is accounting-only — it can never change a schedule, so any
+    // run's figures are byte-identical with attribution on or off.
+    bool cpu_attribution = false;
   };
 
   KiteSystem() : KiteSystem(Params{}) {}
@@ -206,6 +213,21 @@ class KiteSystem {
   // or chrome://tracing). Returns false if the file could not be written.
   // Logs a warning when the tracer's event cap truncated the recording.
   bool DumpTrace(const std::string& path);
+  // CPU attribution (DESIGN.md §16). Turns on the per-category ledgers for
+  // every live vCPU (driver domains, guests, Dom0, the client machine) and
+  // for all future domains, and installs the sampler pre-tick pump so
+  // cpu_busy_ns / cpu_util_percent / cpu_<category>_ns appear as timelines.
+  // Accounting-only: never perturbs the schedule. Also reachable via
+  // Params::cpu_attribution or KITE_CPU=<path> (which additionally dumps
+  // CpuReportJson() to <path> at destruction, mirroring KITE_TRACE).
+  void EnableCpuAttribution();
+  bool cpu_attribution_enabled() const { return hv_->cpu_attribution(); }
+  // Every live vCPU with a stable report label, in deterministic order:
+  // domains by id (label deduped with "#<id>" when two live domains share a
+  // name), then the client machine.
+  std::vector<CpuActor> CpuActors();
+  // Deterministic per-vCPU ledger report (see src/obs/cpuattr.h).
+  std::string CpuReportJson();
 
   // --- Topology construction. ---
   NetworkDomain* CreateNetworkDomain(DriverDomainConfig config = DriverDomainConfig{});
@@ -362,10 +384,13 @@ class KiteSystem {
   // Non-empty when KITE_TRACE=<path> was set at construction; the trace is
   // dumped there on destruction.
   std::string trace_env_path_;
-  // Same idiom for KITE_TIMELINE (sampler JSON) and KITE_PROFILE (dispatch
-  // profile JSON).
+  // Same idiom for KITE_TIMELINE (sampler JSON), KITE_PROFILE (dispatch
+  // profile JSON), and KITE_CPU (CpuReportJson).
   std::string timeline_env_path_;
   std::string profile_env_path_;
+  std::string cpu_env_path_;
+  // Non-null once EnableCpuAttribution installed the sampler pre-tick hook.
+  std::unique_ptr<CpuMetricsPump> cpu_pump_;
 };
 
 }  // namespace kite

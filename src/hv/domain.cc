@@ -9,6 +9,9 @@ Domain::Domain(Hypervisor* hv, DomId id, std::string name, int vcpus, int memory
     : hv_(hv), id_(id), name_(std::move(name)), memory_mb_(memory_mb), grant_table_(id) {
   for (int i = 0; i < vcpus; ++i) {
     vcpus_.push_back(std::make_unique<Vcpu>(hv->executor()));
+    if (hv->cpu_attribution()) {
+      vcpus_.back()->EnableAttribution();
+    }
   }
 }
 

@@ -190,6 +190,22 @@ std::vector<std::pair<EvtPort, DomId>> Hypervisor::BoundPorts(DomId id) const {
   return out;
 }
 
+void Hypervisor::set_cpu_attribution(bool on) {
+  cpu_attribution_ = on;
+  if (!on) {
+    return;  // Existing ledgers stay (cheap, already allocated); only future
+             // domains are affected by turning the flag back off.
+  }
+  for (const auto& d : domains_) {
+    if (d == nullptr) {
+      continue;
+    }
+    for (int i = 0; i < d->vcpu_count(); ++i) {
+      d->vcpu(i)->EnableAttribution();
+    }
+  }
+}
+
 void Hypervisor::Charge(Domain* dom, SimDuration cost, Vcpu* caller_vcpu, const char* op) {
   hypercalls_->Inc();
   if (tracer_ != nullptr && tracer_->enabled()) {
@@ -207,6 +223,7 @@ Domain::PortInfo* Hypervisor::PortOf(Domain* dom, EvtPort port) {
 }
 
 EvtPort Hypervisor::EventAllocUnbound(Domain* caller, DomId remote) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/evtchn_ctl"));
   Charge(caller, costs_.hypercall, nullptr, "evtchn_alloc_unbound");
   EvtPort port = static_cast<EvtPort>(caller->ports_.size());
   caller->ports_.emplace_back();
@@ -218,6 +235,7 @@ EvtPort Hypervisor::EventAllocUnbound(Domain* caller, DomId remote) {
 
 EvtPort Hypervisor::EventBindInterdomain(Domain* caller, DomId remote_dom,
                                          EvtPort remote_port) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/evtchn_ctl"));
   Charge(caller, costs_.hypercall, nullptr, "evtchn_bind_interdomain");
   Domain* remote = domain(remote_dom);
   Domain::PortInfo* rinfo = PortOf(remote, remote_port);
@@ -247,7 +265,10 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
   if (info == nullptr || info->peer_port == kInvalidPort) {
     return false;
   }
-  Charge(caller, costs_.event_send, caller_vcpu, "evtchn_send");
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/evtchn_send"));
+    Charge(caller, costs_.event_send, caller_vcpu, "evtchn_send");
+  }
   events_sent_->Inc();
   Domain* peer = domain(info->peer_dom);
   if (peer == nullptr) {
@@ -308,7 +329,12 @@ bool Hypervisor::EventSend(Domain* caller, EvtPort port, Vcpu* caller_vcpu) {
       tracer_->Instant(peer_id, 0, "evtchn", "evt_deliver", executor_->Now(), "port",
                        peer_port);
     }
-    d->vcpu(0)->Charge(costs_.irq_dispatch);
+    {
+      // Scoped to the dispatch charge only: the handler body below sets its
+      // own categories (netback/rx, blkfront/io, ...).
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/irq_dispatch"));
+      d->vcpu(0)->Charge(costs_.irq_dispatch);
+    }
     if (pi->handler) {
       pi->handler();
     }
@@ -338,7 +364,10 @@ void Hypervisor::EventClose(Domain* dom, EvtPort port) {
 
 MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
                                  bool write_access, Vcpu* caller_vcpu) {
-  Charge(mapper, costs_.grant_map, caller_vcpu, "gnttab_map");
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/grant_map"));
+    Charge(mapper, costs_.grant_map, caller_vcpu, "gnttab_map");
+  }
   grant_maps_->Inc();
   auto record_fail = [&] {
     grant_map_fails_->Inc();
@@ -380,6 +409,7 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
       recorder_->Record(mapper_id, FlightKind::kGrantUnmap, owner,
                         static_cast<uint64_t>(ref));
     }
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/grant_unmap"));
     mapper_vcpu->Charge(unmap_cost);
   };
   return MappedGrant(&owner_dom->grant_table(), ref, e->page, on_unmap);
@@ -387,10 +417,13 @@ MappedGrant Hypervisor::GrantMap(Domain* mapper, DomId owner, GrantRef ref,
 
 bool Hypervisor::GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, size_t offset,
                                     std::span<const uint8_t> src, Vcpu* caller_vcpu) {
-  Charge(caller,
-         costs_.grant_copy_base +
-             Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * src.size())),
-         caller_vcpu, "gnttab_copy");
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/grant_copy"));
+    Charge(caller,
+           costs_.grant_copy_base +
+               Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * src.size())),
+           caller_vcpu, "gnttab_copy");
+  }
   grant_copies_->Inc();
   // Bounds first (overflow-proof form), before any owner-page access: the
   // hypervisor is the last line of defense against malformed ring fields.
@@ -414,10 +447,13 @@ bool Hypervisor::GrantCopyToGranted(Domain* caller, DomId owner, GrantRef ref, s
 bool Hypervisor::GrantCopyFromGranted(Domain* caller, DomId owner, GrantRef ref,
                                       size_t offset, std::span<uint8_t> dst,
                                       Vcpu* caller_vcpu) {
-  Charge(caller,
-         costs_.grant_copy_base +
-             Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * dst.size())),
-         caller_vcpu, "gnttab_copy");
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/grant_copy"));
+    Charge(caller,
+           costs_.grant_copy_base +
+               Nanos(static_cast<int64_t>(costs_.copy_ns_per_byte * dst.size())),
+           caller_vcpu, "gnttab_copy");
+  }
   grant_copies_->Inc();
   if (offset > kPageSize || dst.size() > kPageSize - offset) {
     grant_copy_rejects_->Inc();
@@ -470,7 +506,10 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
     if (d == nullptr || device->owner_ != d) {
       return;
     }
-    d->vcpu(0)->Charge(costs_.irq_dispatch);
+    {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/irq_dispatch"));
+      d->vcpu(0)->Charge(costs_.irq_dispatch);
+    }
     events_delivered_->Inc();
     pci_irqs_delivered_->Inc();
     if (device->irq_handler_) {
@@ -480,6 +519,7 @@ void Hypervisor::DeliverPciIrq(PciDevice* device) {
 }
 
 void Hypervisor::ChargeXenstoreOp(Domain* caller) {
+  CpuScope cpu_scope(KITE_CPU_CATEGORY("hv/xenstore_op"));
   Charge(caller, costs_.xenstore_op, nullptr, "xenstore_op");
 }
 

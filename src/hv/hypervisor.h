@@ -74,6 +74,14 @@ class Hypervisor {
   HealthMonitor* health() const { return health_; }
   void set_health(HealthMonitor* health) { health_ = health; }
 
+  // --- CPU attribution (DESIGN.md §16). ---
+  // When on, every vCPU of every domain (existing and future) carries a
+  // (category → ns) ledger; hypercall paths in this class credit their own
+  // categories (hv/grant_copy, hv/evtchn_send, hv/irq_dispatch, ...).
+  // Accounting-only: enabling never changes any Charge timing.
+  void set_cpu_attribution(bool on);
+  bool cpu_attribution() const { return cpu_attribution_; }
+
   // --- Domains. ---
   // Dom0 is created by the constructor with id 0.
   Domain* dom0() { return domains_[0].get(); }
@@ -165,6 +173,7 @@ class Hypervisor {
   Executor* executor_;
   HvCosts costs_;
   XenStore store_;
+  bool cpu_attribution_ = false;
   FaultInjector* faults_ = nullptr;
   // Falls back to an owned registry when the caller does not supply one, so
   // counter handles below are always valid.

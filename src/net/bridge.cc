@@ -71,6 +71,7 @@ bool Bridge::SendOut(NetIf* port, const EthernetFrame& frame) {
 
 void Bridge::Input(NetIf* ingress, const EthernetFrame& frame) {
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/bridge"));
     vcpu_->Charge(forward_cost_);
   }
   // Learn the source.

@@ -98,6 +98,7 @@ Nat::Flow* Nat::FlowFor(const FlowKey& key, NetIf* ingress, MacAddr inside_mac) 
 
 void Nat::FromInside(NetIf* ingress, const EthernetFrame& frame) {
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/nat"));
     vcpu_->Charge(forward_cost_);
   }
   // Answer ARP queries from inside hosts for any outside address: the NAT
@@ -145,6 +146,7 @@ void Nat::FromInside(NetIf* ingress, const EthernetFrame& frame) {
 
 void Nat::FromOutside(const EthernetFrame& frame) {
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/nat"));
     vcpu_->Charge(forward_cost_);
   }
   if (const ArpPacket* arp = frame.arp()) {

@@ -64,6 +64,7 @@ void Nic::Transmit(const EthernetFrame& frame) {
     return;
   }
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/nic"));
     vcpu_->Charge(params_.tx_frame_cost);
   }
   const double bits = static_cast<double>(frame.WireBytes()) * 8.0;
@@ -116,6 +117,7 @@ void Nic::DrainRx() {
     EthernetFrame frame = std::move(rx_queue_.front());
     rx_queue_.pop_front();
     if (vcpu_ != nullptr) {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("net/nic"));
       vcpu_->Charge(params_.rx_frame_cost);
     }
     ++rx_delivered_;

@@ -123,6 +123,7 @@ std::unique_ptr<UdpSocket> EtherStack::OpenUdp() {
 void EtherStack::SendIp(Ipv4Packet&& packet) {
   packet.id = next_ip_id_++;
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/stack"));
     vcpu_->Charge(params_.per_packet_cost);
   }
   ++ip_tx_;
@@ -166,6 +167,7 @@ void EtherStack::Transmit(MacAddr dst, Ipv4Packet&& packet) {
 
 void EtherStack::Input(const EthernetFrame& frame) {
   if (vcpu_ != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("net/stack"));
     vcpu_->Charge(params_.per_packet_cost);
   }
   if (const ArpPacket* arp = frame.arp()) {
@@ -278,6 +280,7 @@ void EtherStack::HandleIp(const Ipv4Packet& packet) {
 void EtherStack::HandleIcmp(const Ipv4Packet& packet, const IcmpMessage& icmp) {
   if (icmp.is_echo_request) {
     if (vcpu_ != nullptr) {
+      CpuScope cpu_scope(KITE_CPU_CATEGORY("net/stack"));
       vcpu_->Charge(params_.icmp_reply_cost);
     }
     Ipv4Packet reply;

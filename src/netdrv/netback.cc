@@ -406,7 +406,7 @@ Task NetbackInstance::PusherThread() {
         if (in_bounds && !ok) {
           tx_copy_fails_->Inc();
         }
-        co_await sched_->Run(per_packet);
+        co_await sched_->Run(per_packet, KITE_CPU_CATEGORY("netback/tx"));
         if (stopping_) {
           break;
         }
@@ -513,7 +513,7 @@ Task NetbackInstance::SoftStartThread() {
       SerializeEthernetInto(frame, &bytes);
       KITE_CHECK(bytes.size() <= kPageSize);
       const bool ok = CopyToGuest(req.gref, bytes);
-      co_await sched_->Run(per_packet);
+      co_await sched_->Run(per_packet, KITE_CPU_CATEGORY("netback/rx"));
       if (stopping_) {
         break;
       }
@@ -603,7 +603,7 @@ Task NetworkBackendDriver::WatchThread() {
   for (;;) {
     co_await watch_wake_.Wait();
     // Query xenbus for unpaired frontends.
-    co_await scheds_.front()->Run(Micros(5));
+    co_await scheds_.front()->Run(Micros(5), KITE_CPU_CATEGORY("driver/xenwatch"));
     ScanForFrontends();
   }
 }

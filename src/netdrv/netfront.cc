@@ -216,7 +216,10 @@ void Netfront::Output(const EthernetFrame& frame) {
     tx_dropped_->Inc();
     return;
   }
-  guest_->vcpu(0)->Charge(frame_cost_);
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("netfront/io"));
+    guest_->vcpu(0)->Charge(frame_cost_);
+  }
   uint16_t id = tx_free_ids_.back();
   tx_free_ids_.pop_back();
   Slot& slot = tx_slots_[id];
@@ -311,7 +314,10 @@ void Netfront::ProcessRxResponses() {
         rx_errors_->Inc();
         continue;
       }
-      guest_->vcpu(0)->Charge(frame_cost_);
+      {
+        CpuScope cpu_scope(KITE_CPU_CATEGORY("netfront/io"));
+        guest_->vcpu(0)->Charge(frame_cost_);
+      }
       auto frame = ParseEthernet(std::span<const uint8_t>(
           slot.page->data.data() + rsp.offset, static_cast<size_t>(rsp.size)));
       if (!frame.has_value()) {

@@ -1,0 +1,207 @@
+#include "src/obs/cpuattr.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/base/strings.h"
+
+namespace kite {
+namespace {
+
+// All-nonzero categories of one ledger, busy-descending (ties: label
+// ascending) — the registry order is registration order, which depends on
+// which translation unit's static ran first, so reports sort explicitly to
+// stay deterministic.
+struct CategoryRow {
+  uint32_t index;
+  uint64_t busy_ns;
+};
+
+std::vector<CategoryRow> SortedCategories(const CpuLedger& ledger) {
+  std::vector<CategoryRow> rows;
+  for (uint32_t i = 0; i < ledger.busy_ns.size(); ++i) {
+    if (ledger.busy_ns[i] == 0) {
+      continue;
+    }
+    rows.push_back({i, ledger.busy_ns[i]});
+  }
+  std::sort(rows.begin(), rows.end(), [](const CategoryRow& a, const CategoryRow& b) {
+    if (a.busy_ns != b.busy_ns) {
+      return a.busy_ns > b.busy_ns;
+    }
+    return std::string(CpuCategoryLabel(a.index)) < CpuCategoryLabel(b.index);
+  });
+  return rows;
+}
+
+std::string FormatMs(uint64_t ns) {
+  return StrFormat("%.3fms", static_cast<double>(ns) / 1e6);
+}
+
+std::string FormatUs(uint64_t ns) {
+  return StrFormat("%.1fus", static_cast<double>(ns) / 1e3);
+}
+
+// Metric names use '_' where category labels use '/': "hv/grant_copy" feeds
+// the "cpu_hv_grant_copy_ns" counter. Index 0's parenthesized builtin label
+// becomes plain "unattributed".
+std::string MetricSuffix(uint32_t category) {
+  if (category == kCpuUnattributedIndex) {
+    return "unattributed";
+  }
+  std::string s = CpuCategoryLabel(category);
+  for (char& c : s) {
+    if (c == '/') {
+      c = '_';
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string FormatCpuAttribution(const std::vector<CpuActor>& actors, SimTime now,
+                                 size_t top_n) {
+  std::string out;
+  for (const CpuActor& actor : actors) {
+    if (actor.vcpu == nullptr) {
+      continue;
+    }
+    const Vcpu& cpu = *actor.vcpu;
+    const uint64_t busy_ns = static_cast<uint64_t>(cpu.busy_total().ns());
+    double util = Vcpu::Utilization(SimDuration(0), cpu.busy_total(),
+                                    now - SimTime(0));
+    // Display clamp only; CpuReportJson keeps the raw ratio.
+    if (util > 1.0) {
+      util = 1.0;
+    }
+    out += StrFormat("  %s/vcpu%d: busy %s  util %.1f%%", actor.domain.c_str(),
+                     actor.vcpu_index, FormatMs(busy_ns).c_str(), util * 100.0);
+    if (!cpu.attribution_enabled()) {
+      out += "  (attribution off)\n";
+      continue;
+    }
+    const CpuLedger& ledger = *cpu.ledger();
+    const CpuWaitHistogram& wait = ledger.wait_hist;
+    out += StrFormat(
+        "  wait p50 %s p99 %s max %s (n=%llu)\n",
+        FormatUs(wait.Percentile(50)).c_str(), FormatUs(wait.Percentile(99)).c_str(),
+        FormatUs(wait.max()).c_str(), static_cast<unsigned long long>(wait.count()));
+    const std::vector<CategoryRow> rows = SortedCategories(ledger);
+    const size_t n = std::min(top_n, rows.size());
+    for (size_t i = 0; i < n; ++i) {
+      const CategoryRow& row = rows[i];
+      const double share =
+          busy_ns == 0 ? 0
+                       : 100.0 * static_cast<double>(row.busy_ns) /
+                             static_cast<double>(busy_ns);
+      out += StrFormat("    %-24s %12s %6.1f%%\n", CpuCategoryLabel(row.index),
+                       FormatMs(row.busy_ns).c_str(), share);
+    }
+    if (rows.size() > n) {
+      out += StrFormat("    ... %zu more categor%s\n", rows.size() - n,
+                       rows.size() - n == 1 ? "y" : "ies");
+    }
+  }
+  if (out.empty()) {
+    out = "  (no vcpus)\n";
+  }
+  return out;
+}
+
+std::string CpuReportJson(const std::vector<CpuActor>& actors, SimTime now) {
+  std::string json =
+      StrFormat("{\n  \"t_ns\": %lld,\n  \"actors\": [\n",
+                static_cast<long long>(now.ns()));
+  size_t emitted = 0;
+  size_t present = 0;
+  for (const CpuActor& actor : actors) {
+    if (actor.vcpu != nullptr) {
+      ++present;
+    }
+  }
+  for (const CpuActor& actor : actors) {
+    if (actor.vcpu == nullptr) {
+      continue;
+    }
+    const Vcpu& cpu = *actor.vcpu;
+    const double util =
+        Vcpu::Utilization(SimDuration(0), cpu.busy_total(), now - SimTime(0));
+    json += StrFormat(
+        "    {\"domain\": \"%s\", \"vcpu\": %d, \"attribution\": %s, "
+        "\"busy_ns\": %llu, \"util\": %.6f",
+        actor.domain.c_str(), actor.vcpu_index,
+        cpu.attribution_enabled() ? "true" : "false",
+        static_cast<unsigned long long>(cpu.busy_total().ns()), util);
+    if (cpu.attribution_enabled()) {
+      const CpuLedger& ledger = *cpu.ledger();
+      const CpuWaitHistogram& wait = ledger.wait_hist;
+      json += StrFormat(
+          ",\n     \"wait\": {\"count\": %llu, \"total_ns\": %llu, "
+          "\"max_ns\": %llu, \"p50_ns\": %llu, \"p90_ns\": %llu, "
+          "\"p99_ns\": %llu},\n     \"categories\": [",
+          static_cast<unsigned long long>(wait.count()),
+          static_cast<unsigned long long>(wait.sum()),
+          static_cast<unsigned long long>(wait.max()),
+          static_cast<unsigned long long>(wait.Percentile(50)),
+          static_cast<unsigned long long>(wait.Percentile(90)),
+          static_cast<unsigned long long>(wait.Percentile(99)));
+      const std::vector<CategoryRow> rows = SortedCategories(ledger);
+      const uint64_t busy_ns = static_cast<uint64_t>(cpu.busy_total().ns());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const CategoryRow& row = rows[i];
+        const double share =
+            busy_ns == 0 ? 0
+                         : static_cast<double>(row.busy_ns) /
+                               static_cast<double>(busy_ns);
+        json += StrFormat(
+            "%s\n      {\"label\": \"%s\", \"busy_ns\": %llu, \"share\": %.6f}",
+            i == 0 ? "" : ",", CpuCategoryLabel(row.index),
+            static_cast<unsigned long long>(row.busy_ns), share);
+      }
+      json += rows.empty() ? "]" : "\n     ]";
+    }
+    ++emitted;
+    json += StrFormat("}%s\n", emitted < present ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+void CpuMetricsPump::Pump(const std::vector<CpuActor>& actors, SimTime now) {
+  for (const CpuActor& actor : actors) {
+    if (actor.vcpu == nullptr || !actor.vcpu->attribution_enabled()) {
+      continue;
+    }
+    const Vcpu& cpu = *actor.vcpu;
+    const std::string device = StrFormat("vcpu%d", actor.vcpu_index);
+    const int64_t busy_ns = cpu.busy_total().ns();
+    metrics_->counter(actor.domain, device, "cpu_busy_ns")
+        ->Set(static_cast<uint64_t>(busy_ns));
+    // Utilization over the window since the previous pump (the sampler
+    // period), raw/unclamped so overcommit stays visible in timelines.
+    Last& last = last_[{actor.domain, actor.vcpu_index}];
+    const int64_t window_ns = now.ns() - last.t_ns;
+    if (window_ns > 0) {
+      const double util = static_cast<double>(busy_ns - last.busy_ns) /
+                          static_cast<double>(window_ns);
+      metrics_->gauge(actor.domain, device, "cpu_util_percent")->Set(util * 100.0);
+    }
+    last.busy_ns = busy_ns;
+    last.t_ns = now.ns();
+    const CpuLedger& ledger = *cpu.ledger();
+    metrics_->gauge(actor.domain, device, "cpu_wait_p99_ns")
+        ->Set(static_cast<double>(ledger.wait_hist.Percentile(99)));
+    for (uint32_t i = 0; i < ledger.busy_ns.size(); ++i) {
+      if (ledger.busy_ns[i] == 0) {
+        continue;  // Never-used categories don't grow the registry.
+      }
+      metrics_
+          ->counter(actor.domain, device,
+                    StrFormat("cpu_%s_ns", MetricSuffix(i).c_str()))
+          ->Set(ledger.busy_ns[i]);
+    }
+  }
+}
+
+}  // namespace kite

@@ -176,6 +176,7 @@ void DhcpServer::OnMessage(Ipv4Addr src, uint16_t src_port, const Buffer& payloa
     return;
   }
   if (stack_->vcpu() != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("app/workload"));
     stack_->vcpu()->Charge(config_.per_message_cost);
   }
   DhcpMessage reply;

@@ -1,18 +1,155 @@
 #include "src/sim/cpu.h"
 
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
 namespace kite {
+namespace {
+
+// Append-only category registry, mirroring the executor's dispatch-site
+// registry. deque-like stable storage via unique_ptr elements.
+struct CategoryRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<CpuCategory>> categories;
+
+  CategoryRegistry() {
+    categories.push_back(std::unique_ptr<CpuCategory>(
+        new CpuCategory{"(unattributed)", kCpuUnattributedIndex}));
+  }
+};
+
+CategoryRegistry& Registry() {
+  static CategoryRegistry* registry = new CategoryRegistry();
+  return *registry;
+}
+
+// Ambient category for Charge. The simulation is single-threaded; scopes
+// save/restore this, so it is always consistent with the C++ scope nesting
+// of the currently running event.
+uint32_t g_current_category = kCpuUnattributedIndex;
+
+}  // namespace
+
+const CpuCategory* RegisterCpuCategory(const char* label) {
+  CategoryRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& c : reg.categories) {
+    if (c->label == label || std::strcmp(c->label, label) == 0) {
+      return c.get();
+    }
+  }
+  reg.categories.push_back(std::unique_ptr<CpuCategory>(
+      new CpuCategory{label, static_cast<uint32_t>(reg.categories.size())}));
+  return reg.categories.back().get();
+}
+
+size_t CpuCategoryCount() {
+  CategoryRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.categories.size();
+}
+
+const char* CpuCategoryLabel(uint32_t index) {
+  CategoryRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (index >= reg.categories.size()) {
+    return "?";
+  }
+  return reg.categories[index]->label;
+}
+
+CpuScope::CpuScope(const CpuCategory* category) : saved_(g_current_category) {
+  g_current_category = category->index;
+}
+
+CpuScope::~CpuScope() { g_current_category = saved_; }
+
+uint32_t CurrentCpuCategory() { return g_current_category; }
+
+uint64_t CpuWaitHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p > 100) {
+    p = 100;
+  }
+  // Nearest rank: the smallest rank r (1-based) with r >= p% of count
+  // (identical to LatencyHistogram::Percentile so the two report alike).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  // Implied zero bucket first (Record never stores zeros — see cpu.h).
+  uint64_t cumulative = count_ - nonzero_;
+  if (cumulative >= rank) {
+    return 0;
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return BucketLowerBound(i);
+    }
+  }
+  return max_;  // Unreachable: cumulative reaches count_.
+}
 
 SimTime Vcpu::Charge(SimDuration cost) {
   if (cost < SimDuration(0)) {
     cost = SimDuration(0);
   }
-  SimTime start = executor_->Now();
+  const SimTime now = executor_->Now();
+  SimTime start = now;
   if (free_at_ > start) {
     start = free_at_;
   }
   free_at_ = start + cost;
-  busy_total_ += cost;
+  if (ledger_ == nullptr) {
+    busy_total_ += cost;
+  } else {
+    // `start` already holds max(now, old free_at_): the wait is how far the
+    // busy horizon pushed this request past "now". The common case is
+    // inlined here; RecordAttribution is the cold grow-then-record path for
+    // a category index the ledger hasn't seen yet. busy_total_ is NOT
+    // updated on this path — busy_total() derives it from the ledger.
+    CpuLedger* ledger = ledger_.get();
+    const uint32_t category = g_current_category;
+    if (__builtin_expect(category < ledger->busy_ns.size(), 1)) {
+      ledger->busy_ns[category] += static_cast<uint64_t>(cost.ns());
+      ledger->wait_hist.Record(static_cast<uint64_t>((start - now).ns()));
+    } else {
+      RecordAttribution(cost, start - now);
+    }
+  }
   return free_at_;
+}
+
+void Vcpu::EnableAttribution() {
+  if (ledger_ == nullptr) {
+    ledger_ = std::make_unique<CpuLedger>();
+  }
+}
+
+SimDuration Vcpu::attributed_busy(uint32_t category) const {
+  if (ledger_ == nullptr || category >= ledger_->busy_ns.size()) {
+    return SimDuration(0);
+  }
+  return Nanos(static_cast<int64_t>(ledger_->busy_ns[category]));
+}
+
+void Vcpu::RecordAttribution(SimDuration cost, SimDuration wait) {
+  CpuLedger* ledger = ledger_.get();
+  const uint32_t category = g_current_category;
+  if (__builtin_expect(category >= ledger->busy_ns.size(), 0)) {
+    // Categories register lazily; size to the full registry so one resize
+    // covers every label seen so far.
+    ledger->busy_ns.resize(CpuCategoryCount(), 0);
+  }
+  ledger->busy_ns[category] += static_cast<uint64_t>(cost.ns());
+  ledger->wait_hist.Record(static_cast<uint64_t>(wait.ns()));
 }
 
 }  // namespace kite

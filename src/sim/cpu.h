@@ -11,16 +11,166 @@
 //    hypercall paths that logically run to completion).
 //  - co_await Run(cost): suspend until the CPU has executed `cost` of work
 //    for this caller (used by driver threads; models queuing delay).
+//
+// --- CPU attribution (DESIGN.md §16) ---
+//
+// Orthogonally to the timing model, every nanosecond a vCPU executes can be
+// credited to an interned *category* (grant copies, IRQ dispatch, netback TX
+// service, app work, ...) so "where does the driver domain's CPU go?" is a
+// measured number instead of a guess. The design mirrors the executor's
+// dispatch sites (KITE_POST_SITE):
+//
+//  - KITE_CPU_CATEGORY("label") interns a label once (function-local static)
+//    and yields a stable dense index.
+//  - CpuScope sets the ambient category for the dynamic extent of a C++
+//    scope. The simulation is single-threaded, so the ambient category is a
+//    single process-global integer; nested scopes save/restore it and the
+//    innermost scope wins (credit is never split).
+//  - Vcpu::Charge consults the ambient category *only* when the vCPU has a
+//    ledger (EnableAttribution): the disabled cost is one pointer test, and
+//    attribution never changes the timing math — enabling it cannot perturb
+//    a schedule.
+//
+// Scopes must not span a co_await: establish them tightly around the Charge
+// (BmkSched::Run(cost, category) does this internally for driver threads).
+//
+// Charge also measures the *run-queue wait* — the gap between requesting the
+// vCPU and the busy horizon granting it — into a log-linear histogram (same
+// bucket geometry as the obs LatencyHistogram), making vCPU contention
+// visible, not just occupancy. src/sim cannot depend on src/obs, so the raw
+// ledger lives here and src/obs/cpuattr.h renders it.
 #ifndef SRC_SIM_CPU_H_
 #define SRC_SIM_CPU_H_
 
+#include <array>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/sim/executor.h"
 #include "src/sim/time.h"
 
 namespace kite {
+
+// An interned CPU-time category. Registration is process-global and
+// append-only; `index` is dense and stable for the process lifetime.
+struct CpuCategory {
+  const char* label;
+  uint32_t index;
+};
+
+// Index 0 is the builtin bucket for work charged outside any CpuScope.
+inline constexpr uint32_t kCpuUnattributedIndex = 0;
+
+// Interns `label` (by pointer identity first, then by string compare), so
+// repeated registration of the same literal is cheap and idempotent.
+const CpuCategory* RegisterCpuCategory(const char* label);
+// Number of registered categories (>= 1; the unattributed builtin).
+size_t CpuCategoryCount();
+// Label for a dense index ("?" when out of range).
+const char* CpuCategoryLabel(uint32_t index);
+
+// Use as an expression: KITE_CPU_CATEGORY("netback/tx"). The function-local
+// static makes every use after the first a single load.
+#define KITE_CPU_CATEGORY(label_text)                                      \
+  ([]() -> const ::kite::CpuCategory* {                                    \
+    static const ::kite::CpuCategory* category =                           \
+        ::kite::RegisterCpuCategory(label_text);                           \
+    return category;                                                       \
+  }())
+
+// Ambient category for Vcpu::Charge, process-global (the simulation is
+// single-threaded). Restores the previous category on destruction.
+class CpuScope {
+ public:
+  explicit CpuScope(const CpuCategory* category);
+  ~CpuScope();
+
+  CpuScope(const CpuScope&) = delete;
+  CpuScope& operator=(const CpuScope&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+// The category Charge would credit right now (kCpuUnattributedIndex outside
+// any scope).
+uint32_t CurrentCpuCategory();
+
+// Run-queue wait distribution: HdrHistogram-style log-linear buckets over
+// nanoseconds, the same geometry as the obs LatencyHistogram (32 sub-buckets
+// per octave, ≤ ~3.1% relative error) so renderers can treat the two
+// interchangeably. Lives in src/sim because Vcpu records into it and src/sim
+// cannot depend on src/obs.
+class CpuWaitHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 32
+  static constexpr int kNumBuckets =
+      (63 - kSubBucketBits) * kSubBuckets + 2 * kSubBuckets;
+
+  static int BucketIndex(uint64_t v) {
+    if (v < 2 * kSubBuckets) {
+      return static_cast<int>(v);
+    }
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBucketBits;
+    return (msb - kSubBucketBits) * kSubBuckets + static_cast<int>(v >> shift);
+  }
+
+  static uint64_t BucketLowerBound(int index) {
+    if (index < 2 * kSubBuckets) {
+      return static_cast<uint64_t>(index);
+    }
+    const int octave = index / kSubBuckets;  // >= 2
+    const int sub = index % kSubBuckets;
+    return static_cast<uint64_t>(sub + kSubBuckets) << (octave - 1);
+  }
+
+  void Record(uint64_t value_ns) {
+    // Zero waits — the uncontended common case — are only counted, never
+    // bucketed: Percentile() derives the implied zero bucket from
+    // count_ - nonzero_, keeping the Charge hot path at one increment.
+    ++count_;
+    if (value_ns == 0) {
+      return;
+    }
+    ++nonzero_;
+    if (value_ns > max_) {
+      max_ = value_ns;
+    }
+    sum_ += value_ns;
+    ++buckets_[BucketIndex(value_ns)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+
+  // Nearest-rank percentile (p in [0,100]) reported as the lower bound of the
+  // bucket holding that rank. Empty histogram → 0.
+  uint64_t Percentile(double p) const;
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t nonzero_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+// Per-vCPU attribution state: busy nanoseconds by category index (grows on
+// demand as categories register), plus the vCPU-wide run-queue wait
+// distribution. Read via Vcpu accessors or directly by src/obs/cpuattr.
+// Deliberately minimal — one busy counter per category, one shared wait
+// histogram — so the enabled Charge hot path is a handful of increments
+// (bench_engine bounds the overhead in CI).
+struct CpuLedger {
+  std::vector<uint64_t> busy_ns;  // Indexed by category.
+  CpuWaitHistogram wait_hist;
+};
 
 class Vcpu {
  public:
@@ -53,24 +203,84 @@ class Vcpu {
   RunAwaiter Yield() { return RunAwaiter(this, SimDuration(0)); }
 
   // Total CPU time consumed since construction (for utilization reports).
-  SimDuration busy_total() const { return busy_total_; }
+  // With attribution enabled the total is derived from the ledger (plus any
+  // busy time accumulated before enabling): reads are rare and O(#categories)
+  // is trivial, while the Charge hot path saves one read-modify-write.
+  SimDuration busy_total() const {
+    if (ledger_ == nullptr) {
+      return busy_total_;
+    }
+    uint64_t total = 0;
+    for (uint64_t ns : ledger_->busy_ns) {
+      total += ns;
+    }
+    return busy_total_ + Nanos(static_cast<int64_t>(total));
+  }
   SimTime free_at() const { return free_at_; }
 
   // Utilization over a window, given busy_total() sampled at window start.
+  // Returns the *raw* ratio: a single-horizon vCPU can have more simulated
+  // work queued against it than the window holds (overcommit from concurrent
+  // actors), and that signal must survive to the reports. Clamp at render
+  // time only (tables, percent gauges).
   static double Utilization(SimDuration busy_at_start, SimDuration busy_at_end,
                             SimDuration window) {
     if (window.ns() <= 0) {
       return 0.0;
     }
-    double u = static_cast<double>((busy_at_end - busy_at_start).ns()) /
-               static_cast<double>(window.ns());
-    return u > 1.0 ? 1.0 : u;
+    return static_cast<double>((busy_at_end - busy_at_start).ns()) /
+           static_cast<double>(window.ns());
   }
 
+  // --- Attribution (accounting-only; see file comment). ---
+  // Allocates the ledger; every subsequent Charge credits the ambient
+  // category. Idempotent. Never changes Charge's timing result.
+  void EnableAttribution();
+  bool attribution_enabled() const { return ledger_ != nullptr; }
+  // Null until EnableAttribution.
+  const CpuLedger* ledger() const { return ledger_.get(); }
+  // Busy nanoseconds credited to one category (0 when disabled or the
+  // category never ran here).
+  SimDuration attributed_busy(uint32_t category) const;
+
  private:
+  void RecordAttribution(SimDuration cost, SimDuration wait);
+
   Executor* executor_;
   SimTime free_at_;
   SimDuration busy_total_;
+  std::unique_ptr<CpuLedger> ledger_;
+};
+
+// Windowed busy-time sampling: the one code path benches and workloads use
+// for "CPU over this phase" numbers (CPU%, µs/op), replacing ad-hoc
+// busy_total() diffing. Construct at the start of the phase; read busy() /
+// utilization() at the end. Values are raw (unclamped) — see
+// Vcpu::Utilization.
+class CpuUsageSample {
+ public:
+  explicit CpuUsageSample(const Vcpu* cpu)
+      : cpu_(cpu),
+        busy_at_start_(cpu->busy_total()),
+        started_at_(cpu->executor()->Now()) {}
+
+  // Busy time consumed since construction.
+  SimDuration busy() const { return cpu_->busy_total() - busy_at_start_; }
+  // Utilization over the elapsed window (construction → now).
+  double utilization() const {
+    return Vcpu::Utilization(busy_at_start_, cpu_->busy_total(),
+                             cpu_->executor()->Now() - started_at_);
+  }
+  // Utilization over an explicit window.
+  double utilization(SimDuration window) const {
+    return Vcpu::Utilization(busy_at_start_, cpu_->busy_total(), window);
+  }
+  SimTime started_at() const { return started_at_; }
+
+ private:
+  const Vcpu* cpu_;
+  SimDuration busy_at_start_;
+  SimTime started_at_;
 };
 
 }  // namespace kite

@@ -39,7 +39,7 @@ void Filebench::Run(std::function<void(const FilebenchResult&)> done) {
   started_at_ = executor()->Now();
   deadline_ = started_at_ + config_.duration;
   if (sampled_cpu_ != nullptr) {
-    cpu_busy_at_start_ = sampled_cpu_->busy_total();
+    cpu_sample_.emplace(sampled_cpu_);
   }
   for (auto& t : threads_) {
     NextOp(t.get());
@@ -193,9 +193,8 @@ void Filebench::FinishIfDue() {
   result_.ops_per_sec = elapsed > 0 ? ops_ / elapsed : 0;
   result_.mbytes_per_sec =
       elapsed > 0 ? bytes_moved_ / (1024.0 * 1024.0) / elapsed : 0;
-  if (sampled_cpu_ != nullptr && ops_ > 0) {
-    result_.cpu_us_per_op =
-        (sampled_cpu_->busy_total() - cpu_busy_at_start_).us() / static_cast<double>(ops_);
+  if (cpu_sample_.has_value() && ops_ > 0) {
+    result_.cpu_us_per_op = cpu_sample_->busy().us() / static_cast<double>(ops_);
   }
   if (done_) {
     done_(result_);

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -78,7 +79,9 @@ class Filebench {
   std::function<void(const FilebenchResult&)> done_;
   SimTime started_at_;
   SimTime deadline_;
-  SimDuration cpu_busy_at_start_;
+  // Armed at Run() when sampled_cpu_ is set (see CpuUsageSample in
+  // src/sim/cpu.h).
+  std::optional<CpuUsageSample> cpu_sample_;
   uint64_t ops_ = 0;
   uint64_t bytes_moved_ = 0;
   int next_create_id_ = 0;

@@ -57,8 +57,12 @@ void HttpServer::HandleRequest(TcpConn* conn, const std::string& path) {
   }
   // Serialize on the server CPU: the response leaves when the CPU has
   // actually executed this request's work (queueing behind other requests).
-  const SimTime cpu_done = stack_->vcpu()->Charge(
-      params_.per_request_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * size)));
+  SimTime cpu_done;
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("app/workload"));
+    cpu_done = stack_->vcpu()->Charge(
+        params_.per_request_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * size)));
+  }
   stack_->executor()->PostAt(
       cpu_done, KITE_POST_SITE("http/response"),
       [conn, alive = conn->AliveGuard(), response = std::move(response)] {

@@ -66,8 +66,12 @@ void MemcachedServer::Process(TcpConn* conn, std::string* inbuf) {
                                           reply.size()));
     } else {
       // Reply at CPU-completion time (server work serializes).
-      const SimTime cpu_done = stack_->vcpu()->Charge(
-          params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * op_bytes_)));
+      SimTime cpu_done;
+      {
+        CpuScope cpu_scope(KITE_CPU_CATEGORY("app/workload"));
+        cpu_done = stack_->vcpu()->Charge(
+            params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * op_bytes_)));
+      }
       op_bytes_ = 0;
       stack_->executor()->PostAt(
           cpu_done, KITE_POST_SITE("memcached/reply"),

@@ -56,6 +56,7 @@ void MysqlServer::HandleQuery(uint8_t type, const Buffer& payload,
   // CPU-completion time (or after storage I/O, whichever is later).
   SimTime cpu_done = stack_->executor()->Now();
   if (stack_->vcpu() != nullptr) {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("app/workload"));
     cpu_done = stack_->vcpu()->Charge(cost);
   }
   Executor* executor = stack_->executor();

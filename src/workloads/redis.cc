@@ -149,8 +149,12 @@ void RedisServer::HandleCommand(TcpConn* conn, std::vector<std::string> args) {
   for (const auto& a : args) {
     bytes += a.size();
   }
-  const SimTime cpu_done = stack_->vcpu()->Charge(
-      params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * bytes)));
+  SimTime cpu_done;
+  {
+    CpuScope cpu_scope(KITE_CPU_CATEGORY("app/workload"));
+    cpu_done = stack_->vcpu()->Charge(
+        params_.per_op_cost + Nanos(static_cast<int64_t>(params_.per_byte_ns * bytes)));
+  }
   stack_->executor()->PostAt(cpu_done, KITE_POST_SITE("redis/reply"),
                              [conn, alive = conn->AliveGuard(), reply = std::move(reply)] {
                                if (*alive && !conn->closed()) {

@@ -215,8 +215,9 @@ TEST(VcpuTest, RunQueuesBehindOtherWork) {
 TEST(VcpuTest, UtilizationWindow) {
   EXPECT_DOUBLE_EQ(Vcpu::Utilization(Micros(0), Micros(50), Micros(100)), 0.5);
   EXPECT_DOUBLE_EQ(Vcpu::Utilization(Micros(10), Micros(10), Micros(100)), 0.0);
-  // Clamped at 1.
-  EXPECT_DOUBLE_EQ(Vcpu::Utilization(Micros(0), Micros(200), Micros(100)), 1.0);
+  // Raw ratio, not clamped: overcommit (more work queued than the window
+  // holds) must stay visible. Renderers clamp for display.
+  EXPECT_DOUBLE_EQ(Vcpu::Utilization(Micros(0), Micros(200), Micros(100)), 2.0);
 }
 
 TEST(TimeTest, Arithmetic) {
